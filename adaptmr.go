@@ -1,0 +1,239 @@
+// Package adaptmr is a simulation-backed reproduction of "Adaptive Disk
+// I/O Scheduling for MapReduce in Virtualized Environment" (Ibrahim et
+// al., ICPP 2011): a full virtualized-Hadoop testbed model — Xen-style
+// two-level block scheduling with the four Linux elevators, guest page
+// cache and filesystem, HDFS, MapReduce runtime, and cluster network —
+// plus the paper's contribution, a meta-scheduler that adaptively switches
+// the (VMM, VM) disk-scheduler pair at phase boundaries of a single job.
+//
+// The package exposes a small facade over the internal engine:
+//
+//	cfg := adaptmr.DefaultClusterConfig()
+//	job := adaptmr.SortBenchmark(512 << 20).Job
+//	res := adaptmr.RunJob(cfg, job, adaptmr.MustParsePair("cfq,cfq"))
+//	fmt.Println(res.Duration)
+//
+//	tuner := adaptmr.NewTuner(cfg, job)
+//	out := tuner.Tune()
+//	fmt.Println(out.Plan, out.ImprovementOverDefault())
+//
+// All simulations are deterministic for a given configuration and seed.
+package adaptmr
+
+import (
+	"io"
+
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/core"
+	"adaptmr/internal/experiments"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/mapred"
+	"adaptmr/internal/sim"
+	"adaptmr/internal/workloads"
+)
+
+// Scheduler names accepted anywhere a scheduler is selected.
+const (
+	Noop         = iosched.Noop
+	Deadline     = iosched.Deadline
+	Anticipatory = iosched.Anticipatory
+	CFQ          = iosched.CFQ
+)
+
+// Pair is a (VMM scheduler, VM scheduler) configuration.
+type Pair = iosched.Pair
+
+// DefaultPair is the stock (CFQ, CFQ) configuration.
+var DefaultPair = iosched.DefaultPair
+
+// AllPairs enumerates the 16 pair configurations.
+func AllPairs() []Pair { return iosched.AllPairs() }
+
+// ParsePair parses "ad" or "(anticipatory, deadline)" forms.
+func ParsePair(s string) (Pair, error) { return iosched.ParsePair(s) }
+
+// MustParsePair is ParsePair for known-valid literals.
+func MustParsePair(s string) Pair {
+	p, err := iosched.ParsePair(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ClusterConfig describes the virtual testbed (hosts, VMs, disk, guest OS,
+// network, HDFS).
+type ClusterConfig = cluster.Config
+
+// DefaultClusterConfig returns the paper's testbed: 4 hosts × 4 VMs, one
+// SATA disk per host, 1 GbE, 64 MB HDFS blocks with 2 replicas.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// JobConfig describes a MapReduce job (sizes, ratios, CPU costs, slots).
+type JobConfig = mapred.Config
+
+// DefaultJobConfig returns neutral sort-like job settings.
+func DefaultJobConfig() JobConfig { return mapred.DefaultConfig() }
+
+// JobResult summarises one executed job.
+type JobResult = mapred.Result
+
+// Workload couples a job configuration with the paper's disk-operation
+// classification.
+type Workload = workloads.Benchmark
+
+// WordCountBenchmark is the light-disk wordcount (with combiner) workload.
+func WordCountBenchmark(inputPerVM int64) Workload { return workloads.WordCount(inputPerVM) }
+
+// WordCountNoCombinerBenchmark is the moderate-disk wordcount variant.
+func WordCountNoCombinerBenchmark(inputPerVM int64) Workload {
+	return workloads.WordCountNoCombiner(inputPerVM)
+}
+
+// SortBenchmark is the heavy-disk stream-sort workload.
+func SortBenchmark(inputPerVM int64) Workload { return workloads.Sort(inputPerVM) }
+
+// BenchmarkSuite returns the paper's three benchmarks.
+func BenchmarkSuite(inputPerVM int64) []Workload { return workloads.Suite(inputPerVM) }
+
+// RunJob executes one job under a single scheduler pair on a fresh
+// deterministic cluster and returns its result.
+func RunJob(cfg ClusterConfig, job JobConfig, pair Pair) JobResult {
+	cl := cluster.New(cfg)
+	cl.InstallPair(pair)
+	return mapred.Run(cl, job)
+}
+
+// Plan assigns a scheduler pair to each phase of a job.
+type Plan = core.Plan
+
+// Scheme selects the phase granularity of a plan.
+type Scheme = core.Scheme
+
+// Phase schemes: two phases (switch at maps-done, the paper's default for
+// ≥4 map waves) or three (additionally at shuffle-done).
+const (
+	TwoPhases   = core.TwoPhases
+	ThreePhases = core.ThreePhases
+)
+
+// UniformPlan uses one pair for every phase (no switches).
+func UniformPlan(scheme Scheme, p Pair) Plan { return core.Uniform(scheme, p) }
+
+// NewPlan builds an explicit phase plan.
+func NewPlan(scheme Scheme, pairs ...Pair) Plan { return core.NewPlan(scheme, pairs...) }
+
+// TuningResult is the meta-scheduler's outcome.
+type TuningResult = core.HeuristicResult
+
+// Tuner runs the paper's adaptive meta-scheduler for one job on one
+// testbed configuration.
+type Tuner struct {
+	runner *core.Runner
+	scheme Scheme
+	pairs  []Pair
+}
+
+// NewTuner creates a tuner over all 16 pairs with the two-phase scheme.
+func NewTuner(cfg ClusterConfig, job JobConfig) *Tuner {
+	return &Tuner{runner: core.NewRunner(cfg, job), scheme: core.TwoPhases}
+}
+
+// WithScheme selects the phase scheme.
+func (t *Tuner) WithScheme(s Scheme) *Tuner { t.scheme = s; return t }
+
+// WithCandidates restricts the candidate pairs.
+func (t *Tuner) WithCandidates(pairs []Pair) *Tuner { t.pairs = pairs; return t }
+
+// Tune profiles the candidates and runs the heuristic (Algorithm 1),
+// returning the chosen plan alongside the default and best-single
+// reference runs.
+func (t *Tuner) Tune() TuningResult {
+	return core.Heuristic(t.runner, t.scheme, t.pairs)
+}
+
+// RunPlan executes the job under an explicit plan (switching pairs at
+// phase boundaries, switch costs included).
+func (t *Tuner) RunPlan(p Plan) core.RunResult {
+	return t.runner.Run(p)
+}
+
+// BruteForce exhaustively evaluates every plan (S^P job executions,
+// memoised) and returns the optimum — feasible here because the testbed is
+// simulated.
+func (t *Tuner) BruteForce() core.RunResult {
+	return core.BruteForce(t.runner, t.scheme, t.pairs)
+}
+
+// Evaluations reports how many distinct job executions the tuner has run.
+func (t *Tuner) Evaluations() int { return t.runner.Evaluations }
+
+// ---------------------------------------------------------------------------
+// Extensions from the paper's future-work agenda
+// ---------------------------------------------------------------------------
+
+// FineGrained is the reactive per-host controller sketched in the paper's
+// future work: it watches each host's read/write mix and switches the pair
+// on regime changes, with no knowledge of job phase boundaries.
+type FineGrained = core.FineGrained
+
+// DefaultFineGrained returns the controller with the regime mapping the
+// coarse-grained study suggests.
+func DefaultFineGrained() *FineGrained { return core.DefaultFineGrained() }
+
+// RunFineGrained executes a job under the reactive controller, returning
+// the job result and the number of switch commands issued.
+func RunFineGrained(cfg ClusterConfig, job JobConfig, fg *FineGrained) (JobResult, int) {
+	return core.RunFineGrained(cfg, job, fg)
+}
+
+// ChainResult is a chained (Pig-style) multi-job execution.
+type ChainResult = core.ChainResult
+
+// ChainTuning is the result of tuning a chain stage by stage.
+type ChainTuning = core.ChainTuning
+
+// RunChain executes MapReduce stages back to back on one cluster, applying
+// one phase plan per stage; later stages read the data volume the previous
+// stage produced.
+func RunChain(cfg ClusterConfig, stages []JobConfig, plans []Plan) ChainResult {
+	return core.RunChain(cfg, stages, plans)
+}
+
+// TuneChain tunes each stage with the two-phase heuristic and compares the
+// composed chain against the all-default execution.
+func TuneChain(cfg ClusterConfig, stages []JobConfig) ChainTuning {
+	return core.TuneChain(cfg, stages)
+}
+
+// Predictor estimates plan times from profiles plus a switch-cost model
+// without running simulations (the paper's envisioned prediction model).
+type Predictor = core.Predictor
+
+// NewPredictor builds a predictor over profiling data; cost may be nil to
+// treat switches as free.
+func NewPredictor(profiles []core.Profile, cost func(from, to Pair) sim.Duration) *Predictor {
+	return core.NewPredictor(profiles, cost)
+}
+
+// ExperimentsConfig parameterises the paper-artefact generators.
+type ExperimentsConfig = experiments.Config
+
+// PaperExperiments returns the full-paper experiment configuration.
+func PaperExperiments() ExperimentsConfig { return experiments.Default() }
+
+// QuickExperiments returns a scaled-down configuration for smoke runs.
+func QuickExperiments() ExperimentsConfig { return experiments.Quick() }
+
+// RunExperiments regenerates the paper's tables and figures (all of them,
+// or the named subset: "fig1".."fig8", "table1", "table2") and writes the
+// rendered artefacts to w.
+func RunExperiments(cfg ExperimentsConfig, w io.Writer, only ...string) error {
+	return experiments.All(cfg, w, only...)
+}
+
+// RunExperimentsCSV is RunExperiments with per-artefact CSV data written to
+// csvDir (skipped when csvDir is empty).
+func RunExperimentsCSV(cfg ExperimentsConfig, w io.Writer, csvDir string, only ...string) error {
+	return experiments.AllWithCSV(cfg, w, csvDir, only...)
+}

@@ -1,0 +1,101 @@
+package adaptmr_test
+
+import (
+	"strings"
+	"testing"
+
+	"adaptmr"
+)
+
+func quickCluster() adaptmr.ClusterConfig {
+	cfg := adaptmr.DefaultClusterConfig()
+	cfg.Hosts = 2
+	cfg.VMsPerHost = 2
+	return cfg
+}
+
+func TestPairFacade(t *testing.T) {
+	ps := adaptmr.AllPairs()
+	if len(ps) != 16 {
+		t.Fatalf("pairs %d", len(ps))
+	}
+	p, err := adaptmr.ParsePair("ad")
+	if err != nil || p.VMM != adaptmr.Anticipatory || p.VM != adaptmr.Deadline {
+		t.Fatalf("ParsePair: %v %v", p, err)
+	}
+	if adaptmr.MustParsePair("cc") != adaptmr.DefaultPair {
+		t.Fatal("default pair")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParsePair should panic on junk")
+		}
+	}()
+	adaptmr.MustParsePair("zz")
+}
+
+func TestRunJobFacade(t *testing.T) {
+	res := adaptmr.RunJob(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair)
+	if res.Duration <= 0 || res.NumMaps == 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestBenchmarkFacade(t *testing.T) {
+	suite := adaptmr.BenchmarkSuite(64 << 20)
+	if len(suite) != 3 {
+		t.Fatalf("suite %d", len(suite))
+	}
+	if adaptmr.WordCountBenchmark(1).Job.Name != "wordcount" ||
+		adaptmr.WordCountNoCombinerBenchmark(1).Job.Name != "wordcount-nc" ||
+		adaptmr.SortBenchmark(1).Job.Name != "sort" {
+		t.Fatal("benchmark names")
+	}
+}
+
+func TestTunerFacade(t *testing.T) {
+	job := adaptmr.SortBenchmark(96 << 20).Job
+	tuner := adaptmr.NewTuner(quickCluster(), job).
+		WithScheme(adaptmr.TwoPhases).
+		WithCandidates([]adaptmr.Pair{
+			adaptmr.DefaultPair,
+			adaptmr.MustParsePair("ad"),
+			adaptmr.MustParsePair("nc"),
+		})
+	out := tuner.Tune()
+	if out.Duration <= 0 {
+		t.Fatal("no result")
+	}
+	if out.Duration > out.Default.Duration {
+		t.Fatal("adaptive worse than default")
+	}
+	if tuner.Evaluations() == 0 {
+		t.Fatal("evaluations not counted")
+	}
+	// Explicit plans and brute force are exposed too.
+	plan := adaptmr.NewPlan(adaptmr.TwoPhases, adaptmr.MustParsePair("ad"), adaptmr.DefaultPair)
+	if tuner.RunPlan(plan).Duration <= 0 {
+		t.Fatal("RunPlan")
+	}
+	bf := tuner.BruteForce()
+	if bf.Duration > out.Duration {
+		t.Fatal("brute force worse than heuristic")
+	}
+}
+
+func TestUniformPlanFacade(t *testing.T) {
+	p := adaptmr.UniformPlan(adaptmr.ThreePhases, adaptmr.DefaultPair)
+	if p.NumSwitches() != 0 {
+		t.Fatal("uniform plan switches")
+	}
+}
+
+func TestRunExperimentsFacade(t *testing.T) {
+	var sb strings.Builder
+	if err := adaptmr.RunExperiments(adaptmr.QuickExperiments(), &sb, "table2"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table II") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+}

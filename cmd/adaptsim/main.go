@@ -1,0 +1,119 @@
+// Command adaptsim runs a single simulated MapReduce job — under a fixed
+// scheduler pair, an explicit phase plan, or the adaptive meta-scheduler —
+// and reports timings.
+//
+// Examples:
+//
+//	adaptsim -bench sort -pair cfq,cfq
+//	adaptsim -bench sort -plan "ad|ca"           # explicit two-phase plan
+//	adaptsim -bench wordcount -adaptive          # run the meta-scheduler
+//	adaptsim -bench sort -reactive               # the reactive controller
+//	adaptsim -bench sort -hosts 6 -vms 4 -input 1024 -adaptive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"adaptmr"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "adaptsim:", err)
+	os.Exit(1)
+}
+
+func main() {
+	bench := flag.String("bench", "sort", "workload: sort, wordcount, wordcount-nc")
+	pairArg := flag.String("pair", "cc", "scheduler pair for a single run (code or long form)")
+	planArg := flag.String("plan", "", "explicit phase plan, pair codes joined by '|' (e.g. ad|ca)")
+	adaptive := flag.Bool("adaptive", false, "run the adaptive meta-scheduler instead of one pair")
+	reactive := flag.Bool("reactive", false, "run under the reactive per-host controller")
+	hosts := flag.Int("hosts", 4, "physical nodes")
+	vms := flag.Int("vms", 4, "VMs per node")
+	inputMB := flag.Int64("input", 512, "input data per datanode VM, in MB")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	phases := flag.Int("phases", 2, "phase scheme for plans and tuning (2 or 3)")
+	flag.Parse()
+
+	cfg := adaptmr.DefaultClusterConfig()
+	cfg.Hosts = *hosts
+	cfg.VMsPerHost = *vms
+	cfg.Seed = *seed
+
+	var wl adaptmr.Workload
+	switch *bench {
+	case "sort":
+		wl = adaptmr.SortBenchmark(*inputMB << 20)
+	case "wordcount":
+		wl = adaptmr.WordCountBenchmark(*inputMB << 20)
+	case "wordcount-nc", "wordcount-no-combiner":
+		wl = adaptmr.WordCountNoCombinerBenchmark(*inputMB << 20)
+	default:
+		fail(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+
+	scheme := adaptmr.TwoPhases
+	if *phases == 3 {
+		scheme = adaptmr.ThreePhases
+	} else if *phases != 2 {
+		fail(fmt.Errorf("phases must be 2 or 3"))
+	}
+
+	switch {
+	case *reactive:
+		res, switches := adaptmr.RunFineGrained(cfg, wl.Job, nil)
+		fmt.Printf("reactive controller on %s: %.1fs (%d switch commands)\n",
+			wl.Job.Name, res.Duration.Seconds(), switches)
+		printPhases(res)
+
+	case *adaptive:
+		tuner := adaptmr.NewTuner(cfg, wl.Job).WithScheme(scheme)
+		res := tuner.Tune()
+		fmt.Printf("workload        %s (%s disk operations)\n", wl.Job.Name, wl.Class)
+		fmt.Printf("default  %-40s %8.1fs\n", res.Default.Plan, res.Default.Duration.Seconds())
+		fmt.Printf("best-1   %-40s %8.1fs\n", res.BestSingle.Plan, res.BestSingle.Duration.Seconds())
+		fmt.Printf("adaptive %-40s %8.1fs\n", res.Plan, res.Duration.Seconds())
+		fmt.Printf("improvement: %.1f%% vs default, %.1f%% vs best single (%d evaluations)\n",
+			100*res.ImprovementOverDefault(), 100*res.ImprovementOverBestSingle(), res.Evaluations)
+
+	case *planArg != "":
+		codes := strings.Split(*planArg, "|")
+		if len(codes) != scheme.Phases() {
+			fail(fmt.Errorf("plan needs %d pairs, got %d", scheme.Phases(), len(codes)))
+		}
+		var pairs []adaptmr.Pair
+		for _, c := range codes {
+			p, err := adaptmr.ParsePair(c)
+			if err != nil {
+				fail(err)
+			}
+			pairs = append(pairs, p)
+		}
+		tuner := adaptmr.NewTuner(cfg, wl.Job).WithScheme(scheme)
+		res := tuner.RunPlan(adaptmr.NewPlan(scheme, pairs...))
+		fmt.Printf("plan %s: %.1fs (switch stall %.1fs)\n",
+			res.Plan, res.Duration.Seconds(), res.SwitchStall.Seconds())
+		printPhases(res.Job)
+
+	default:
+		p, err := adaptmr.ParsePair(*pairArg)
+		if err != nil {
+			fail(err)
+		}
+		res := adaptmr.RunJob(cfg, wl.Job, p)
+		fmt.Printf("pair %s on %s: %.1fs\n", p, wl.Job.Name, res.Duration.Seconds())
+		printPhases(res)
+	}
+}
+
+func printPhases(res adaptmr.JobResult) {
+	fmt.Printf("  maps %d (%.1f waves), reduces %d\n", res.NumMaps, res.Waves, res.NumReduces)
+	fmt.Printf("  ph1 map %.1fs | ph2 shuffle %.1fs | ph3 reduce %.1fs | non-concurrent shuffle %.1f%%\n",
+		res.MapsDoneAt.Sub(res.Start).Seconds(),
+		res.ShuffleDoneAt.Sub(res.MapsDoneAt).Seconds(),
+		res.Done.Sub(res.ShuffleDoneAt).Seconds(),
+		res.NonConcurrentShufflePct)
+}

@@ -1,0 +1,98 @@
+// Command ioschedlab explores the microbenchmarks of the paper's empirical
+// study on a single simulated host: Sysbench sequential writing (Fig 1),
+// the parallel-dd workload, and the scheduler switch-cost probe (Fig 5).
+//
+// Examples:
+//
+//	ioschedlab -mode sysbench -vms 3
+//	ioschedlab -mode dd -vms 4 -pair ad
+//	ioschedlab -mode switch -from cc -to ad -vms 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptmr/internal/guestio"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/workloads"
+	"adaptmr/internal/xen"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ioschedlab:", err)
+	os.Exit(1)
+}
+
+func main() {
+	mode := flag.String("mode", "sysbench", "sysbench, dd, or switch")
+	vms := flag.Int("vms", 4, "VMs on the host")
+	pairArg := flag.String("pair", "", "single pair to run (default: sweep all 16)")
+	fromArg := flag.String("from", "cc", "switch probe: first state")
+	toArg := flag.String("to", "ad", "switch probe: second state")
+	ddMB := flag.Int64("ddmb", 600, "dd bytes per VM, in MB")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	hostCfg := xen.DefaultHostConfig()
+	guestCfg := guestio.DefaultConfig()
+	newHost := func() *workloads.MicroHost {
+		return workloads.NewMicroHost(*vms, hostCfg, guestCfg, *seed)
+	}
+
+	pairs := iosched.AllPairs()
+	if *pairArg != "" {
+		p, err := iosched.ParsePair(*pairArg)
+		if err != nil {
+			fail(err)
+		}
+		pairs = []iosched.Pair{p}
+	}
+
+	switch *mode {
+	case "sysbench":
+		cfg := workloads.DefaultSysbenchConfig()
+		for _, p := range pairs {
+			mh := newHost()
+			mh.InstallPair(p)
+			r := workloads.RunSysbench(mh, cfg)
+			fmt.Printf("%s  mean %7.1fs  longest %7.1fs  per-VM", p, r.Mean.Seconds(), r.Longest.Seconds())
+			for _, e := range r.PerVM {
+				fmt.Printf(" %6.1f", e.Seconds())
+			}
+			fmt.Println()
+		}
+
+	case "dd":
+		cfg := workloads.DefaultDDConfig()
+		cfg.BytesPerVM = *ddMB << 20
+		for _, p := range pairs {
+			mh := newHost()
+			mh.InstallPair(p)
+			d := workloads.RunDD(mh, cfg, nil)
+			st := mh.Host.Disk().Stats()
+			fmt.Printf("%s  epoch %7.1fs  disk efficiency %4.1f%%  seeks %d\n",
+				p, d.Seconds(), 100*st.TransferTime.Seconds()/st.BusyTime.Seconds(), st.Seeks)
+		}
+
+	case "switch":
+		from, err := iosched.ParsePair(*fromArg)
+		if err != nil {
+			fail(err)
+		}
+		to, err := iosched.ParsePair(*toArg)
+		if err != nil {
+			fail(err)
+		}
+		cfg := workloads.DefaultDDConfig()
+		cfg.BytesPerVM = *ddMB << 20
+		cost := workloads.SwitchCost(newHost, cfg, from, to)
+		back := workloads.SwitchCost(newHost, cfg, to, from)
+		fmt.Printf("cost %s -> %s: %.1fs\n", from, to, cost.Seconds())
+		fmt.Printf("cost %s -> %s: %.1fs (asymmetry %.1fs)\n", to, from, back.Seconds(), (cost - back).Seconds())
+
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+}

@@ -1,0 +1,66 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section on the simulated testbed and prints the rendered
+// artefacts.
+//
+// Usage:
+//
+//	paperbench [-quick] [-only fig2,table1] [-o out.txt]
+//
+// With -quick a scaled-down testbed is used (2×2 cluster, smaller inputs,
+// 6 candidate pairs); without it the full paper configuration runs (4×4
+// cluster, 512 MB per datanode, all 16 pairs), which takes tens of minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"adaptmr"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the scaled-down configuration")
+	only := flag.String("only", "", "comma-separated subset (fig1..fig8, table1, table2)")
+	out := flag.String("o", "", "also write the artefacts to this file")
+	csvDir := flag.String("csv", "", "directory to write per-artefact CSV data into")
+	flag.Parse()
+
+	cfg := adaptmr.PaperExperiments()
+	if *quick {
+		cfg = adaptmr.QuickExperiments()
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	var subset []string
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				subset = append(subset, s)
+			}
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+	}
+	if err := adaptmr.RunExperimentsCSV(cfg, w, *csvDir, subset...); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+// Adaptive sort: runs the paper's full meta-scheduler pipeline on the sort
+// benchmark — profile all 16 pairs per phase, search with Algorithm 1, and
+// compare the adaptive plan against the default and best static pairs.
+// Optionally cross-checks the heuristic against brute force.
+//
+//	go run ./examples/adaptive_sort [-brute] [-input 512] [-phases 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"adaptmr"
+)
+
+func main() {
+	brute := flag.Bool("brute", false, "also run the 16^P brute-force search")
+	inputMB := flag.Int64("input", 512, "MB of input per datanode VM")
+	phases := flag.Int("phases", 2, "phase scheme (2 or 3)")
+	flag.Parse()
+
+	scheme := adaptmr.TwoPhases
+	if *phases == 3 {
+		scheme = adaptmr.ThreePhases
+	}
+
+	cfg := adaptmr.DefaultClusterConfig()
+	job := adaptmr.SortBenchmark(*inputMB << 20).Job
+	tuner := adaptmr.NewTuner(cfg, job).WithScheme(scheme)
+
+	fmt.Printf("tuning sort (%d MB/node) on 4x4 with %v...\n\n", *inputMB, scheme)
+	out := tuner.Tune()
+
+	// Show the profiling table the heuristic ranked (the paper's Fig 6).
+	fmt.Println("per-phase profile (seconds):")
+	profs := append([]adaptmr.TuningResult{}, out)[0].Profiles
+	sort.Slice(profs, func(i, j int) bool { return profs[i].Total < profs[j].Total })
+	fmt.Printf("  %-6s", "pair")
+	for i := 0; i < scheme.Phases(); i++ {
+		fmt.Printf("  phase%d", i+1)
+	}
+	fmt.Printf("   total\n")
+	for _, p := range profs {
+		fmt.Printf("  %-6s", p.Pair.Code())
+		for i := 0; i < scheme.Phases(); i++ {
+			fmt.Printf("  %6.1f", p.PhaseDuration(scheme, i).Seconds())
+		}
+		fmt.Printf("  %6.1f\n", p.Total.Seconds())
+	}
+
+	fmt.Println("\nheuristic decisions:")
+	for _, d := range out.Decisions {
+		fmt.Printf("  phase %d: tried %d of %d ranked candidates -> %s",
+			d.Phase+1, d.Tried, len(d.Ranked), d.Chosen)
+		if d.NoSwitch {
+			fmt.Printf(" (no switch command)")
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\ndefault    %-44s %7.1f s\n", out.Default.Plan, out.Default.Duration.Seconds())
+	fmt.Printf("best-1     %-44s %7.1f s\n", out.BestSingle.Plan, out.BestSingle.Duration.Seconds())
+	fmt.Printf("adaptive   %-44s %7.1f s\n", out.Plan, out.Duration.Seconds())
+	fmt.Printf("improvement: %.1f%% vs default, %.1f%% vs best single (%d job executions)\n",
+		100*out.ImprovementOverDefault(), 100*out.ImprovementOverBestSingle(), out.Evaluations)
+
+	if *brute {
+		fmt.Println("\nbrute force over every plan (memoised, may take minutes)...")
+		bf := tuner.BruteForce()
+		fmt.Printf("optimum    %-44s %7.1f s\n", bf.Plan, bf.Duration.Seconds())
+		gap := 100 * (out.Duration.Seconds() - bf.Duration.Seconds()) / bf.Duration.Seconds()
+		fmt.Printf("heuristic is within %.1f%% of the optimum\n", gap)
+	}
+}

@@ -1,0 +1,57 @@
+// Pig chain: tune a chain of MapReduce jobs (what a Pig script compiles
+// to) — the scenario the paper uses to motivate plans with more than two
+// phases. Each stage gets its own two-phase plan; switch commands between
+// stages are suppressed when the pair carries over.
+//
+// The modelled script: extract (projection, output ≈ 40% of input) →
+// join-like reshuffle (identity volumes) → aggregate (tiny output).
+//
+//	go run ./examples/pig_chain
+package main
+
+import (
+	"fmt"
+
+	"adaptmr"
+)
+
+func main() {
+	extract := adaptmr.DefaultJobConfig()
+	extract.Name = "extract"
+	extract.InputPerVM = 512 << 20
+	extract.MapOutputRatio = 0.4
+	extract.ReduceOutputRatio = 1.0
+	extract.MapCPUSecPerMB = 0.05
+
+	join := adaptmr.DefaultJobConfig()
+	join.Name = "reshuffle"
+	join.MapOutputRatio = 1.0
+	join.ReduceOutputRatio = 1.0
+	join.MapCPUSecPerMB = 0.02
+
+	aggregate := adaptmr.DefaultJobConfig()
+	aggregate.Name = "aggregate"
+	aggregate.MapOutputRatio = 0.2
+	aggregate.ReduceOutputRatio = 0.05
+	aggregate.MapCPUSecPerMB = 0.06
+
+	cfg := adaptmr.DefaultClusterConfig()
+	stages := []adaptmr.JobConfig{extract, join, aggregate}
+
+	fmt.Println("tuning a 3-stage chain on 4x4 (each stage: 2-phase heuristic)...")
+	out := adaptmr.TuneChain(cfg, stages)
+
+	fmt.Println("\nper-stage plans:")
+	for i, p := range out.Plans {
+		fmt.Printf("  %-10s %s\n", stages[i].Name, p)
+	}
+	fmt.Println("\nchained execution:")
+	for i, st := range out.Tuned.Stages {
+		fmt.Printf("  %-10s %7.1f s (maps %d, reduces %d)\n",
+			stages[i].Name, st.Result.Duration.Seconds(), st.Result.NumMaps, st.Result.NumReduces)
+	}
+	fmt.Printf("\ntuned chain  %7.1f s\n", out.Tuned.Duration.Seconds())
+	fmt.Printf("default      %7.1f s\n", out.Default.Duration.Seconds())
+	fmt.Printf("improvement  %6.1f%%  (%d tuning executions)\n",
+		100*out.ImprovementOverDefault(), out.Evaluations)
+}

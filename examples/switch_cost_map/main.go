@@ -1,0 +1,57 @@
+// Switch-cost map: measure the paper's Fig 5 experiment — the cost of
+// switching between scheduler-pair states mid-workload, with the parallel
+// dd probe — for a chosen subset of states, and show the asymmetry.
+//
+//	go run ./examples/switch_cost_map [-states cc,ad,dd,nn] [-ddmb 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"adaptmr/internal/guestio"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/workloads"
+	"adaptmr/internal/xen"
+)
+
+func main() {
+	states := flag.String("states", "cc,ad,dd,nn", "comma-separated pair codes")
+	ddmb := flag.Int64("ddmb", 300, "dd MB per VM")
+	vms := flag.Int("vms", 4, "VMs on the probe host")
+	flag.Parse()
+
+	var pairs []iosched.Pair
+	for _, c := range strings.Split(*states, ",") {
+		p, err := iosched.ParsePair(strings.TrimSpace(c))
+		if err != nil {
+			panic(err)
+		}
+		pairs = append(pairs, p)
+	}
+
+	cfg := workloads.DefaultDDConfig()
+	cfg.BytesPerVM = *ddmb << 20
+	newHost := func() *workloads.MicroHost {
+		return workloads.NewMicroHost(*vms, xen.DefaultHostConfig(), guestio.DefaultConfig(), 1)
+	}
+
+	fmt.Printf("switch cost [s], dd %d MB x %d VMs (rows: from, cols: to)\n\n      ", *ddmb, *vms)
+	for _, p := range pairs {
+		fmt.Printf("%8s", p.Code())
+	}
+	fmt.Println()
+	for _, from := range pairs {
+		fmt.Printf("%6s", from.Code())
+		for _, to := range pairs {
+			cost := workloads.SwitchCost(newHost, cfg, from, to)
+			fmt.Printf("%8.2f", cost.Seconds())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nNote the diagonal: re-asserting the SAME pair still drains and")
+	fmt.Println("re-initialises every queue, so it is not free — which is why the")
+	fmt.Println("meta-scheduler suppresses the switch command when a phase keeps its")
+	fmt.Println("predecessor's pair (the paper's 0 entries).")
+}

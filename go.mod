@@ -1,0 +1,3 @@
+module adaptmr
+
+go 1.22

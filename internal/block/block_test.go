@@ -1,0 +1,301 @@
+package block
+
+import (
+	"testing"
+
+	"adaptmr/internal/sim"
+)
+
+func TestRequestBasics(t *testing.T) {
+	r := NewRequest(Read, 100, 8, true, 7)
+	if r.End() != 108 {
+		t.Fatalf("End = %d", r.End())
+	}
+	if r.Bytes() != 8*SectorSize {
+		t.Fatalf("Bytes = %d", r.Bytes())
+	}
+	if !r.IsSyncFull() {
+		t.Fatal("read should be sync")
+	}
+	w := NewRequest(Write, 0, 1, false, 7)
+	if w.IsSyncFull() {
+		t.Fatal("async write should not be sync")
+	}
+	ws := NewRequest(Write, 0, 1, true, 7)
+	if !ws.IsSyncFull() {
+		t.Fatal("sync write should be sync")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRequest(Read, 0, 0, true, 1) },
+		func() { NewRequest(Read, 0, -1, true, 1) },
+		func() { NewRequest(Read, -1, 1, true, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for invalid request")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBackMergePredicate(t *testing.T) {
+	a := NewRequest(Write, 100, 8, false, 1)
+	cases := []struct {
+		name string
+		b    *Request
+		want bool
+	}{
+		{"adjacent", NewRequest(Write, 108, 8, false, 1), true},
+		{"gap", NewRequest(Write, 110, 8, false, 1), false},
+		{"overlap", NewRequest(Write, 104, 8, false, 1), false},
+		{"wrong op", NewRequest(Read, 108, 8, false, 1), false},
+		{"wrong stream", NewRequest(Write, 108, 8, false, 2), false},
+		{"sync mismatch", NewRequest(Write, 108, 8, true, 1), false},
+	}
+	for _, c := range cases {
+		if got := a.CanBackMerge(c.b, 1024); got != c.want {
+			t.Errorf("%s: CanBackMerge = %v, want %v", c.name, got, c.want)
+		}
+	}
+	big := NewRequest(Write, 108, 1020, false, 1)
+	if a.CanBackMerge(big, 1024) {
+		t.Error("merge over size cap allowed")
+	}
+}
+
+func TestFrontMergePredicate(t *testing.T) {
+	a := NewRequest(Read, 100, 8, true, 1)
+	if !a.CanFrontMerge(NewRequest(Read, 92, 8, true, 1), 1024) {
+		t.Error("front-adjacent read rejected")
+	}
+	if a.CanFrontMerge(NewRequest(Read, 90, 8, true, 1), 1024) {
+		t.Error("gapped front merge allowed")
+	}
+}
+
+func TestMergeExtendsExtentAndCallbacks(t *testing.T) {
+	eng := sim.New(1)
+	a := NewRequest(Write, 100, 8, false, 1)
+	b := NewRequest(Write, 108, 8, false, 1)
+	c := NewRequest(Write, 92, 8, false, 1)
+	var done []string
+	a.OnComplete = func(*Request) { done = append(done, "a") }
+	b.OnComplete = func(*Request) { done = append(done, "b") }
+	c.OnComplete = func(*Request) { done = append(done, "c") }
+	a.BackMerge(b)
+	if a.Sector != 100 || a.Count != 16 {
+		t.Fatalf("after back merge: %v", a)
+	}
+	a.FrontMerge(c)
+	if a.Sector != 92 || a.Count != 24 {
+		t.Fatalf("after front merge: %v", a)
+	}
+	a.finish(eng.Now())
+	if len(done) != 3 {
+		t.Fatalf("callbacks fired: %v", done)
+	}
+}
+
+// stubDevice services requests after a fixed latency.
+type stubDevice struct {
+	eng     *sim.Engine
+	latency sim.Duration
+	served  []*Request
+	maxSeen int
+	active  int
+}
+
+func (d *stubDevice) Service(r *Request, done func()) {
+	d.active++
+	if d.active > d.maxSeen {
+		d.maxSeen = d.active
+	}
+	d.served = append(d.served, r)
+	d.eng.Schedule(d.latency, func() {
+		d.active--
+		done()
+	})
+}
+
+// fifoElv is a minimal elevator for queue-level tests.
+type fifoElv struct{ q []*Request }
+
+func (f *fifoElv) Name() string                 { return "fifo" }
+func (f *fifoElv) Add(r *Request, _ sim.Time)   { f.q = append(f.q, r) }
+func (f *fifoElv) Completed(*Request, sim.Time) {}
+func (f *fifoElv) Pending() int                 { return len(f.q) }
+func (f *fifoElv) Dispatch(_ sim.Time) (*Request, sim.Time) {
+	if len(f.q) == 0 {
+		return nil, 0
+	}
+	r := f.q[0]
+	f.q = f.q[1:]
+	return r, 0
+}
+
+func newTestQueue(depth int) (*sim.Engine, *Queue, *stubDevice) {
+	eng := sim.New(1)
+	dev := &stubDevice{eng: eng, latency: sim.Millisecond}
+	q := NewQueue(eng, &fifoElv{}, dev, depth)
+	return eng, q, dev
+}
+
+func TestQueueDispatchAndComplete(t *testing.T) {
+	eng, q, dev := newTestQueue(1)
+	completed := 0
+	for i := 0; i < 5; i++ {
+		r := NewRequest(Read, int64(i*10), 4, true, 1)
+		r.OnComplete = func(*Request) { completed++ }
+		q.Submit(r)
+	}
+	eng.Run()
+	if completed != 5 || len(dev.served) != 5 {
+		t.Fatalf("completed=%d served=%d", completed, len(dev.served))
+	}
+	if dev.maxSeen != 1 {
+		t.Fatalf("device saw %d concurrent requests with depth 1", dev.maxSeen)
+	}
+	st := q.Stats()
+	if st.ReadRequests != 5 || st.ReadBytes != 5*4*SectorSize {
+		t.Fatalf("stats: %+v", st)
+	}
+	if q.Pending() != 0 || q.InFlight() != 0 {
+		t.Fatalf("queue not drained: pending=%d inflight=%d", q.Pending(), q.InFlight())
+	}
+}
+
+func TestQueueDepthRespected(t *testing.T) {
+	eng, q, dev := newTestQueue(3)
+	for i := 0; i < 10; i++ {
+		q.Submit(NewRequest(Write, int64(i*10), 4, false, 1))
+	}
+	eng.Run()
+	if dev.maxSeen != 3 {
+		t.Fatalf("max concurrent = %d, want 3", dev.maxSeen)
+	}
+	if q.Stats().WriteRequests != 10 {
+		t.Fatalf("write count %d", q.Stats().WriteRequests)
+	}
+}
+
+func TestQueueTimestamps(t *testing.T) {
+	eng, q, _ := newTestQueue(1)
+	var r1, r2 *Request
+	r1 = NewRequest(Read, 0, 4, true, 1)
+	r2 = NewRequest(Read, 10, 4, true, 1)
+	q.Submit(r1)
+	q.Submit(r2)
+	eng.Run()
+	if r1.Issued != 0 || r1.Dispatched != 0 {
+		t.Fatalf("r1 times: issued=%v dispatched=%v", r1.Issued, r1.Dispatched)
+	}
+	if r1.Completed != sim.Time(sim.Millisecond) {
+		t.Fatalf("r1 completed at %v", r1.Completed)
+	}
+	// r2 waits for r1's service.
+	if r2.Dispatched != sim.Time(sim.Millisecond) {
+		t.Fatalf("r2 dispatched at %v", r2.Dispatched)
+	}
+	if q.Stats().TotalWait != sim.Duration(3*sim.Millisecond) {
+		t.Fatalf("total wait %v", q.Stats().TotalWait)
+	}
+}
+
+func TestQueueDoubleSubmitPanics(t *testing.T) {
+	eng, q, _ := newTestQueue(1)
+	r := NewRequest(Read, 0, 4, true, 1)
+	q.Submit(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double submit did not panic")
+		}
+	}()
+	q.Submit(r)
+	eng.Run()
+}
+
+func TestElevatorSwitchDrainsAndReplays(t *testing.T) {
+	eng, q, dev := newTestQueue(1)
+	for i := 0; i < 4; i++ {
+		q.Submit(NewRequest(Write, int64(i*10), 4, false, 1))
+	}
+	switched := false
+	newElv := &fifoElv{}
+	q.SetElevator(newElv, 10*sim.Millisecond, func() { switched = true })
+	if !q.Switching() {
+		t.Fatal("not switching after SetElevator")
+	}
+	// Requests submitted mid-switch are held back.
+	late := NewRequest(Write, 100, 4, false, 1)
+	q.Submit(late)
+	eng.Run()
+	if !switched {
+		t.Fatal("switch never completed")
+	}
+	if q.Elevator() != newElv {
+		t.Fatal("new elevator not installed")
+	}
+	if len(dev.served) != 5 {
+		t.Fatalf("served %d, want 5 (4 drained + 1 replayed)", len(dev.served))
+	}
+	// The backlogged request must be served last, after the drain + stall.
+	if dev.served[4] != late {
+		t.Fatal("backlogged request not replayed after switch")
+	}
+	st := q.Stats()
+	if st.Switches != 1 {
+		t.Fatalf("switches = %d", st.Switches)
+	}
+	// Drain took 4ms of service + 10ms re-init.
+	if st.SwitchStall < sim.Duration(14*sim.Millisecond) {
+		t.Fatalf("switch stall %v too small", st.SwitchStall)
+	}
+}
+
+func TestElevatorSwitchOnIdleQueue(t *testing.T) {
+	eng, q, _ := newTestQueue(1)
+	done := false
+	q.SetElevator(&fifoElv{}, 5*sim.Millisecond, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("idle switch did not complete")
+	}
+	if eng.Now() != sim.Time(5*sim.Millisecond) {
+		t.Fatalf("idle switch took %v, want exactly the re-init stall", eng.Now())
+	}
+}
+
+func TestCoalescedSwitches(t *testing.T) {
+	eng, q, _ := newTestQueue(1)
+	q.Submit(NewRequest(Write, 0, 4, false, 1))
+	first := &fifoElv{}
+	second := &fifoElv{}
+	n := 0
+	q.SetElevator(first, sim.Millisecond, func() { n++ })
+	q.SetElevator(second, sim.Millisecond, func() { n++ })
+	eng.Run()
+	if q.Elevator() != second {
+		t.Fatal("latest switch target did not win")
+	}
+	if n != 2 {
+		t.Fatalf("both callbacks should fire, got %d", n)
+	}
+}
+
+func TestOnCompleteHook(t *testing.T) {
+	eng, q, _ := newTestQueue(1)
+	var bytes int64
+	q.OnComplete = func(r *Request) { bytes += r.Bytes() }
+	q.Submit(NewRequest(Read, 0, 8, true, 1))
+	q.Submit(NewRequest(Write, 100, 8, false, 1))
+	eng.Run()
+	if bytes != 16*SectorSize {
+		t.Fatalf("hook saw %d bytes", bytes)
+	}
+}

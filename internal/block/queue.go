@@ -1,0 +1,234 @@
+package block
+
+import (
+	"fmt"
+
+	"adaptmr/internal/sim"
+)
+
+// Elevator is the I/O scheduler plugged into a Queue. Implementations live
+// in internal/iosched (noop, deadline, anticipatory, cfq).
+//
+// The Queue calls Add when a request enters the elevator (after the elevator
+// performs any merging), Dispatch when the device has capacity, and
+// Completed when the device finishes a request (anticipatory and CFQ use
+// completions to drive idling decisions).
+type Elevator interface {
+	// Name returns the registry name ("noop", "deadline", "anticipatory",
+	// "cfq").
+	Name() string
+	// Add inserts a request, merging it into queued requests if possible.
+	Add(r *Request, now sim.Time)
+	// Dispatch returns the next request to service. It may return (nil,
+	// wake) with wake > now to indicate it is deliberately idling (e.g.
+	// anticipation) and should be polled again at wake, or (nil, 0) if it
+	// has nothing to do.
+	Dispatch(now sim.Time) (*Request, sim.Time)
+	// Completed notifies the elevator that a dispatched request finished.
+	Completed(r *Request, now sim.Time)
+	// Pending returns the number of queued (not yet dispatched) requests.
+	Pending() int
+}
+
+// Device services dispatched requests; it is the physical disk under the
+// Dom0 queue and the blkfront/blkback ring under a guest queue.
+type Device interface {
+	// Service starts the request and invokes done exactly once on
+	// completion. The Queue enforces its dispatch depth; Service is never
+	// called with more than depth outstanding requests.
+	Service(r *Request, done func())
+}
+
+// QueueStats aggregates what flowed through a queue.
+type QueueStats struct {
+	ReadRequests   int64
+	WriteRequests  int64
+	ReadBytes      int64
+	WriteBytes     int64
+	MergedRequests int64
+	TotalWait      sim.Duration // time from Issued to Completed, summed
+	Switches       int          // elevator switches performed
+	SwitchStall    sim.Duration // total time submissions were blocked by switching
+}
+
+// Queue binds an elevator to a device, mirroring a Linux request queue.
+type Queue struct {
+	eng   *sim.Engine
+	elv   Elevator
+	dev   Device
+	depth int
+
+	inflight int
+	wake     *sim.Event
+
+	switching   bool
+	switchStart sim.Time
+	backlog     []*Request
+	nextElv     Elevator
+	switchStall sim.Duration
+	onSwitched  []func()
+
+	stats QueueStats
+
+	// OnComplete, if set, observes every completed request (used by the
+	// throughput tracer for Fig 3).
+	OnComplete func(r *Request)
+}
+
+// NewQueue creates a queue dispatching at most depth requests into dev.
+func NewQueue(eng *sim.Engine, elv Elevator, dev Device, depth int) *Queue {
+	if depth <= 0 {
+		panic("block: queue depth must be positive")
+	}
+	return &Queue{eng: eng, elv: elv, dev: dev, depth: depth}
+}
+
+// Elevator returns the currently installed elevator.
+func (q *Queue) Elevator() Elevator { return q.elv }
+
+// Stats returns a snapshot of the queue counters.
+func (q *Queue) Stats() QueueStats { return q.stats }
+
+// Pending returns queued + backlogged + in-flight request count.
+func (q *Queue) Pending() int {
+	return q.elv.Pending() + len(q.backlog) + q.inflight
+}
+
+// InFlight returns the number of requests currently at the device.
+func (q *Queue) InFlight() int { return q.inflight }
+
+// Switching reports whether an elevator switch is draining.
+func (q *Queue) Switching() bool { return q.switching }
+
+// Submit hands a request to the queue. During an elevator switch new
+// requests are held back (the sysfs switch path blocks submitters while the
+// old elevator drains), which is the physical origin of the paper's switch
+// cost.
+func (q *Queue) Submit(r *Request) {
+	if r.state != stateNew {
+		panic(fmt.Sprintf("block: re-submitting request %v", r))
+	}
+	r.state = stateQueued
+	r.Issued = q.eng.Now()
+	if q.switching {
+		q.backlog = append(q.backlog, r)
+		return
+	}
+	q.elv.Add(r, q.eng.Now())
+	q.kick()
+}
+
+// SetElevator switches the queue to a new elevator: dispatching continues
+// from the old elevator until it fully drains, new submissions stall, then
+// after reinit (the sysfs/elevator_init overhead) the new elevator takes
+// over cold and the backlog replays. onDone fires when the switch finishes.
+//
+// Switching to an elevator with the same name still drains — the paper
+// observes that re-assigning the same pair through the switch command is
+// costly.
+func (q *Queue) SetElevator(elv Elevator, reinit sim.Duration, onDone func()) {
+	if elv == nil {
+		panic("block: nil elevator")
+	}
+	if q.switching {
+		// Coalesce: the most recent target wins.
+		q.nextElv = elv
+		if onDone != nil {
+			q.onSwitched = append(q.onSwitched, onDone)
+		}
+		return
+	}
+	q.switching = true
+	q.switchStart = q.eng.Now()
+	q.nextElv = elv
+	q.switchStall = reinit
+	if onDone != nil {
+		q.onSwitched = append(q.onSwitched, onDone)
+	}
+	q.stats.Switches++
+	q.maybeFinishSwitch()
+	q.kick()
+}
+
+func (q *Queue) maybeFinishSwitch() {
+	if !q.switching || q.elv.Pending() > 0 || q.inflight > 0 {
+		return
+	}
+	stall := q.switchStall
+	q.eng.Schedule(stall, func() {
+		q.elv = q.nextElv
+		q.nextElv = nil
+		q.switching = false
+		q.stats.SwitchStall += q.eng.Now().Sub(q.switchStart)
+		backlog := q.backlog
+		q.backlog = nil
+		now := q.eng.Now()
+		for _, r := range backlog {
+			q.elv.Add(r, now)
+		}
+		done := q.onSwitched
+		q.onSwitched = nil
+		q.kick()
+		for _, fn := range done {
+			fn()
+		}
+	})
+}
+
+// kick dispatches requests while the device has capacity.
+func (q *Queue) kick() {
+	if q.wake != nil {
+		q.wake.Cancel()
+		q.wake = nil
+	}
+	for q.inflight < q.depth {
+		r, wakeAt := q.elv.Dispatch(q.eng.Now())
+		if r == nil {
+			if wakeAt > q.eng.Now() {
+				q.wake = q.eng.At(wakeAt, func() {
+					q.wake = nil
+					q.kick()
+				})
+			}
+			return
+		}
+		if r.state != stateQueued {
+			panic(fmt.Sprintf("block: dispatching request in state %d: %v", r.state, r))
+		}
+		r.state = stateDispatched
+		r.Dispatched = q.eng.Now()
+		q.inflight++
+		req := r
+		q.dev.Service(req, func() { q.complete(req) })
+	}
+}
+
+func (q *Queue) complete(r *Request) {
+	if r.state != stateDispatched {
+		panic(fmt.Sprintf("block: completing request in state %d: %v", r.state, r))
+	}
+	q.inflight--
+	now := q.eng.Now()
+	// The parent extent already covers every merged child, so byte counters
+	// are accounted once via the parent.
+	q.account(r)
+	q.stats.MergedRequests += int64(len(r.merged))
+	q.elv.Completed(r, now)
+	r.finish(now)
+	if q.OnComplete != nil {
+		q.OnComplete(r)
+	}
+	q.maybeFinishSwitch()
+	q.kick()
+}
+
+func (q *Queue) account(r *Request) {
+	if r.Op == Read {
+		q.stats.ReadRequests++
+		q.stats.ReadBytes += r.Count * SectorSize
+	} else {
+		q.stats.WriteRequests++
+		q.stats.WriteBytes += r.Count * SectorSize
+	}
+	q.stats.TotalWait += q.eng.Now().Sub(r.Issued)
+}

@@ -1,0 +1,141 @@
+package block
+
+import (
+	"testing"
+
+	"adaptmr/internal/sim"
+)
+
+// mergeElv merges adjacent same-stream requests like a real elevator, to
+// exercise the queue's merged-completion accounting.
+type mergeElv struct {
+	q   []*Request
+	max int64
+}
+
+func (m *mergeElv) Name() string { return "merge" }
+func (m *mergeElv) Add(r *Request, _ sim.Time) {
+	for _, q := range m.q {
+		if q.CanBackMerge(r, m.max) {
+			q.BackMerge(r)
+			return
+		}
+	}
+	m.q = append(m.q, r)
+}
+func (m *mergeElv) Completed(*Request, sim.Time) {}
+func (m *mergeElv) Pending() int                 { return len(m.q) }
+func (m *mergeElv) Dispatch(_ sim.Time) (*Request, sim.Time) {
+	if len(m.q) == 0 {
+		return nil, 0
+	}
+	r := m.q[0]
+	m.q = m.q[1:]
+	return r, 0
+}
+
+func TestMergedCompletionAccounting(t *testing.T) {
+	eng := sim.New(1)
+	dev := &stubDevice{eng: eng, latency: sim.Millisecond}
+	q := NewQueue(eng, &mergeElv{max: 1024}, dev, 1)
+
+	fired := 0
+	for i := 0; i < 4; i++ {
+		r := NewRequest(Write, int64(100+i*8), 8, false, 1)
+		r.OnComplete = func(*Request) { fired++ }
+		q.Submit(r)
+	}
+	eng.Run()
+	if fired != 4 {
+		t.Fatalf("completions %d, want 4 (merged children must complete)", fired)
+	}
+	st := q.Stats()
+	// The first request dispatched immediately (empty queue); the other
+	// three arrived while it was in flight and coalesced into one request
+	// with two merged children. Byte accounting must not double count.
+	if st.WriteBytes != 32*SectorSize {
+		t.Fatalf("write bytes %d (double counting?)", st.WriteBytes)
+	}
+	if st.MergedRequests != 2 {
+		t.Fatalf("merged %d", st.MergedRequests)
+	}
+	if len(dev.served) != 2 {
+		t.Fatalf("device served %d requests, want 2", len(dev.served))
+	}
+}
+
+// wakeElv returns a future wake time until its release time passes, to
+// exercise the queue's wake scheduling.
+type wakeElv struct {
+	q       []*Request
+	release sim.Time
+}
+
+func (w *wakeElv) Name() string                 { return "wake" }
+func (w *wakeElv) Add(r *Request, _ sim.Time)   { w.q = append(w.q, r) }
+func (w *wakeElv) Completed(*Request, sim.Time) {}
+func (w *wakeElv) Pending() int                 { return len(w.q) }
+func (w *wakeElv) Dispatch(now sim.Time) (*Request, sim.Time) {
+	if len(w.q) == 0 {
+		return nil, 0
+	}
+	if now < w.release {
+		return nil, w.release
+	}
+	r := w.q[0]
+	w.q = w.q[1:]
+	return r, 0
+}
+
+func TestQueueHonoursWakeHints(t *testing.T) {
+	eng := sim.New(1)
+	dev := &stubDevice{eng: eng, latency: sim.Millisecond}
+	elv := &wakeElv{release: sim.Time(50 * sim.Millisecond)}
+	q := NewQueue(eng, elv, dev, 1)
+	var completedAt sim.Time
+	r := NewRequest(Read, 0, 8, true, 1)
+	r.OnComplete = func(*Request) { completedAt = eng.Now() }
+	q.Submit(r)
+	eng.Run()
+	want := sim.Time(51 * sim.Millisecond) // held until release, then 1ms service
+	if completedAt != want {
+		t.Fatalf("completed at %v, want %v", completedAt, want)
+	}
+}
+
+func TestSwitchStatsOnLoadedQueue(t *testing.T) {
+	eng := sim.New(1)
+	dev := &stubDevice{eng: eng, latency: sim.Millisecond}
+	q := NewQueue(eng, &fifoElv{}, dev, 1)
+	for i := 0; i < 3; i++ {
+		q.Submit(NewRequest(Write, int64(i*100), 8, false, 1))
+	}
+	q.SetElevator(&fifoElv{}, 2*sim.Millisecond, nil)
+	eng.Run()
+	st := q.Stats()
+	// Drain = 3 × 1ms service + 2ms re-init.
+	if st.SwitchStall != sim.Duration(5*sim.Millisecond) {
+		t.Fatalf("stall %v, want 5ms", st.SwitchStall)
+	}
+}
+
+func TestNilElevatorPanics(t *testing.T) {
+	eng := sim.New(1)
+	q := NewQueue(eng, &fifoElv{}, &stubDevice{eng: eng}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	q.SetElevator(nil, 0, nil)
+}
+
+func TestZeroDepthPanics(t *testing.T) {
+	eng := sim.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewQueue(eng, &fifoElv{}, &stubDevice{eng: eng}, 0)
+}

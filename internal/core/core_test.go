@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/sim"
+	"adaptmr/internal/workloads"
+)
+
+var (
+	cc = iosched.Pair{VMM: iosched.CFQ, VM: iosched.CFQ}
+	ad = iosched.Pair{VMM: iosched.Anticipatory, VM: iosched.Deadline}
+	dd = iosched.Pair{VMM: iosched.Deadline, VM: iosched.Deadline}
+	nc = iosched.Pair{VMM: iosched.Noop, VM: iosched.CFQ}
+)
+
+func TestPlanBasics(t *testing.T) {
+	p := NewPlan(TwoPhases, ad, cc)
+	if p.NumSwitches() != 1 {
+		t.Fatalf("switches = %d", p.NumSwitches())
+	}
+	sw := p.Switches()
+	if sw[0] || !sw[1] {
+		t.Fatalf("switch flags %v", sw)
+	}
+	if p.String() != "[(Anticipatory, Deadline) → (CFQ, CFQ)]" {
+		t.Fatalf("string %q", p)
+	}
+}
+
+func TestPlanNoSwitchRendersZero(t *testing.T) {
+	p := Uniform(ThreePhases, cc)
+	if p.NumSwitches() != 0 {
+		t.Fatalf("switches = %d", p.NumSwitches())
+	}
+	if p.String() != "[(CFQ, CFQ) → 0 → 0]" {
+		t.Fatalf("string %q", p)
+	}
+}
+
+func TestPlanWrongArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPlan(TwoPhases, cc)
+}
+
+func TestRuntimePairsAndKeys(t *testing.T) {
+	two := NewPlan(TwoPhases, ad, cc)
+	three := NewPlan(ThreePhases, ad, cc, cc)
+	if two.Key() != three.Key() {
+		t.Fatalf("equivalent plans have different keys: %q vs %q", two.Key(), three.Key())
+	}
+	distinct := NewPlan(ThreePhases, ad, cc, dd)
+	if distinct.Key() == three.Key() {
+		t.Fatal("distinct plans share a key")
+	}
+	rt := two.RuntimePairs()
+	if rt[0] != ad || rt[1] != cc || rt[2] != cc {
+		t.Fatalf("runtime pairs %v", rt)
+	}
+}
+
+func TestProfilePhaseDurations(t *testing.T) {
+	p := Profile{Pair: cc, ByPhase: [3]sim.Duration{10, 2, 8}}
+	if p.PhaseDuration(TwoPhases, 0) != 10 {
+		t.Fatal("two-phase map duration")
+	}
+	if p.PhaseDuration(TwoPhases, 1) != 10 {
+		t.Fatal("two-phase merged duration should be shuffle+reduce")
+	}
+	if p.PhaseDuration(ThreePhases, 1) != 2 {
+		t.Fatal("three-phase shuffle duration")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range phase")
+		}
+	}()
+	p.PhaseDuration(TwoPhases, 2)
+}
+
+func testRunner() *Runner {
+	cfg := cluster.DefaultConfig()
+	cfg.Hosts = 2
+	cfg.VMsPerHost = 2
+	return NewRunner(cfg, workloads.Sort(96<<20).Job)
+}
+
+func TestRunnerMemoisation(t *testing.T) {
+	r := testRunner()
+	plan := Uniform(TwoPhases, cc)
+	a := r.Run(plan)
+	if r.Evaluations != 1 {
+		t.Fatalf("evaluations = %d", r.Evaluations)
+	}
+	b := r.Run(plan)
+	if r.Evaluations != 1 {
+		t.Fatal("memoisation miss for identical plan")
+	}
+	if a.Duration != b.Duration {
+		t.Fatal("memoised result differs")
+	}
+	// Equivalent three-phase plan shares the cache entry.
+	c := r.Run(Uniform(ThreePhases, cc))
+	if r.Evaluations != 1 || c.Duration != a.Duration {
+		t.Fatal("equivalent plan not memoised")
+	}
+}
+
+func TestRunnerDeterminism(t *testing.T) {
+	a := testRunner().Run(Uniform(TwoPhases, ad))
+	b := testRunner().Run(Uniform(TwoPhases, ad))
+	if a.Duration != b.Duration {
+		t.Fatalf("nondeterministic: %v vs %v", a.Duration, b.Duration)
+	}
+}
+
+func TestSwitchingPlanPaysStall(t *testing.T) {
+	r := testRunner()
+	uniform := r.Run(Uniform(TwoPhases, cc))
+	switching := r.Run(NewPlan(TwoPhases, cc, dd))
+	if uniform.SwitchStall != 0 {
+		t.Fatalf("uniform plan stalled %v", uniform.SwitchStall)
+	}
+	if switching.SwitchStall <= 0 {
+		t.Fatal("switching plan shows no stall")
+	}
+}
+
+func TestProfilePairsShape(t *testing.T) {
+	r := testRunner()
+	pairs := []iosched.Pair{cc, ad, nc}
+	profs := r.ProfilePairs(pairs)
+	if len(profs) != 3 {
+		t.Fatalf("profiles = %d", len(profs))
+	}
+	for i, p := range profs {
+		if p.Pair != pairs[i] {
+			t.Fatalf("profile %d pair %v", i, p.Pair)
+		}
+		sum := p.ByPhase[0] + p.ByPhase[1] + p.ByPhase[2]
+		if sum != p.Total {
+			t.Fatalf("phases %v do not sum to total %v", p.ByPhase, p.Total)
+		}
+	}
+	if _, ok := ProfileFor(profs, ad); !ok {
+		t.Fatal("ProfileFor miss")
+	}
+	if _, ok := ProfileFor(profs, dd); ok {
+		t.Fatal("ProfileFor false hit")
+	}
+	best := BestSingle(profs)
+	for _, p := range profs {
+		if p.Total < best.Total {
+			t.Fatal("BestSingle not minimal")
+		}
+	}
+}
+
+func TestHeuristicNeverWorseThanBestSingle(t *testing.T) {
+	r := testRunner()
+	h := Heuristic(r, TwoPhases, []iosched.Pair{cc, ad, dd, nc})
+	if h.Duration > h.BestSingle.Duration {
+		t.Fatalf("adaptive %v worse than best single %v", h.Duration, h.BestSingle.Duration)
+	}
+	if h.Duration > h.Default.Duration {
+		t.Fatalf("adaptive %v worse than default %v", h.Duration, h.Default.Duration)
+	}
+	if len(h.Decisions) != 2 {
+		t.Fatalf("decisions = %d", len(h.Decisions))
+	}
+	if h.Evaluations <= 0 {
+		t.Fatal("no evaluations recorded")
+	}
+	if h.ImprovementOverDefault() < 0 || h.ImprovementOverBestSingle() < 0 {
+		t.Fatal("negative improvement despite fallback guarantee")
+	}
+}
+
+func TestHeuristicMatchesBruteForceOnSmallSet(t *testing.T) {
+	r := testRunner()
+	cands := []iosched.Pair{cc, ad, nc}
+	h := Heuristic(r, TwoPhases, cands)
+	bf := BruteForce(r, TwoPhases, cands)
+	// The heuristic is greedy: it need not be optimal, but on this small
+	// set it must be within 10% of the optimum.
+	if float64(h.Duration) > 1.10*float64(bf.Duration) {
+		t.Fatalf("heuristic %v far from optimum %v", h.Duration, bf.Duration)
+	}
+	if bf.Duration > h.Duration {
+		t.Fatal("brute force worse than heuristic (search bug)")
+	}
+}
+
+func TestHeuristicDefaultCandidates(t *testing.T) {
+	r := testRunner()
+	h := Heuristic(r, TwoPhases, nil)
+	if len(h.Profiles) != 16 {
+		t.Fatalf("profiles = %d, want all pairs", len(h.Profiles))
+	}
+}
+
+func TestBruteForceEvaluatesAllPlans(t *testing.T) {
+	r := testRunner()
+	cands := []iosched.Pair{cc, ad}
+	BruteForce(r, TwoPhases, cands)
+	// 2^2 = 4 plans, but [cc,cc],[ad,ad],[cc,ad],[ad,cc]: all distinct keys.
+	if r.Evaluations != 4 {
+		t.Fatalf("evaluations = %d, want 4", r.Evaluations)
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if TwoPhases.String() != "2-phase" || ThreePhases.String() != "3-phase" {
+		t.Fatal("scheme strings")
+	}
+	if TwoPhases.Phases() != 2 || ThreePhases.Phases() != 3 {
+		t.Fatal("phase counts")
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"adaptmr/internal/block"
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/mapred"
+	"adaptmr/internal/sim"
+)
+
+// FineGrained is the paper's future-work controller (Section VII): instead
+// of switching at globally synchronised job phase boundaries, each host
+// monitors its own VMs' I/O — the read/write mix and the queue pressure —
+// and reactively installs the pair that suits the current regime. It needs
+// no knowledge of the job at all, which restores the paper's "MapReduce
+// stays virtualization-unaware" property even for multi-job clusters where
+// the phase boundaries of individual jobs lose meaning.
+//
+// The policy is deliberately simple (the paper sketches exactly this much):
+// classify each sampling window by the synchronous-read share of the
+// host's completed bytes, then map regimes to pairs:
+//
+//	read-dominated   → ReadPair   (default: Anticipatory in Dom0)
+//	write-dominated  → WritePair  (default: CFQ in Dom0)
+//	mixed            → MixedPair  (default: the current pair — no switch)
+//
+// Switches are rate-limited by MinDwell and suppressed while a previous
+// switch is still draining, because every command costs a drain + re-init
+// (Fig 5).
+type FineGrained struct {
+	// SampleEvery is the monitoring window.
+	SampleEvery sim.Duration
+	// MinDwell is the minimum time between switch commands on one host.
+	MinDwell sim.Duration
+	// ReadShareHigh and ReadShareLow split the regimes: above High is
+	// read-dominated, below Low is write-dominated.
+	ReadShareHigh float64
+	ReadShareLow  float64
+	// MinBytes per window below which the sample is ignored (idle host).
+	MinBytes int64
+
+	// Regime targets.
+	ReadPair  iosched.Pair
+	WritePair iosched.Pair
+
+	// Switches counts the commands issued (all hosts).
+	Switches int
+}
+
+// DefaultFineGrained returns the controller with the regime mapping the
+// coarse-grained study suggests: anticipation for read phases, CFQ for
+// write-heavy phases.
+func DefaultFineGrained() *FineGrained {
+	return &FineGrained{
+		SampleEvery:   2 * sim.Second,
+		MinDwell:      20 * sim.Second,
+		ReadShareHigh: 0.6,
+		ReadShareLow:  0.25,
+		MinBytes:      4 << 20,
+		ReadPair:      iosched.Pair{VMM: iosched.Anticipatory, VM: iosched.CFQ},
+		WritePair:     iosched.Pair{VMM: iosched.CFQ, VM: iosched.CFQ},
+	}
+}
+
+// hostMonitor tracks one host's completed I/O inside the current window.
+type hostMonitor struct {
+	readBytes  int64
+	writeBytes int64
+	lastSwitch sim.Time
+	stop       bool
+}
+
+// Attach installs the controller on every host of the cluster. It must be
+// called before the workload starts; monitoring runs until the event
+// calendar drains or Detach is called.
+func (fg *FineGrained) Attach(cl *cluster.Cluster) (detach func()) {
+	mons := make([]*hostMonitor, len(cl.Hosts))
+	for i, h := range cl.Hosts {
+		// Start with the dwell budget already available so the controller
+		// can react to the opening regime.
+		mon := &hostMonitor{lastSwitch: cl.Eng.Now().Add(-fg.MinDwell)}
+		mons[i] = mon
+		q := h.Dom0Queue()
+		prev := q.OnComplete
+		q.OnComplete = func(r *block.Request) {
+			if prev != nil {
+				prev(r)
+			}
+			if r.Op == block.Read {
+				mon.readBytes += r.Bytes()
+			} else {
+				mon.writeBytes += r.Bytes()
+			}
+		}
+		host := h
+		var tick func()
+		tick = func() {
+			if mon.stop {
+				return
+			}
+			fg.evaluate(cl, host.ID, mon)
+			// Re-arm only while the host still has activity ahead; an
+			// always-armed timer would keep the calendar alive forever.
+			if !mon.stop {
+				cl.Eng.Schedule(fg.SampleEvery, tick)
+			}
+		}
+		cl.Eng.Schedule(fg.SampleEvery, tick)
+	}
+	return func() {
+		for _, m := range mons {
+			m.stop = true
+		}
+	}
+}
+
+// evaluate classifies the window and switches the host's pair if the
+// regime calls for a different one.
+func (fg *FineGrained) evaluate(cl *cluster.Cluster, hostID int, mon *hostMonitor) {
+	host := cl.Hosts[hostID]
+	total := mon.readBytes + mon.writeBytes
+	readShare := 0.0
+	if total > 0 {
+		readShare = float64(mon.readBytes) / float64(total)
+	}
+	mon.readBytes, mon.writeBytes = 0, 0
+
+	if total < fg.MinBytes || host.Switching() {
+		return
+	}
+	now := cl.Eng.Now()
+	if now.Sub(mon.lastSwitch) < fg.MinDwell {
+		return
+	}
+
+	var want iosched.Pair
+	switch {
+	case readShare >= fg.ReadShareHigh:
+		want = fg.ReadPair
+	case readShare <= fg.ReadShareLow:
+		want = fg.WritePair
+	default:
+		return // mixed regime: keep whatever is installed
+	}
+	if host.Pair() == want {
+		return
+	}
+	mon.lastSwitch = now
+	fg.Switches++
+	host.SetPair(want, nil)
+}
+
+// RunFineGrained executes a job under the reactive controller on a fresh
+// cluster and returns the result plus the number of switches issued.
+func RunFineGrained(cc cluster.Config, job mapred.Config, fg *FineGrained) (mapred.Result, int) {
+	if fg == nil {
+		fg = DefaultFineGrained()
+	}
+	cl := cluster.New(cc)
+	detach := fg.Attach(cl)
+	j := mapred.NewJob(cl, job)
+	j.Start(func(*mapred.Job) { detach() })
+	cl.Eng.Run()
+	if !j.Done() {
+		panic("core: fine-grained run did not complete")
+	}
+	return j.Result(), fg.Switches
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sort"
+
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/sim"
+)
+
+// Decision records one phase's search in the heuristic trace.
+type Decision struct {
+	Phase     int
+	Ranked    []iosched.Pair // candidates in profiled order (best first)
+	Tried     int            // how many candidates were evaluated
+	Chosen    iosched.Pair
+	NoSwitch  bool           // chosen pair equals the previous phase's (0 entry)
+	BestTimes []sim.Duration // measured end-to-end time per tried candidate
+}
+
+// HeuristicResult is the full outcome of the meta-scheduler search.
+type HeuristicResult struct {
+	Plan        Plan
+	Duration    sim.Duration
+	Profiles    []Profile
+	Decisions   []Decision
+	Evaluations int // job executions consumed (profiling + search)
+
+	// Reference points (from the profiling runs).
+	Default    RunResult // uniform (CFQ, CFQ)
+	BestSingle RunResult // best uniform plan
+
+	// FellBack reports that the greedy search produced a plan slower than
+	// the best single pair, so the meta-scheduler kept the uniform plan
+	// (it has both measurements in hand, so switching would be a known
+	// regression).
+	FellBack bool
+}
+
+// ImprovementOverDefault returns the fractional gain of the adaptive plan
+// versus the default (CFQ, CFQ) configuration.
+func (h HeuristicResult) ImprovementOverDefault() float64 {
+	return 1 - float64(h.Duration)/float64(h.Default.Duration)
+}
+
+// ImprovementOverBestSingle returns the fractional gain versus the best
+// single-pair configuration.
+func (h HeuristicResult) ImprovementOverBestSingle() float64 {
+	return 1 - float64(h.Duration)/float64(h.BestSingle.Duration)
+}
+
+// Heuristic runs the paper's Algorithm 1 over the candidate pairs.
+//
+// For each phase p_i (left to right), candidates are tried in the order of
+// their profiled per-phase score. Candidate j is compared against candidate
+// j+1 by executing the whole job with the already-fixed prefix Sol_{i-1},
+// the candidate at phase i, and S_{i+1} — the best joint pair for all
+// remaining phases — filling the suffix. While the next candidate measures
+// faster, the search advances; the first regression stops it (greedy
+// descent over the ranked list). The chosen pair becomes part of the
+// prefix; if it equals the previous phase's choice the switch command is
+// suppressed.
+func Heuristic(r *Runner, scheme Scheme, candidates []iosched.Pair) HeuristicResult {
+	if len(candidates) == 0 {
+		candidates = iosched.AllPairs()
+	}
+	startEvals := r.Evaluations
+	profiles := r.ProfilePairs(candidates)
+
+	res := HeuristicResult{Profiles: profiles}
+	if def, ok := ProfileFor(profiles, iosched.DefaultPair); ok {
+		res.Default = r.Run(Uniform(scheme, def.Pair))
+	} else {
+		res.Default = r.Run(Uniform(scheme, iosched.DefaultPair))
+	}
+	res.BestSingle = r.Run(Uniform(scheme, BestSingle(profiles).Pair))
+
+	P := scheme.Phases()
+	prefix := make([]iosched.Pair, 0, P)
+
+	for i := 0; i < P; i++ {
+		ranked := rankForPhase(profiles, scheme, i)
+		suffixBest := bestJointSuffix(profiles, scheme, i+1)
+
+		dec := Decision{Phase: i, Ranked: ranked}
+		eval := func(candidate iosched.Pair) sim.Duration {
+			plan := composePlan(scheme, prefix, candidate, suffixBest)
+			t := r.Run(plan).Duration
+			dec.BestTimes = append(dec.BestTimes, t)
+			return t
+		}
+
+		j := 0
+		cur := eval(ranked[j])
+		dec.Tried = 1
+		for j+1 < len(ranked) {
+			next := eval(ranked[j+1])
+			dec.Tried++
+			if next >= cur {
+				break
+			}
+			j, cur = j+1, next
+		}
+		dec.Chosen = ranked[j]
+		dec.NoSwitch = len(prefix) > 0 && prefix[len(prefix)-1] == ranked[j]
+		prefix = append(prefix, ranked[j])
+		res.Decisions = append(res.Decisions, dec)
+	}
+
+	res.Plan = Plan{Scheme: scheme, Pairs: prefix}
+	res.Duration = r.Run(res.Plan).Duration
+	if res.BestSingle.Duration < res.Duration {
+		res.Plan = res.BestSingle.Plan
+		res.Duration = res.BestSingle.Duration
+		res.FellBack = true
+	}
+	res.Evaluations = r.Evaluations - startEvals
+	return res
+}
+
+// rankForPhase orders candidates by their profiled duration of scheme
+// phase i (ascending: best first), breaking ties by total job time.
+func rankForPhase(profiles []Profile, scheme Scheme, i int) []iosched.Pair {
+	ps := append([]Profile(nil), profiles...)
+	sort.SliceStable(ps, func(a, b int) bool {
+		da, db := ps[a].PhaseDuration(scheme, i), ps[b].PhaseDuration(scheme, i)
+		if da != db {
+			return da < db
+		}
+		return ps[a].Total < ps[b].Total
+	})
+	out := make([]iosched.Pair, len(ps))
+	for k, p := range ps {
+		out[k] = p.Pair
+	}
+	return out
+}
+
+// bestJointSuffix returns S_{i+1}: the pair minimising the combined
+// duration of phases from..end, treating them as one integrated phase.
+func bestJointSuffix(profiles []Profile, scheme Scheme, from int) iosched.Pair {
+	if from >= scheme.Phases() {
+		return iosched.Pair{}
+	}
+	best := profiles[0].Pair
+	bestT := sim.Duration(1<<62 - 1)
+	for _, p := range profiles {
+		var t sim.Duration
+		for i := from; i < scheme.Phases(); i++ {
+			t += p.PhaseDuration(scheme, i)
+		}
+		if t < bestT {
+			best, bestT = p.Pair, t
+		}
+	}
+	return best
+}
+
+// composePlan builds prefix + candidate + suffix-filled plan.
+func composePlan(scheme Scheme, prefix []iosched.Pair, candidate iosched.Pair, suffix iosched.Pair) Plan {
+	pairs := make([]iosched.Pair, scheme.Phases())
+	copy(pairs, prefix)
+	pairs[len(prefix)] = candidate
+	for i := len(prefix) + 1; i < len(pairs); i++ {
+		pairs[i] = suffix
+	}
+	return Plan{Scheme: scheme, Pairs: pairs}
+}
+
+// BruteForce evaluates every possible assignment (S^P executions, memoised)
+// and returns the optimum. It exists to validate the heuristic's solution
+// quality in tests and ablation benches; the paper argues it is impractical
+// on real hardware.
+func BruteForce(r *Runner, scheme Scheme, candidates []iosched.Pair) RunResult {
+	if len(candidates) == 0 {
+		candidates = iosched.AllPairs()
+	}
+	P := scheme.Phases()
+	idx := make([]int, P)
+	var best RunResult
+	first := true
+	for {
+		pairs := make([]iosched.Pair, P)
+		for i, k := range idx {
+			pairs[i] = candidates[k]
+		}
+		res := r.Run(Plan{Scheme: scheme, Pairs: pairs})
+		if first || res.Duration < best.Duration {
+			best = res
+			first = false
+		}
+		// Increment the mixed-radix counter.
+		i := 0
+		for ; i < P; i++ {
+			idx[i]++
+			if idx[i] < len(candidates) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == P {
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/sim"
+)
+
+// Prediction model: the paper's long-term agenda includes "a general
+// prediction model for the scheduler switch" so that plans can be ranked
+// without executing them. The Predictor composes the two measurements the
+// meta-scheduler already owns — per-phase profiles (Fig 6) and the
+// switch-cost matrix (Fig 5) — into an additive estimate:
+//
+//	T(plan) ≈ Σ_i phaseDuration(pair_i, phase i) + Σ switches cost(prev → next)
+//
+// The estimate ignores cross-phase coupling (a pair's phase-2 time was
+// profiled after the same pair's phase 1, not after an arbitrary one), so
+// it is a heuristic ranking device; PredictError in the tests and benches
+// quantifies how well it orders plans against full simulations.
+type Predictor struct {
+	Profiles []Profile
+	// Cost returns the switching cost between states; nil treats switches
+	// as free.
+	Cost func(from, to iosched.Pair) sim.Duration
+}
+
+// NewPredictor builds a predictor from profiling data and an optional
+// switch-cost function.
+func NewPredictor(profiles []Profile, cost func(from, to iosched.Pair) sim.Duration) *Predictor {
+	if len(profiles) == 0 {
+		panic("core: predictor needs profiles")
+	}
+	return &Predictor{Profiles: profiles, Cost: cost}
+}
+
+// MatrixCost adapts a measured cost matrix (Fig 5 layout) into the
+// predictor's cost function.
+func MatrixCost(pairs []iosched.Pair, cost [][]sim.Duration) func(from, to iosched.Pair) sim.Duration {
+	idx := make(map[iosched.Pair]int, len(pairs))
+	for i, p := range pairs {
+		idx[p] = i
+	}
+	return func(from, to iosched.Pair) sim.Duration {
+		i, ok1 := idx[from]
+		j, ok2 := idx[to]
+		if !ok1 || !ok2 {
+			return 0
+		}
+		return cost[i][j]
+	}
+}
+
+// Predict estimates the plan's end-to-end time.
+func (p *Predictor) Predict(plan Plan) sim.Duration {
+	var t sim.Duration
+	for i, pair := range plan.Pairs {
+		prof, ok := ProfileFor(p.Profiles, pair)
+		if !ok {
+			panic("core: plan uses an unprofiled pair")
+		}
+		t += prof.PhaseDuration(plan.Scheme, i)
+		if i > 0 && p.Cost != nil && plan.Pairs[i] != plan.Pairs[i-1] {
+			t += p.Cost(plan.Pairs[i-1], plan.Pairs[i])
+		}
+	}
+	return t
+}
+
+// BestPlan enumerates every assignment over the profiled pairs (cheap —
+// no simulation) and returns the predicted optimum.
+func (p *Predictor) BestPlan(scheme Scheme) (Plan, sim.Duration) {
+	P := scheme.Phases()
+	idx := make([]int, P)
+	var best Plan
+	bestT := sim.Duration(1<<62 - 1)
+	for {
+		pairs := make([]iosched.Pair, P)
+		for i, k := range idx {
+			pairs[i] = p.Profiles[k].Pair
+		}
+		plan := Plan{Scheme: scheme, Pairs: pairs}
+		if t := p.Predict(plan); t < bestT {
+			best, bestT = plan, t
+		}
+		i := 0
+		for ; i < P; i++ {
+			idx[i]++
+			if idx[i] < len(p.Profiles) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == P {
+			break
+		}
+	}
+	return best, bestT
+}
+
+// PredictError runs the plan and returns (predicted − simulated) /
+// simulated, the predictor's relative error on that plan.
+func (p *Predictor) PredictError(r *Runner, plan Plan) float64 {
+	sim := r.Run(plan).Duration
+	if sim <= 0 {
+		return 0
+	}
+	pred := p.Predict(plan)
+	return float64(pred-sim) / float64(sim)
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/mapred"
+	"adaptmr/internal/sim"
+)
+
+// Runner executes MapReduce jobs under phase plans on fresh, deterministic
+// clusters. Every evaluation is a full simulated execution — exactly how
+// the paper's heuristic measures Hadoop_time — and results are memoised by
+// plan, since identical plans on identical clusters are reproducible.
+type Runner struct {
+	// ClusterConfig builds each evaluation's testbed.
+	ClusterConfig cluster.Config
+	// Job is the workload under tuning.
+	Job mapred.Config
+
+	// Evaluations counts actual (non-memoised) job executions.
+	Evaluations int
+
+	cache map[string]RunResult
+}
+
+// NewRunner creates a runner for the job on the given testbed.
+func NewRunner(cc cluster.Config, job mapred.Config) *Runner {
+	return &Runner{ClusterConfig: cc, Job: job, cache: make(map[string]RunResult)}
+}
+
+// Run executes the job under the plan (memoised).
+func (r *Runner) Run(plan Plan) RunResult {
+	if r.cache == nil {
+		r.cache = make(map[string]RunResult)
+	}
+	if res, ok := r.cache[plan.Key()]; ok {
+		return res
+	}
+	res := r.runOnce(plan)
+	r.cache[plan.Key()] = res
+	return res
+}
+
+func (r *Runner) runOnce(plan Plan) RunResult {
+	r.Evaluations++
+	cl := cluster.New(r.ClusterConfig)
+	// Phase 1's pair is installed before the job starts (clean boot
+	// install, no cost).
+	cl.InstallPair(plan.Pairs[0])
+	baseStall := totalStall(cl)
+
+	job := mapred.NewJob(cl, r.Job)
+
+	// Wire the switch commands to the runtime's phase boundary events; a
+	// repeated pair means "no switch command" (the paper's 0 entry).
+	rt := plan.RuntimePairs()
+	if rt[1] != rt[0] {
+		job.OnMapsDone(func() { cl.SetPairAll(rt[1], nil) })
+	}
+	if rt[2] != rt[1] {
+		job.OnShuffleDone(func() { cl.SetPairAll(rt[2], nil) })
+	}
+
+	job.Start(nil)
+	cl.Eng.Run()
+	if !job.Done() {
+		panic("core: job did not complete")
+	}
+	res := job.Result()
+	stall := totalStall(cl) - baseStall
+	return RunResult{Plan: plan, Duration: res.Duration, Job: res, SwitchStall: stall}
+}
+
+// totalStall sums switch stall time across every queue in the cluster.
+func totalStall(cl *cluster.Cluster) sim.Duration {
+	var stall sim.Duration
+	for _, h := range cl.Hosts {
+		stall += h.Dom0Queue().Stats().SwitchStall
+		for _, d := range h.Domains() {
+			stall += d.Queue().Stats().SwitchStall
+		}
+	}
+	return stall
+}
+
+// ProfilePairs runs the job once per pair with no switching and returns
+// per-phase durations — the profiling stage of the meta-scheduler and the
+// data behind Fig 6 and Fig 8.
+func (r *Runner) ProfilePairs(pairs []iosched.Pair) []Profile {
+	out := make([]Profile, 0, len(pairs))
+	for _, p := range pairs {
+		res := r.Run(Uniform(ThreePhases, p))
+		out = append(out, Profile{
+			Pair:  p,
+			Total: res.Duration,
+			ByPhase: [3]sim.Duration{
+				res.Job.PhaseDuration(mapred.PhaseMap),
+				res.Job.PhaseDuration(mapred.PhaseShuffle),
+				res.Job.PhaseDuration(mapred.PhaseReduce),
+			},
+			Result: res.Job,
+		})
+	}
+	return out
+}
+
+// BestSingle returns the profile with the lowest total time.
+func BestSingle(profiles []Profile) Profile {
+	best := profiles[0]
+	for _, p := range profiles[1:] {
+		if p.Total < best.Total {
+			best = p
+		}
+	}
+	return best
+}
+
+// ProfileFor returns the profile of a specific pair.
+func ProfileFor(profiles []Profile, pair iosched.Pair) (Profile, bool) {
+	for _, p := range profiles {
+		if p.Pair == pair {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,170 @@
+package cpusim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adaptmr/internal/sim"
+)
+
+func TestSingleBurst(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng, 1.0)
+	done := false
+	c.Run(2.0, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("burst never completed")
+	}
+	if eng.Now() != sim.Time(2*sim.Second) {
+		t.Fatalf("completed at %v, want 2s", eng.Now())
+	}
+	if c.CompletedJobs() != 1 {
+		t.Fatalf("completed jobs = %d", c.CompletedJobs())
+	}
+}
+
+func TestProcessorSharingHalvesRate(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng, 1.0)
+	var t1, t2 sim.Time
+	c.Run(1.0, func() { t1 = eng.Now() })
+	c.Run(1.0, func() { t2 = eng.Now() })
+	eng.Run()
+	// Two equal 1s bursts sharing one core finish together at 2s.
+	if t1 != sim.Time(2*sim.Second) || t2 != sim.Time(2*sim.Second) {
+		t.Fatalf("finish times %v %v, want 2s", t1, t2)
+	}
+}
+
+func TestUnequalBursts(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng, 1.0)
+	var tShort, tLong sim.Time
+	c.Run(1.0, func() { tShort = eng.Now() })
+	c.Run(3.0, func() { tLong = eng.Now() })
+	eng.Run()
+	// Shared until the short one finishes at 2s (each got 0.5 rate);
+	// the long one then has 2s left alone: finishes at 4s.
+	if tShort != sim.Time(2*sim.Second) {
+		t.Fatalf("short at %v, want 2s", tShort)
+	}
+	if tLong != sim.Time(4*sim.Second) {
+		t.Fatalf("long at %v, want 4s", tLong)
+	}
+}
+
+func TestLateArrivalSharing(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng, 1.0)
+	var tA, tB sim.Time
+	c.Run(2.0, func() { tA = eng.Now() })
+	eng.Schedule(sim.Second, func() {
+		c.Run(0.5, func() { tB = eng.Now() })
+	})
+	eng.Run()
+	// A runs alone 0..1s (1s done), then shares: B needs 0.5 at half rate
+	// → B at 2s; A has 1s left, half rate until 2s (0.5 done), then full:
+	// finishes at 2.5s.
+	if tB != sim.Time(2*sim.Second) {
+		t.Fatalf("B at %v, want 2s", tB)
+	}
+	if tA != sim.Time(2500*sim.Millisecond) {
+		t.Fatalf("A at %v, want 2.5s", tA)
+	}
+}
+
+func TestSpeedScaling(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng, 2.0)
+	var done sim.Time
+	c.Run(4.0, func() { done = eng.Now() })
+	eng.Run()
+	if done != sim.Time(2*sim.Second) {
+		t.Fatalf("4 cpu-s at speed 2 finished at %v", done)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng, 1.0)
+	fired := false
+	j := c.Run(1.0, func() { fired = true })
+	var other sim.Time
+	c.Run(1.0, func() { other = eng.Now() })
+	eng.Schedule(sim.Second/2, func() { j.Cancel() })
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled job callback fired")
+	}
+	// Other job: shared 0.5s (0.25 done), then full speed for 0.75s →
+	// finishes at 1.25s.
+	if other != sim.Time(1250*sim.Millisecond) {
+		t.Fatalf("other at %v, want 1.25s", other)
+	}
+}
+
+func TestZeroLengthBurst(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng, 1.0)
+	done := false
+	c.Run(0, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("zero burst never completed")
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng, 1.0)
+	c.Run(1.0, nil)
+	eng.Run()
+	eng.Schedule(sim.Second, func() { c.Run(1.0, nil) })
+	eng.Run()
+	if got := c.Busy(); got != 2*sim.Second {
+		t.Fatalf("busy = %v, want 2s", got)
+	}
+}
+
+func TestNegativeBurstPanics(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng, 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.Run(-1, nil)
+}
+
+// Property: total simulated time to finish N bursts equals the total work
+// (conservation), regardless of arrival pattern, and all callbacks fire.
+func TestQuickWorkConservation(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		eng := sim.New(seed)
+		c := New(eng, 1.0)
+		total := 0.0
+		finished := 0
+		for i, r := range raw {
+			w := float64(r%50) / 10.0
+			total += w
+			// Stagger arrivals but keep the CPU busy from t=0 on: all
+			// arrivals at t=0 for exact conservation.
+			_ = i
+			c.Run(w, func() { finished++ })
+		}
+		eng.Run()
+		if finished != len(raw) {
+			return false
+		}
+		got := eng.Now().Seconds()
+		return got > total-1e-6 && got < total+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

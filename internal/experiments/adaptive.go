@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adaptmr/internal/core"
+	"adaptmr/internal/mapred"
+	"adaptmr/internal/workloads"
+)
+
+// AdaptiveRow is one scenario of Fig 7: the default pair, the best single
+// pair, and the adaptive meta-scheduler compared on the same testbed.
+type AdaptiveRow struct {
+	Scenario string
+	Default  float64 // seconds
+	BestOne  float64
+	Adaptive float64
+	Plan     core.Plan
+}
+
+// ImprovementOverDefault is the adaptive gain vs the default pair.
+func (r AdaptiveRow) ImprovementOverDefault() float64 {
+	if r.Default <= 0 {
+		return 0
+	}
+	return (r.Default - r.Adaptive) / r.Default
+}
+
+// ImprovementOverBest is the adaptive gain vs the best single pair.
+func (r AdaptiveRow) ImprovementOverBest() float64 {
+	if r.BestOne <= 0 {
+		return 0
+	}
+	return (r.BestOne - r.Adaptive) / r.BestOne
+}
+
+// Fig7Result is a set of adaptive-vs-static comparisons.
+type Fig7Result struct {
+	Title string
+	Rows  []AdaptiveRow
+}
+
+// Render formats the comparison.
+func (r Fig7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [s]\n", r.Title)
+	fmt.Fprintf(&b, "%-22s%10s%10s%10s%9s%9s  %s\n",
+		"", "default", "best-1", "adaptive", "vs-def", "vs-best", "plan")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s%10.1f%10.1f%10.1f%8.1f%%%8.1f%%  %s\n",
+			row.Scenario, row.Default, row.BestOne, row.Adaptive,
+			100*row.ImprovementOverDefault(), 100*row.ImprovementOverBest(), row.Plan)
+	}
+	return b.String()
+}
+
+// adaptiveRow runs the meta-scheduler for one scenario.
+func adaptiveRow(cfg Config, scenario string, job mapred.Config) AdaptiveRow {
+	r := core.NewRunner(cfg.Cluster, job)
+	h := core.Heuristic(r, core.TwoPhases, cfg.Pairs)
+	return AdaptiveRow{
+		Scenario: scenario,
+		Default:  h.Default.Duration.Seconds(),
+		BestOne:  h.BestSingle.Duration.Seconds(),
+		Adaptive: h.Duration.Seconds(),
+		Plan:     h.Plan,
+	}
+}
+
+// Fig7a compares the three workloads at the default testbed (paper Fig 7a).
+func Fig7a(cfg Config) Fig7Result {
+	res := Fig7Result{Title: "Fig 7a: adaptive meta-scheduler across workloads"}
+	for _, bm := range workloads.Suite(cfg.InputPerVM) {
+		res.Rows = append(res.Rows, adaptiveRow(cfg, bm.Job.Name, bm.Job))
+	}
+	return res
+}
+
+// Fig7b varies VM consolidation (2, 4, 6 VMs per host) on sort.
+func Fig7b(cfg Config) Fig7Result {
+	res := Fig7Result{Title: "Fig 7b: adaptive meta-scheduler vs VM consolidation (sort)"}
+	degrees := []int{2, 4, 6}
+	if cfg.Quick {
+		degrees = []int{2, 4}
+	}
+	for _, vms := range degrees {
+		c := cfg
+		c.Cluster.VMsPerHost = vms
+		res.Rows = append(res.Rows,
+			adaptiveRow(c, fmt.Sprintf("%d VMs/host", vms), workloads.Sort(cfg.InputPerVM).Job))
+	}
+	return res
+}
+
+// Fig7c varies the per-datanode data size on sort.
+func Fig7c(cfg Config) Fig7Result {
+	res := Fig7Result{Title: "Fig 7c: adaptive meta-scheduler vs data size (sort)"}
+	sizes := []int64{256 << 20, 512 << 20, 1 << 30, 2 << 30}
+	if cfg.Quick {
+		sizes = []int64{64 << 20, 128 << 20}
+	}
+	for _, sz := range sizes {
+		res.Rows = append(res.Rows,
+			adaptiveRow(cfg, fmt.Sprintf("%d MB/node", sz>>20), workloads.Sort(sz).Job))
+	}
+	return res
+}
+
+// Fig7d varies the physical cluster scale (3..6 hosts, 4 VMs each) on sort.
+func Fig7d(cfg Config) Fig7Result {
+	res := Fig7Result{Title: "Fig 7d: adaptive meta-scheduler vs cluster scale (sort)"}
+	scales := []int{3, 4, 5, 6}
+	if cfg.Quick {
+		scales = []int{2, 3}
+	}
+	for _, hosts := range scales {
+		c := cfg
+		c.Cluster.Hosts = hosts
+		res.Rows = append(res.Rows,
+			adaptiveRow(c, fmt.Sprintf("%d nodes", hosts), workloads.Sort(cfg.InputPerVM).Job))
+	}
+	return res
+}
+
+// ImprovementTrend returns the vs-default improvements in row order, used
+// by tests asserting the paper's "proportional to consolidation / data
+// size / scale" claims.
+func (r Fig7Result) ImprovementTrend() []float64 {
+	out := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row.ImprovementOverDefault()
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Renderable is any experiment result.
+type Renderable interface{ Render() string }
+
+// Entry names one experiment of the suite.
+type Entry struct {
+	ID  string
+	Run func(Config) Renderable
+}
+
+// Suite lists every paper artefact in order of appearance.
+func Suite() []Entry {
+	return []Entry{
+		{"fig1", func(c Config) Renderable { return Fig1(c) }},
+		{"fig2", func(c Config) Renderable { return Fig2(c) }},
+		{"table1", func(c Config) Renderable { return Table1(c) }},
+		{"fig3", func(c Config) Renderable { return Fig3(c) }},
+		{"fig4", func(c Config) Renderable { return Fig4(c) }},
+		{"table2", func(c Config) Renderable { return Table2(c) }},
+		{"fig5", func(c Config) Renderable { return Fig5(c) }},
+		{"fig6", func(c Config) Renderable { return Fig6(c) }},
+		{"fig7a", func(c Config) Renderable { return Fig7a(c) }},
+		{"fig7b", func(c Config) Renderable { return Fig7b(c) }},
+		{"fig7c", func(c Config) Renderable { return Fig7c(c) }},
+		{"fig7d", func(c Config) Renderable { return Fig7d(c) }},
+		{"fig8", func(c Config) Renderable { return Fig8(c) }},
+	}
+}
+
+// All runs the whole suite (or the named subset) and writes the rendered
+// artefacts to w.
+func All(cfg Config, w io.Writer, only ...string) error {
+	return AllWithCSV(cfg, w, "", only...)
+}
+
+// AllWithCSV additionally writes each artefact's raw data as
+// <csvDir>/<id>.csv when csvDir is non-empty.
+func AllWithCSV(cfg Config, w io.Writer, csvDir string, only ...string) error {
+	want := map[string]bool{}
+	for _, id := range only {
+		want[id] = true
+	}
+	for _, e := range Suite() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		res := e.Run(cfg)
+		if _, err := fmt.Fprintf(w, "==== %s (%.1fs wall) ====\n%s\n", e.ID, time.Since(start).Seconds(), res.Render()); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			if err := exportToFile(res, filepath.Join(csvDir, e.ID+".csv")); err != nil {
+				return fmt.Errorf("experiments: csv for %s: %w", e.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+func exportToFile(res Renderable, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ExportCSV(res, f)
+}

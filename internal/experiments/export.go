@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVExportable is implemented by experiment results that can emit their
+// raw data as a rectangular table for plotting.
+type CSVExportable interface {
+	// CSV writes a header row followed by data rows.
+	CSV(w io.Writer) error
+}
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// CSV implements CSVExportable: one row per (consolidation, pair).
+func (r Fig1Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for i, c := range r.Consolidations {
+		for j, p := range r.Pairs {
+			rows = append(rows, []string{strconv.Itoa(c), p.Code(), f(r.Elapsed[i][j])})
+		}
+	}
+	return writeCSV(w, []string{"vms", "pair", "elapsed_s"}, rows)
+}
+
+// CSV implements CSVExportable: one row per (benchmark, pair).
+func (r Fig2Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for i, b := range r.Benchmarks {
+		for j, p := range r.Pairs {
+			rows = append(rows, []string{b, p.Code(), f(r.Seconds[i][j])})
+		}
+	}
+	return writeCSV(w, []string{"benchmark", "pair", "seconds"}, rows)
+}
+
+// CSV implements CSVExportable: the 4×4 matrix as (vmm, vm, seconds).
+func (r Table1Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for i, vm := range r.VMScheds {
+		for j, vmm := range r.VMMScheds {
+			rows = append(rows, []string{vmm, vm, f(r.Seconds[i][j])})
+		}
+	}
+	return writeCSV(w, []string{"vmm", "vm", "seconds"}, rows)
+}
+
+// CSV implements CSVExportable: CDF points for both levels and both pairs.
+func (r Fig3Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for i, p := range r.Pairs {
+		for _, pt := range r.VMMCDF[i] {
+			rows = append(rows, []string{"vmm", p.Code(), f(pt.Value), f(pt.Fraction)})
+		}
+		for _, pt := range r.VMCDF[i] {
+			rows = append(rows, []string{"vm", p.Code(), f(pt.Value), f(pt.Fraction)})
+		}
+	}
+	return writeCSV(w, []string{"level", "pair", "mbps", "fraction"}, rows)
+}
+
+// CSV implements CSVExportable: one row per (pair, checkpoint) plus the
+// composed optimum as pseudo-pair "optimal".
+func (r Fig4Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for i, p := range r.Pairs {
+		for k, frac := range r.Fractions {
+			rows = append(rows, []string{p.Code(), f(frac), f(r.TimeAt[i][k])})
+		}
+	}
+	for k, frac := range r.Fractions {
+		rows = append(rows, []string{"optimal", f(frac), f(r.ComposedOptimal[k])})
+	}
+	return writeCSV(w, []string{"pair", "fraction", "seconds"}, rows)
+}
+
+// CSV implements CSVExportable.
+func (r Table2Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for i := range r.Waves {
+		rows = append(rows, []string{f(r.Waves[i]), f(r.Percent[i])})
+	}
+	return writeCSV(w, []string{"waves", "nonconcurrent_pct"}, rows)
+}
+
+// CSV implements CSVExportable: the full from→to matrix.
+func (r Fig5Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for i, from := range r.Pairs {
+		for j, to := range r.Pairs {
+			rows = append(rows, []string{from.Code(), to.Code(), f(r.Cost[i][j])})
+		}
+	}
+	return writeCSV(w, []string{"from", "to", "cost_s"}, rows)
+}
+
+// CSV implements CSVExportable: per-pair phase scores.
+func (r Fig6Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for _, p := range r.Profiles {
+		rows = append(rows, []string{
+			p.Pair.Code(),
+			f(p.ByPhase[0].Seconds()),
+			f(p.ByPhase[1].Seconds()),
+			f(p.ByPhase[2].Seconds()),
+			f(p.Total.Seconds()),
+		})
+	}
+	return writeCSV(w, []string{"pair", "map_s", "shuffle_s", "reduce_s", "total_s"}, rows)
+}
+
+// CSV implements CSVExportable.
+func (r Fig7Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Scenario, f(row.Default), f(row.BestOne), f(row.Adaptive), row.Plan.Key(),
+		})
+	}
+	return writeCSV(w, []string{"scenario", "default_s", "best_single_s", "adaptive_s", "plan"}, rows)
+}
+
+// CSV implements CSVExportable.
+func (r Fig8Result) CSV(w io.Writer) error {
+	var rows [][]string
+	for i, b := range r.Benchmarks {
+		rows = append(rows, []string{b, f(r.Seconds[i][0]), f(r.Seconds[i][1]), f(r.Seconds[i][2])})
+	}
+	return writeCSV(w, []string{"benchmark", "map_s", "shuffle_s", "reduce_s"}, rows)
+}
+
+// ExportCSV renders a result's CSV if it supports it.
+func ExportCSV(res Renderable, w io.Writer) error {
+	e, ok := res.(CSVExportable)
+	if !ok {
+		return fmt.Errorf("experiments: %T has no CSV export", res)
+	}
+	return e.CSV(w)
+}

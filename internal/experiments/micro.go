@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/sim"
+	"adaptmr/internal/workloads"
+)
+
+// Fig1Result reproduces Fig 1: Sysbench sequential-write elapsed time per
+// scheduler pair at VM consolidation degrees 1, 2 and 3.
+type Fig1Result struct {
+	Consolidations []int
+	Pairs          []iosched.Pair
+	// Mean elapsed seconds [consolidation][pair].
+	Elapsed [][]float64
+}
+
+// Fig1 runs the Sysbench microbenchmark (1 GB to 16 files per VM, one
+// process per VM) on a single host at each consolidation degree.
+func Fig1(cfg Config) Fig1Result {
+	sb := workloads.DefaultSysbenchConfig()
+	if cfg.Quick {
+		sb.TotalBytes = 128 << 20
+		sb.Files = 8
+	}
+	res := Fig1Result{Consolidations: []int{1, 2, 3}, Pairs: cfg.Pairs}
+	for _, vms := range res.Consolidations {
+		var row []float64
+		for _, p := range cfg.Pairs {
+			mh := workloads.NewMicroHost(vms, cfg.Cluster.Host, cfg.Cluster.Guest, cfg.Cluster.Seed)
+			mh.InstallPair(p)
+			r := workloads.RunSysbench(mh, sb)
+			row = append(row, r.Mean.Seconds())
+		}
+		res.Elapsed = append(res.Elapsed, row)
+	}
+	return res
+}
+
+// SlowdownVs1VM returns the mean slowdown factor of the given
+// consolidation degree relative to one VM (averaged over pairs) — the
+// paper reports 3.5× at 2 VMs and 8.5× at 3 VMs.
+func (r Fig1Result) SlowdownVs1VM(consolidation int) float64 {
+	base, target := -1, -1
+	for i, c := range r.Consolidations {
+		if c == 1 {
+			base = i
+		}
+		if c == consolidation {
+			target = i
+		}
+	}
+	if base < 0 || target < 0 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for j := range r.Pairs {
+		if r.Elapsed[base][j] > 0 {
+			sum += r.Elapsed[target][j] / r.Elapsed[base][j]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Variation returns (max-min)/min of elapsed time across pairs at the
+// given consolidation degree (paper: ~16% on average).
+func (r Fig1Result) Variation(consolidation int) float64 {
+	for i, c := range r.Consolidations {
+		if c != consolidation {
+			continue
+		}
+		lo, hi := r.Elapsed[i][0], r.Elapsed[i][0]
+		for _, v := range r.Elapsed[i] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo == 0 {
+			return 0
+		}
+		return (hi - lo) / lo
+	}
+	return 0
+}
+
+// Render formats the figure data.
+func (r Fig1Result) Render() string {
+	t := Table{
+		Title:    "Fig 1: Sysbench seqwr elapsed time vs disk pair scheduler and VM consolidation",
+		Unit:     "s",
+		ColHeads: pairCodes(r.Pairs),
+	}
+	for i, c := range r.Consolidations {
+		t.RowHeads = append(t.RowHeads, fmt.Sprintf("%d VM(s)", c))
+		t.Cells = append(t.Cells, r.Elapsed[i])
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("slowdown vs 1 VM: x%.1f (2 VMs), x%.1f (3 VMs); pair variation at 3 VMs: %.0f%%",
+			r.SlowdownVs1VM(2), r.SlowdownVs1VM(3), 100*r.Variation(3)))
+	return t.Render()
+}
+
+// Fig5Result reproduces Fig 5: the switch-cost matrix between scheduler
+// pair states, measured with the parallel-dd probe.
+type Fig5Result struct {
+	Pairs []iosched.Pair
+	// Cost[i][j] is the measured cost (s) of switching from state i to j.
+	Cost [][]float64
+}
+
+// Fig5 measures Cost = T(first→second) − (T(first)+T(second))/2 for every
+// ordered pair of states. Single-state epochs are measured once each.
+func Fig5(cfg Config) Fig5Result {
+	dd := workloads.DefaultDDConfig()
+	if cfg.Quick {
+		dd.BytesPerVM = 192 << 20
+	}
+	vms := cfg.Cluster.VMsPerHost
+	newHost := func() *workloads.MicroHost {
+		return workloads.NewMicroHost(vms, cfg.Cluster.Host, cfg.Cluster.Guest, cfg.Cluster.Seed)
+	}
+
+	// Memoise the single-solution epochs.
+	single := make(map[iosched.Pair]sim.Duration, len(cfg.Pairs))
+	for _, p := range cfg.Pairs {
+		mh := newHost()
+		mh.InstallPair(p)
+		single[p] = workloads.RunDD(mh, dd, nil)
+	}
+
+	res := Fig5Result{Pairs: cfg.Pairs}
+	for _, from := range cfg.Pairs {
+		var row []float64
+		for _, to := range cfg.Pairs {
+			mh := newHost()
+			mh.InstallPair(from)
+			target := to
+			both := workloads.RunDD(mh, dd, &target)
+			cost := both - (single[from]+single[to])/2
+			row = append(row, cost.Seconds())
+		}
+		res.Cost = append(res.Cost, row)
+	}
+	return res
+}
+
+// MinCost and MaxCost summarise the matrix range (paper: 4 s to 142 s).
+func (r Fig5Result) MinCost() float64 {
+	m := r.Cost[0][0]
+	for _, row := range r.Cost {
+		for _, v := range row {
+			if v < m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// MaxCost returns the largest switch cost in the matrix.
+func (r Fig5Result) MaxCost() float64 {
+	m := r.Cost[0][0]
+	for _, row := range r.Cost {
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// Asymmetry returns the mean |Cost[i][j]−Cost[j][i]| — the paper stresses
+// that switching cost is not commutative.
+func (r Fig5Result) Asymmetry() float64 {
+	sum, n := 0.0, 0
+	for i := range r.Cost {
+		for j := i + 1; j < len(r.Cost); j++ {
+			d := r.Cost[i][j] - r.Cost[j][i]
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SelfCostMean returns the mean cost of re-asserting the same pair — the
+// paper notes even this is costly (drain + re-init).
+func (r Fig5Result) SelfCostMean() float64 {
+	sum := 0.0
+	for i := range r.Cost {
+		sum += r.Cost[i][i]
+	}
+	return sum / float64(len(r.Cost))
+}
+
+// Render formats the matrix.
+func (r Fig5Result) Render() string {
+	t := Table{
+		Title:    "Fig 5: switch cost between disk pair scheduler states (dd probe)",
+		Unit:     "s",
+		ColHeads: pairCodes(r.Pairs),
+		RowHeads: pairCodes(r.Pairs),
+		Cells:    r.Cost,
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("range %.1f..%.1f s, mean self-switch %.1f s, mean asymmetry %.1f s",
+			r.MinCost(), r.MaxCost(), r.SelfCostMean(), r.Asymmetry()))
+	return t.Render()
+}

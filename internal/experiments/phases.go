@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adaptmr/internal/core"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/workloads"
+)
+
+// Fig6Result reproduces Fig 6: each pair's performance score in the two
+// phases of the sort benchmark — the profiling data the heuristic ranks.
+type Fig6Result struct {
+	Profiles []core.Profile
+}
+
+// Fig6 profiles every pair on sort with the two-phase split.
+func Fig6(cfg Config) Fig6Result {
+	bm := workloads.Sort(cfg.InputPerVM)
+	r := core.NewRunner(cfg.Cluster, bm.Job)
+	return Fig6Result{Profiles: r.ProfilePairs(cfg.Pairs)}
+}
+
+// BestFor returns the best pair for scheme-phase i.
+func (r Fig6Result) BestFor(i int) core.Profile {
+	best := r.Profiles[0]
+	for _, p := range r.Profiles[1:] {
+		if p.PhaseDuration(core.TwoPhases, i) < best.PhaseDuration(core.TwoPhases, i) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Render formats the per-phase scores.
+func (r Fig6Result) Render() string {
+	t := Table{
+		Title:    "Fig 6: per-phase performance score of pairs (sort, two phases)",
+		Unit:     "s",
+		ColHeads: []string{"phase1(map)", "phase2(shuffle+reduce)", "total"},
+	}
+	for _, p := range r.Profiles {
+		t.RowHeads = append(t.RowHeads, p.Pair.Code())
+		t.Cells = append(t.Cells, []float64{
+			p.PhaseDuration(core.TwoPhases, 0).Seconds(),
+			p.PhaseDuration(core.TwoPhases, 1).Seconds(),
+			p.Total.Seconds(),
+		})
+	}
+	b1, b2 := r.BestFor(0), r.BestFor(1)
+	t.Notes = append(t.Notes, fmt.Sprintf("phase1 best %s (%.1fs); phase2 best %s (%.1fs)%s",
+		b1.Pair, b1.PhaseDuration(core.TwoPhases, 0).Seconds(),
+		b2.Pair, b2.PhaseDuration(core.TwoPhases, 1).Seconds(),
+		map[bool]string{true: " — different pairs win different phases", false: ""}[b1.Pair != b2.Pair]))
+	return t.Render()
+}
+
+// Fig8Result reproduces Fig 8: the relative length of the job phases for
+// each benchmark (under the default pair).
+type Fig8Result struct {
+	Benchmarks []string
+	// Seconds[bench] = {map, shuffle, reduce} durations.
+	Seconds [][]float64
+}
+
+// Fig8 measures phase durations of the three benchmarks.
+func Fig8(cfg Config) Fig8Result {
+	res := Fig8Result{}
+	for _, bm := range workloads.Suite(cfg.InputPerVM) {
+		r := core.NewRunner(cfg.Cluster, bm.Job)
+		prof := r.ProfilePairs([]iosched.Pair{iosched.DefaultPair})
+		res.Benchmarks = append(res.Benchmarks, bm.Job.Name)
+		res.Seconds = append(res.Seconds, []float64{
+			prof[0].ByPhase[0].Seconds(),
+			prof[0].ByPhase[1].Seconds(),
+			prof[0].ByPhase[2].Seconds(),
+		})
+	}
+	return res
+}
+
+// Render formats the phase breakdown.
+func (r Fig8Result) Render() string {
+	t := Table{
+		Title:    "Fig 8: phase durations per benchmark (default pair)",
+		Unit:     "s",
+		ColHeads: []string{"ph1(map)", "ph2(shuffle)", "ph3(reduce)"},
+		RowHeads: r.Benchmarks,
+		Cells:    r.Seconds,
+	}
+	return t.Render()
+}

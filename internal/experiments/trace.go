@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/mapred"
+	"adaptmr/internal/sim"
+	"adaptmr/internal/stats"
+	"adaptmr/internal/workloads"
+)
+
+// Fig3Result reproduces Fig 3: CDFs of the I/O throughput observed in the
+// VMM (Dom0 request queue of one physical machine) and in its VMs (average
+// across the VMs) while sort runs under (CFQ, CFQ) and (Anticipatory,
+// Deadline).
+type Fig3Result struct {
+	Pairs []iosched.Pair
+	// VMMCDF[pair] is the CDF of Dom0-level MB/s samples.
+	VMMCDF [][]stats.CDFPoint
+	// VMCDF[pair] is the CDF of per-VM MB/s samples pooled over the VMs.
+	VMCDF [][]stats.CDFPoint
+	// Summary numbers (paper quotes max and mean for each level).
+	VMMMax, VMMMean []float64
+	VMMean, VMMaxes []float64
+	// PerVMMean[pair][vm] shows the fairness spread the paper discusses.
+	PerVMMean [][]float64
+}
+
+// Fig3 instruments host 0's Dom0 queue and each of its guest queues with
+// 1-second throughput samplers during a sort run.
+func Fig3(cfg Config) Fig3Result {
+	pairs := []iosched.Pair{
+		{VMM: iosched.CFQ, VM: iosched.CFQ},
+		{VMM: iosched.Anticipatory, VM: iosched.Deadline},
+	}
+	bm := workloads.Sort(cfg.InputPerVM)
+	res := Fig3Result{Pairs: pairs}
+	for _, p := range pairs {
+		cl := cluster.New(cfg.Cluster)
+		cl.InstallPair(p)
+		host := cl.Hosts[0]
+		window := 1 * sim.Second
+		vmmSampler := stats.NewThroughputSampler(cl.Eng, window)
+		vmmSampler.Attach(host.Dom0Queue())
+		var vmSamplers []*stats.ThroughputSampler
+		for _, d := range host.Domains() {
+			s := stats.NewThroughputSampler(cl.Eng, window)
+			s.Attach(d.Queue())
+			vmSamplers = append(vmSamplers, s)
+		}
+
+		mapred.Run(cl, bm.Job)
+
+		vmm := vmmSampler.Series()
+		res.VMMCDF = append(res.VMMCDF, stats.CDF(vmm))
+		res.VMMMax = append(res.VMMMax, stats.Max(vmm))
+		res.VMMMean = append(res.VMMMean, stats.Mean(vmm))
+
+		var pooled []float64
+		var perVM []float64
+		for _, s := range vmSamplers {
+			series := s.Series()
+			pooled = append(pooled, series...)
+			perVM = append(perVM, stats.Mean(series))
+		}
+		res.VMCDF = append(res.VMCDF, stats.CDF(pooled))
+		res.VMMean = append(res.VMMean, stats.Mean(pooled))
+		res.VMMaxes = append(res.VMMaxes, stats.Max(pooled))
+		res.PerVMMean = append(res.PerVMMean, perVM)
+	}
+	return res
+}
+
+// FairnessSpread returns max-min of per-VM mean throughput for a pair
+// index — the paper observes (CFQ, CFQ) has the tighter spread.
+func (r Fig3Result) FairnessSpread(i int) float64 {
+	return stats.Max(r.PerVMMean[i]) - stats.Min(r.PerVMMean[i])
+}
+
+// Render formats the summary and decile tables of both CDFs.
+func (r Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 3: CDF of I/O throughput in VMM and VMs (sort)\n")
+	for i, p := range r.Pairs {
+		fmt.Fprintf(&b, "  %s: VMM mean %.1f MB/s max %.1f | VM mean %.2f MB/s max %.2f | per-VM means",
+			p, r.VMMMean[i], r.VMMMax[i], r.VMMean[i], r.VMMaxes[i])
+		for _, v := range r.PerVMMean[i] {
+			fmt.Fprintf(&b, " %.2f", v)
+		}
+		fmt.Fprintf(&b, " (spread %.2f)\n", r.FairnessSpread(i))
+	}
+	b.WriteString("  VMM throughput deciles [MB/s]:\n")
+	for i, p := range r.Pairs {
+		fmt.Fprintf(&b, "    %-22s", p.String())
+		for q := 10.0; q <= 90; q += 10 {
+			fmt.Fprintf(&b, "%7.1f", percentileOfCDF(r.VMMCDF[i], q))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  VM throughput deciles [MB/s]:\n")
+	for i, p := range r.Pairs {
+		fmt.Fprintf(&b, "    %-22s", p.String())
+		for q := 10.0; q <= 90; q += 10 {
+			fmt.Fprintf(&b, "%7.1f", percentileOfCDF(r.VMCDF[i], q))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// percentileOfCDF inverts an empirical CDF at fraction q/100.
+func percentileOfCDF(cdf []stats.CDFPoint, q float64) float64 {
+	f := q / 100
+	for _, p := range cdf {
+		if p.Fraction >= f {
+			return p.Value
+		}
+	}
+	if len(cdf) > 0 {
+		return cdf[len(cdf)-1].Value
+	}
+	return 0
+}

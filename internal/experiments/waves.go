@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/mapred"
+	"adaptmr/internal/workloads"
+)
+
+// Table2Result reproduces Table II: the percentage of the job spent in the
+// non-concurrent part of the shuffle (after the last map finishes) as the
+// number of map waves grows.
+type Table2Result struct {
+	Waves   []float64
+	Percent []float64
+}
+
+// Table2 varies the per-VM input size so that the map task count per node
+// covers 1 to 5 waves (waves = blocks / (nodes × map slots)) and measures
+// the non-concurrent shuffle share under the default pair.
+func Table2(cfg Config) Table2Result {
+	res := Table2Result{}
+	blockBytes := cfg.Cluster.HDFS.BlockBytes
+	slots := 2
+	steps := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+	if cfg.Quick {
+		steps = []float64{1, 2, 3, 4}
+	}
+	for _, w := range steps {
+		blocksPerVM := w * float64(slots)
+		input := int64(blocksPerVM * float64(blockBytes))
+		bm := workloads.Sort(input)
+		bm.Job.MapSlots = slots
+		cl := cluster.New(cfg.Cluster)
+		r := mapred.Run(cl, bm.Job)
+		res.Waves = append(res.Waves, r.Waves)
+		res.Percent = append(res.Percent, r.NonConcurrentShufflePct)
+	}
+	return res
+}
+
+// Monotone reports whether the share falls (weakly) as waves grow — the
+// paper's qualitative claim motivating the merged phase 2+3.
+func (r Table2Result) Monotone() bool {
+	for i := 1; i < len(r.Percent); i++ {
+		if r.Percent[i] > r.Percent[i-1]+1.0 { // allow 1pt noise
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the row as in the paper.
+func (r Table2Result) Render() string {
+	t := Table{
+		Title: "Table II: % of non-concurrent shuffle vs number of map waves (sort)",
+	}
+	for _, w := range r.Waves {
+		t.ColHeads = append(t.ColHeads, fmt.Sprintf("%.1f", w))
+	}
+	t.RowHeads = []string{"percent"}
+	t.Cells = [][]float64{r.Percent}
+	t.Notes = append(t.Notes, fmt.Sprintf("monotone decreasing: %v", r.Monotone()))
+	return t.Render()
+}

@@ -1,0 +1,159 @@
+package guestio
+
+import (
+	"testing"
+
+	"adaptmr/internal/block"
+	"adaptmr/internal/sim"
+	"adaptmr/internal/xen"
+)
+
+func TestStreamIDsUnique(t *testing.T) {
+	_, fs, _ := testFS(t)
+	seen := map[block.StreamID]bool{}
+	for i := 0; i < 100; i++ {
+		s := fs.NewStream()
+		if seen[s] {
+			t.Fatalf("duplicate stream %d", s)
+		}
+		seen[s] = true
+	}
+	if seen[fs.DaemonStream()] {
+		t.Fatal("daemon stream collides with allocated streams")
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	_, fs, _ := testFS(t)
+	if fs.Config().ChunkSectors != DefaultConfig().ChunkSectors {
+		t.Fatal("config accessor")
+	}
+	if fs.Domain() == nil {
+		t.Fatal("domain accessor")
+	}
+}
+
+func TestReadSubmitsChunksInOrder(t *testing.T) {
+	eng, fs, h := testFS(t)
+	f := fs.Create("seq")
+	f.Preallocate(2 << 20)
+	var sectors []int64
+	h.Dom0Queue().OnComplete = func(r *block.Request) {
+		if r.Op == block.Read {
+			sectors = append(sectors, r.Sector)
+		}
+	}
+	f.Read(fs.NewStream(), 0, 2<<20, func() {})
+	eng.Run()
+	if len(sectors) == 0 {
+		t.Fatal("no reads reached the disk")
+	}
+	for i := 1; i < len(sectors); i++ {
+		if sectors[i] < sectors[i-1] {
+			t.Fatalf("reads completed out of sector order at %d: %v", i, sectors[:i+1])
+		}
+	}
+}
+
+func TestJournalWraps(t *testing.T) {
+	eng := sim.New(1)
+	hc := xen.DefaultHostConfig()
+	hc.VMExtentSectors = 8 << 20
+	h := xen.NewHost(eng, 0, 1, hc)
+	cfg := DefaultConfig()
+	cfg.JournalRegionBytes = 1 << 20 // tiny journal to force wrap
+	cfg.JournalEveryBytes = 256 << 10
+	fs := NewFS(eng, h.Domain(0), cfg)
+	f := fs.Create("data")
+	// Enough writeback to lap the journal several times.
+	f.Append(fs.NewStream(), 32<<20, func() {})
+	eng.Run()
+	if fs.journalTip < fs.journalStart || fs.journalTip > fs.journalStart+fs.journalSectors {
+		t.Fatalf("journal tip %d escaped region [%d, %d]", fs.journalTip, fs.journalStart, fs.journalSectors)
+	}
+}
+
+func TestPickGroupFallbackWhenGroupFull(t *testing.T) {
+	eng := sim.New(1)
+	hc := xen.DefaultHostConfig()
+	hc.VMExtentSectors = 4 << 20 // 2 GiB volume
+	h := xen.NewHost(eng, 0, 1, hc)
+	cfg := DefaultConfig()
+	cfg.GroupSectors = 1 << 20 // 512 MiB groups, few of them
+	cfg.SpreadGroups = 1       // hammer one group until it fills
+	fs := NewFS(eng, h.Domain(0), cfg)
+	a := fs.Create("a")
+	a.Preallocate(600 << 20) // overflows the 512 MiB group
+	if a.Size() != 600<<20 {
+		t.Fatalf("allocation short: %d", a.Size())
+	}
+	// The allocation must extend past the home group's boundary (spilled
+	// into the next group; adjacent groups may coalesce into one extent).
+	last := a.extents[len(a.extents)-1]
+	if last.sector+last.count <= fs.journalSectors+cfg.GroupSectors {
+		t.Fatal("600 MB fit inside a 512 MiB group?")
+	}
+	// All extents stay inside the volume and outside the journal.
+	for _, e := range a.extents {
+		if e.sector < fs.journalSectors || e.sector+e.count > h.Domain(0).ExtentSectors() {
+			t.Fatalf("extent [%d+%d] out of bounds", e.sector, e.count)
+		}
+	}
+}
+
+func TestDirtyBytesAccounting(t *testing.T) {
+	eng, fs, _ := testFS(t)
+	f := fs.Create("d")
+	f.Append(fs.NewStream(), 8<<20, func() {})
+	if fs.DirtyBytes() != 8<<20 {
+		t.Fatalf("dirty = %d right after append", fs.DirtyBytes())
+	}
+	eng.Run()
+	if fs.DirtyBytes() != 0 {
+		t.Fatalf("dirty = %d after drain", fs.DirtyBytes())
+	}
+}
+
+func TestInterleavedWritersStayIsolated(t *testing.T) {
+	eng, fs, _ := testFS(t)
+	a := fs.Create("a")
+	b := fs.Create("b")
+	sa, sb := fs.NewStream(), fs.NewStream()
+	for i := 0; i < 8; i++ {
+		a.Append(sa, 1<<20, func() {})
+		b.Append(sb, 1<<20, func() {})
+	}
+	eng.Run()
+	if a.Size() != 8<<20 || b.Size() != 8<<20 {
+		t.Fatalf("sizes %d %d", a.Size(), b.Size())
+	}
+	// Extents of the two files never overlap.
+	for _, ea := range a.extents {
+		for _, eb := range b.extents {
+			if ea.sector < eb.sector+eb.count && eb.sector < ea.sector+ea.count {
+				t.Fatalf("files share sectors: %+v vs %+v", ea, eb)
+			}
+		}
+	}
+}
+
+func TestCoversPartialRange(t *testing.T) {
+	_, fs, _ := testFS(t)
+	f := fs.Create("p")
+	f.Preallocate(1 << 20)
+	pc := fs.cache
+	pc.insert(f, 0, 100)
+	if !pc.covers(f, 0, 100) {
+		t.Fatal("inserted range not covered")
+	}
+	if !pc.covers(f, 10, 50) {
+		t.Fatal("sub-range not covered")
+	}
+	if pc.covers(f, 50, 100) {
+		t.Fatal("range past the resident span reported covered")
+	}
+	pc.insert(f, 100, 100)
+	if !pc.covers(f, 0, 200) {
+		t.Fatal("merged adjacent spans not covered")
+	}
+}

@@ -1,0 +1,163 @@
+package hdfs
+
+import (
+	"testing"
+
+	"adaptmr/internal/block"
+	"adaptmr/internal/guestio"
+	"adaptmr/internal/netsim"
+	"adaptmr/internal/sim"
+	"adaptmr/internal/xen"
+)
+
+// testDFS builds hosts×vmsPerHost datanodes over a real xen/guestio stack.
+func testDFS(t testing.TB, hosts, vmsPerHost int) (*sim.Engine, *DFS) {
+	t.Helper()
+	eng := sim.New(1)
+	hc := xen.DefaultHostConfig()
+	hc.VMExtentSectors = 8 << 20
+	net := netsim.New(eng, hosts, netsim.DefaultConfig())
+	var nodes []DataNode
+	for h := 0; h < hosts; h++ {
+		host := xen.NewHost(eng, h, vmsPerHost, hc)
+		for v := 0; v < vmsPerHost; v++ {
+			nodes = append(nodes, DataNode{
+				FS:     guestio.NewFS(eng, host.Domain(v), guestio.DefaultConfig()),
+				HostID: h,
+			})
+		}
+	}
+	return eng, New(eng, DefaultConfig(), nodes, net)
+}
+
+func TestPlaceInputBlocks(t *testing.T) {
+	_, dfs := testDFS(t, 2, 2)
+	files := dfs.PlaceInput(0, 200<<20) // 200 MB / 64 MB -> 4 blocks
+	if len(files) != 4 {
+		t.Fatalf("blocks = %d", len(files))
+	}
+	var total int64
+	for i, f := range files {
+		total += f.Size()
+		if i < 3 && f.Size() != 64<<20 {
+			t.Fatalf("block %d size %d", i, f.Size())
+		}
+	}
+	if total < 200<<20 {
+		t.Fatalf("total placed %d", total)
+	}
+}
+
+func TestChooseReplicaOffHost(t *testing.T) {
+	_, dfs := testDFS(t, 2, 2)
+	for writer := 0; writer < 4; writer++ {
+		for i := 0; i < 8; i++ {
+			rep := dfs.chooseReplica(writer)
+			if dfs.nodes[rep].HostID == dfs.nodes[writer].HostID {
+				t.Fatalf("replica on writer's host (writer %d rep %d)", writer, rep)
+			}
+		}
+	}
+}
+
+func TestChooseReplicaSingleHostFallback(t *testing.T) {
+	_, dfs := testDFS(t, 1, 3)
+	rep := dfs.chooseReplica(1)
+	if rep == 1 {
+		t.Fatal("replica on the writing datanode itself")
+	}
+}
+
+func TestWriteFileCommitsBothReplicas(t *testing.T) {
+	eng, dfs := testDFS(t, 2, 2)
+	done := false
+	stream := dfs.nodes[0].FS.NewStream()
+	dfs.WriteFile(0, stream, 100<<20, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("write never committed")
+	}
+	if dfs.BlocksWritten != 2 { // 100 MB / 64 MB -> 2 blocks
+		t.Fatalf("blocks written = %d", dfs.BlocksWritten)
+	}
+	if dfs.ReplicaBytes != 100<<20 {
+		t.Fatalf("replica bytes = %d", dfs.ReplicaBytes)
+	}
+}
+
+func TestWriteFileNoReplication(t *testing.T) {
+	eng, dfs := testDFS(t, 2, 2)
+	dfs.cfg.Replication = 1
+	done := false
+	dfs.WriteFile(0, 1, 64<<20, func() { done = true })
+	eng.Run()
+	if !done || dfs.ReplicaBytes != 0 {
+		t.Fatalf("done=%v replicaBytes=%d", done, dfs.ReplicaBytes)
+	}
+}
+
+func TestWriterStreamsBlocks(t *testing.T) {
+	eng, dfs := testDFS(t, 2, 2)
+	w := dfs.NewWriter(0, 1)
+	writes := 0
+	for i := 0; i < 10; i++ {
+		w.Write(16<<20, func() { writes++ })
+	}
+	closed := false
+	w.Close(func() { closed = true })
+	eng.Run()
+	if writes != 10 || !closed {
+		t.Fatalf("writes=%d closed=%v", writes, closed)
+	}
+	// 160 MB -> 2 full blocks + 1 partial commit on close.
+	if dfs.BlocksWritten != 3 {
+		t.Fatalf("blocks = %d", dfs.BlocksWritten)
+	}
+}
+
+func TestWriterMisusePanics(t *testing.T) {
+	eng, dfs := testDFS(t, 2, 2)
+	w := dfs.NewWriter(0, 1)
+	w.Close(func() {})
+	for _, fn := range []func(){
+		func() { w.Write(1, func() {}) },
+		func() { w.Close(func() {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on writer misuse")
+				}
+			}()
+			fn()
+		}()
+	}
+	eng.Run()
+}
+
+func TestZeroByteWriteFile(t *testing.T) {
+	eng, dfs := testDFS(t, 2, 2)
+	done := false
+	dfs.WriteFile(0, 1, 0, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("zero-byte write never completed")
+	}
+}
+
+func TestReplicaLandsOnRemoteDisk(t *testing.T) {
+	eng, dfs := testDFS(t, 2, 1)
+	// Writer on host 0; the replica must generate write traffic on host 1.
+	h1fs := dfs.nodes[1].FS
+	var h1writes int64
+	h1fs.Domain().Host().Dom0Queue().OnComplete = func(r *block.Request) {
+		if r.Op == block.Write {
+			h1writes += r.Bytes()
+		}
+	}
+	dfs.WriteFile(0, 1, 64<<20, nil)
+	eng.Run()
+	if h1writes < 64<<20 {
+		t.Fatalf("remote host saw %d bytes of replica writes", h1writes)
+	}
+}

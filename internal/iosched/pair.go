@@ -1,0 +1,105 @@
+package iosched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pair is the paper's unit of configuration: the disk scheduler installed
+// in the hypervisor (Dom0) and the one installed in every guest VM,
+// written "(VMM sched, VM sched)".
+type Pair struct {
+	VMM string
+	VM  string
+}
+
+// DefaultPair is the stock configuration the paper measures against.
+var DefaultPair = Pair{CFQ, CFQ}
+
+// String renders the paper's "(Anticipatory, Deadline)" notation.
+func (p Pair) String() string {
+	return fmt.Sprintf("(%s, %s)", title(p.VMM), title(p.VM))
+}
+
+// Code renders the two-letter code used on Fig 5's axes ("ad" = VMM
+// anticipatory, VM deadline).
+func (p Pair) Code() string { return ShortCode(p.VMM) + ShortCode(p.VM) }
+
+// Valid reports whether both halves name known schedulers.
+func (p Pair) Valid() bool {
+	_, err1 := New(p.VMM, DefaultParams())
+	_, err2 := New(p.VM, DefaultParams())
+	return err1 == nil && err2 == nil
+}
+
+func title(s string) string {
+	switch s {
+	case CFQ:
+		return "CFQ"
+	case Deadline:
+		return "Deadline"
+	case Anticipatory:
+		return "Anticipatory"
+	case Noop:
+		return "Noop"
+	}
+	return s
+}
+
+// ParsePair accepts either the two-letter code ("ad") or the long form
+// "(anticipatory, deadline)" / "anticipatory,deadline".
+func ParsePair(s string) (Pair, error) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimPrefix(t, "(")
+	t = strings.TrimSuffix(t, ")")
+	if len(t) == 2 && !strings.Contains(t, ",") {
+		vmm, err := FromShortCode(strings.ToLower(t[:1]))
+		if err != nil {
+			return Pair{}, err
+		}
+		vm, err := FromShortCode(strings.ToLower(t[1:]))
+		if err != nil {
+			return Pair{}, err
+		}
+		return Pair{vmm, vm}, nil
+	}
+	parts := strings.Split(t, ",")
+	if len(parts) != 2 {
+		return Pair{}, fmt.Errorf("iosched: cannot parse pair %q", s)
+	}
+	vmm, err := canonical(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Pair{}, err
+	}
+	vm, err := canonical(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return Pair{}, err
+	}
+	return Pair{vmm, vm}, nil
+}
+
+func canonical(s string) (string, error) {
+	switch strings.ToLower(s) {
+	case "cfq", "c":
+		return CFQ, nil
+	case "deadline", "dl", "d":
+		return Deadline, nil
+	case "anticipatory", "as", "a":
+		return Anticipatory, nil
+	case "noop", "np", "n":
+		return Noop, nil
+	}
+	return "", fmt.Errorf("iosched: unknown scheduler %q", s)
+}
+
+// AllPairs enumerates the 16 pair configurations in the paper's order
+// (VMM major: CFQ, Deadline, Anticipatory, Noop).
+func AllPairs() []Pair {
+	out := make([]Pair, 0, len(Names)*len(Names))
+	for _, vmm := range Names {
+		for _, vm := range Names {
+			out = append(out, Pair{vmm, vm})
+		}
+	}
+	return out
+}

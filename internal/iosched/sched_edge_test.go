@@ -1,0 +1,157 @@
+package iosched
+
+import (
+	"testing"
+
+	"adaptmr/internal/block"
+	"adaptmr/internal/sim"
+)
+
+func TestDeadlineBatchContinuesFromLastPosition(t *testing.T) {
+	eng := sim.New(1)
+	s := NewDeadline(DefaultParams())
+	// Dispatch one read at 1000, then add reads on both sides: the scan
+	// must continue upward, not jump backwards.
+	s.Add(req(block.Read, 1000, 1), eng.Now())
+	first, _ := s.Dispatch(eng.Now())
+	if first.Sector != 1000 {
+		t.Fatal("setup")
+	}
+	s.Completed(first, eng.Now())
+	s.Add(req(block.Read, 100, 1), eng.Now())
+	s.Add(req(block.Read, 2000, 1), eng.Now())
+	next, _ := s.Dispatch(eng.Now())
+	if next.Sector != 2000 {
+		t.Fatalf("scan jumped backwards to %d", next.Sector)
+	}
+}
+
+func TestDeadlineWriteOnlyWorkload(t *testing.T) {
+	eng := sim.New(1)
+	s := NewDeadline(DefaultParams())
+	for _, sec := range []int64{900, 100, 500} {
+		s.Add(block.NewRequest(block.Write, sec, 8, false, 1), eng.Now())
+	}
+	got := drain(t, s, eng)
+	if got[0].Sector != 100 || got[1].Sector != 500 || got[2].Sector != 900 {
+		t.Fatalf("writes not sorted: %v", got)
+	}
+}
+
+func TestAnticipatoryBatchAlternation(t *testing.T) {
+	eng := sim.New(1)
+	p := DefaultParams()
+	p.AnticExpire = 0 // isolate batching from anticipation
+	s := NewAnticipatory(p)
+	// Saturated reads and writes: reads must dominate dispatch counts
+	// roughly by the batch-time ratio (500ms vs 125ms).
+	reads, writes := 0, 0
+	nextR, nextW := int64(0), int64(1<<30)
+	for i := 0; i < 400; i++ {
+		s.Add(req(block.Read, nextR, 1), eng.Now())
+		nextR += 8
+		s.Add(block.NewRequest(block.Write, nextW, 8, false, 2), eng.Now())
+		nextW += 8
+		r, wake := s.Dispatch(eng.Now())
+		if r == nil {
+			if wake > eng.Now() {
+				eng.RunUntil(wake)
+				continue
+			}
+			t.Fatal("stall")
+		}
+		if r.Op == block.Read {
+			reads++
+		} else {
+			writes++
+		}
+		s.Completed(r, eng.Now())
+		// Advance ~10ms per request so batch clocks matter.
+		eng.RunUntil(eng.Now().Add(10 * sim.Millisecond))
+	}
+	if reads <= writes {
+		t.Fatalf("reads %d not favoured over writes %d", reads, writes)
+	}
+	if writes == 0 {
+		t.Fatal("writes fully starved despite write batches")
+	}
+}
+
+func TestCFQSliceExpiryRotates(t *testing.T) {
+	eng := sim.New(1)
+	p := DefaultParams()
+	s := NewCFQ(p)
+	// Stream 1 has endless work; stream 2 waits. After stream 1's slice
+	// expires, stream 2 must get service.
+	next := int64(0)
+	add1 := func() {
+		s.Add(req(block.Read, next, 1), eng.Now())
+		next += 1000
+	}
+	add1()
+	s.Add(req(block.Read, 1<<30, 2), eng.Now())
+	served2 := false
+	for i := 0; i < 200 && !served2; i++ {
+		add1()
+		r, _ := s.Dispatch(eng.Now())
+		if r == nil {
+			t.Fatal("stall")
+		}
+		if r.Stream == 2 {
+			served2 = true
+		}
+		s.Completed(r, eng.Now())
+		eng.RunUntil(eng.Now().Add(5 * sim.Millisecond))
+	}
+	if !served2 {
+		t.Fatal("slice never expired; stream 2 starved")
+	}
+}
+
+func TestMergerKeepsStreamsSeparate(t *testing.T) {
+	m := newMerger(1024)
+	a := block.NewRequest(block.Write, 100, 8, false, 1)
+	m.add(a)
+	// Adjacent extent from a different stream must not merge.
+	b := block.NewRequest(block.Write, 108, 8, false, 2)
+	if m.tryMerge(b) != nil {
+		t.Fatal("cross-stream merge")
+	}
+	// Adjacent extent with different sync class must not merge.
+	c := block.NewRequest(block.Write, 108, 8, true, 1)
+	if m.tryMerge(c) != nil {
+		t.Fatal("sync/async merge")
+	}
+}
+
+func TestNoopEmptyDispatch(t *testing.T) {
+	eng := sim.New(1)
+	s := NewNoop(DefaultParams())
+	r, wake := s.Dispatch(eng.Now())
+	if r != nil || wake != 0 {
+		t.Fatalf("empty dispatch returned %v %v", r, wake)
+	}
+	if s.Pending() != 0 {
+		t.Fatal("pending on empty scheduler")
+	}
+}
+
+func TestSchedulersReportPending(t *testing.T) {
+	eng := sim.New(1)
+	for _, name := range Names {
+		s := MustNew(name, DefaultParams())
+		for i := 0; i < 5; i++ {
+			s.Add(req(block.Read, int64(i*1000), block.StreamID(i)), eng.Now())
+		}
+		if s.Pending() != 5 {
+			t.Fatalf("%s pending %d", name, s.Pending())
+		}
+		r, _ := s.Dispatch(eng.Now())
+		if r == nil {
+			t.Fatalf("%s refused to dispatch", name)
+		}
+		if s.Pending() != 4 {
+			t.Fatalf("%s pending after dispatch %d", name, s.Pending())
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package mapred simulates a Hadoop 0.19-era MapReduce runtime on the
+// virtual cluster: a tasktracker per VM with map/reduce slots, data-local
+// map scheduling in waves, the io.sort.mb spill pipeline, an HTTP-served
+// parallel-copy shuffle with in-memory and on-disk merging, and reducers
+// that stream merged input through the user reduce function into
+// replicated HDFS output.
+//
+// The runtime exposes the phase boundary events (all maps done, shuffle
+// done) that the paper's meta-scheduler switches on, and records progress
+// checkpoints for the Fig 4 analysis.
+package mapred
+
+import "adaptmr/internal/sim"
+
+// Config describes one MapReduce job. Workload packages provide presets
+// for the paper's three benchmarks.
+type Config struct {
+	// Name labels the job in reports.
+	Name string
+
+	// InputPerVM is the bytes of HDFS input placed on (and mapped by) each
+	// datanode VM (paper default 512 MB).
+	InputPerVM int64
+
+	// MapOutputRatio is map output bytes / map input bytes after any
+	// combiner (sort: 1.0, wordcount w/o combiner: 1.7, wordcount: ~0.07).
+	MapOutputRatio float64
+	// ReduceOutputRatio is reduce output bytes / reduce input bytes.
+	ReduceOutputRatio float64
+
+	// MapCPUSecPerMB is user map-function CPU per input MB (full core).
+	MapCPUSecPerMB float64
+	// SortCPUSecPerMB is sort/spill/merge CPU per MB passed through.
+	SortCPUSecPerMB float64
+	// ReduceCPUSecPerMB is user reduce-function CPU per input MB.
+	ReduceCPUSecPerMB float64
+
+	// MapSlots and ReduceSlots are per tasktracker (paper: 2 each on
+	// 1-VCPU VMs).
+	MapSlots, ReduceSlots int
+	// ReducersPerVM sets the number of reduce tasks as a multiple of the
+	// VM count (paper runs 2 concurrent reduces per VM).
+	ReducersPerVM int
+
+	// SortBufferBytes is io.sort.mb (100 MB) and SpillThreshold the
+	// fraction that triggers a spill (0.8).
+	SortBufferBytes int64
+	SpillThreshold  float64
+	// SortFactor is io.sort.factor: max segments merged in one pass.
+	SortFactor int
+
+	// ParallelCopies is mapred.reduce.parallel.copies (5).
+	ParallelCopies int
+	// CopyCPUSecPerMB is the reducer-side copier cost per fetched MB
+	// (HTTP stream decode + in-memory merge bookkeeping); Hadoop 0.19
+	// copiers managed only a few tens of MB/s per core.
+	CopyCPUSecPerMB float64
+	// FetchOverhead is the fixed per-fetch cost (HTTP connection setup,
+	// tasktracker servlet dispatch).
+	FetchOverhead sim.Duration
+	// ShuffleBufferBytes is the reducer's in-memory shuffle budget; fetched
+	// segments beyond it spill to the reducer's local disk.
+	ShuffleBufferBytes int64
+
+	// IOUnitBytes is the granularity at which tasks interleave disk I/O
+	// and CPU (stream buffer size).
+	IOUnitBytes int64
+}
+
+// DefaultConfig returns neutral job settings (sort-like I/O heavy job);
+// callers override the workload-specific fields.
+func DefaultConfig() Config {
+	return Config{
+		Name:               "job",
+		InputPerVM:         512 << 20,
+		MapOutputRatio:     1.0,
+		ReduceOutputRatio:  1.0,
+		MapCPUSecPerMB:     0.010,
+		SortCPUSecPerMB:    0.006,
+		ReduceCPUSecPerMB:  0.010,
+		MapSlots:           2,
+		ReduceSlots:        2,
+		ReducersPerVM:      2,
+		SortBufferBytes:    100 << 20,
+		SpillThreshold:     0.8,
+		SortFactor:         10,
+		ParallelCopies:     5,
+		CopyCPUSecPerMB:    0.02,
+		FetchOverhead:      30 * sim.Millisecond,
+		ShuffleBufferBytes: 64 << 20,
+		IOUnitBytes:        4 << 20,
+	}
+}
+
+func (c Config) validate() {
+	switch {
+	case c.InputPerVM <= 0:
+		panic("mapred: InputPerVM must be positive")
+	case c.MapSlots <= 0 || c.ReduceSlots <= 0:
+		panic("mapred: slots must be positive")
+	case c.ReducersPerVM <= 0:
+		panic("mapred: ReducersPerVM must be positive")
+	case c.SortBufferBytes <= 0 || c.SpillThreshold <= 0 || c.SpillThreshold > 1:
+		panic("mapred: invalid sort buffer settings")
+	case c.ParallelCopies <= 0 || c.IOUnitBytes <= 0:
+		panic("mapred: invalid copy/unit settings")
+	case c.MapOutputRatio < 0 || c.ReduceOutputRatio < 0:
+		panic("mapred: ratios must be non-negative")
+	case c.SortFactor < 2:
+		panic("mapred: SortFactor must be at least 2")
+	}
+}

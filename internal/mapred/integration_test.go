@@ -1,0 +1,111 @@
+package mapred_test
+
+import (
+	"testing"
+
+	"adaptmr/internal/block"
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/mapred"
+	"adaptmr/internal/workloads"
+)
+
+// TestCrossLayerConservation runs a full sort job and checks accounting
+// invariants that span every layer of the stack: no request is lost
+// between guest queues, Dom0 queues and the disks; the page caches drain;
+// the disks see at least the job's mandatory data volume; and the network
+// carried the off-host replica traffic.
+func TestCrossLayerConservation(t *testing.T) {
+	cfg := smallConfig()
+	cl := cluster.New(cfg)
+	bm := workloads.Sort(128 << 20)
+	res := mapred.Run(cl, bm.Job)
+
+	totalInput := bm.Job.InputPerVM * int64(cl.NumVMs())
+
+	var diskBytes, dom0Read int64
+	for _, h := range cl.Hosts {
+		st := h.Disk().Stats()
+		diskBytes += st.Bytes
+		qs := h.Dom0Queue().Stats()
+		dom0Read += qs.ReadBytes
+
+		// Queue-level conservation: everything submitted completed.
+		if h.Dom0Queue().Pending() != 0 || h.Dom0Queue().InFlight() != 0 {
+			t.Fatalf("host %d dom0 queue not drained", h.ID)
+		}
+		for _, d := range h.Domains() {
+			if d.Queue().Pending() != 0 || d.Queue().InFlight() != 0 {
+				t.Fatalf("guest queue not drained on host %d", h.ID)
+			}
+		}
+		// The disk processed exactly what the Dom0 queue completed.
+		if st.Bytes != qs.ReadBytes+qs.WriteBytes {
+			t.Fatalf("host %d: disk %d bytes != dom0 completions %d",
+				h.ID, st.Bytes, qs.ReadBytes+qs.WriteBytes)
+		}
+	}
+
+	// Sort reads its whole input from disk (cold) and writes at least the
+	// replicated output; everything else (spills, shuffle) only adds.
+	if dom0Read < totalInput {
+		t.Fatalf("disks read %d bytes < input %d", dom0Read, totalInput)
+	}
+	minBytes := totalInput /*input reads*/ + 2*totalInput /*replicated output*/
+	if diskBytes < minBytes {
+		t.Fatalf("disks moved %d bytes < mandatory %d", diskBytes, minBytes)
+	}
+
+	// All dirty data was written back by job-drain time.
+	for vm := 0; vm < cl.NumVMs(); vm++ {
+		if cl.FS(vm).DirtyBytes() != 0 {
+			t.Fatalf("vm %d still dirty after drain", vm)
+		}
+	}
+
+	// Replication shipped (roughly) one copy of the output off-host.
+	if cl.DFS.ReplicaBytes < totalInput/2 {
+		t.Fatalf("replica traffic %d suspiciously low", cl.DFS.ReplicaBytes)
+	}
+	if net := cl.Net.Stats(); net.Bytes < float64(cl.DFS.ReplicaBytes)/2 {
+		t.Fatalf("network carried %.0f bytes, less than replica volume", net.Bytes)
+	}
+
+	// CPU accounting: no VCPU can have been busy longer than the job ran.
+	for vm := 0; vm < cl.NumVMs(); vm++ {
+		if busy := cl.Domain(vm).VCPU.Busy(); busy > res.Duration {
+			t.Fatalf("vm %d busy %v > job duration %v", vm, busy, res.Duration)
+		}
+	}
+}
+
+// TestRequestLifecyclesUnderSwitch runs a job with a mid-flight pair
+// switch and verifies no request or byte goes missing across the drain.
+func TestRequestLifecyclesUnderSwitch(t *testing.T) {
+	cfg := smallConfig()
+	cl := cluster.New(cfg)
+	var completions int64
+	for _, h := range cl.Hosts {
+		q := h.Dom0Queue()
+		q.OnComplete = func(r *block.Request) { completions++ }
+	}
+	j := mapred.NewJob(cl, workloads.Sort(128<<20).Job)
+	target, err := iosched.ParsePair("dd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.OnMapsDone(func() { cl.SetPairAll(target, nil) })
+	j.Start(nil)
+	cl.Eng.Run()
+	if !j.Done() {
+		t.Fatal("job did not finish across the switch")
+	}
+	if completions == 0 {
+		t.Fatal("no completions observed")
+	}
+	for _, h := range cl.Hosts {
+		if h.Dom0Queue().Stats().Switches != 1 {
+			t.Fatalf("host %d switches = %d", h.ID, h.Dom0Queue().Stats().Switches)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package mapred
+
+import (
+	"fmt"
+
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/sim"
+)
+
+// Phase identifies the paper's coarse job phases.
+type Phase int
+
+const (
+	// PhaseMap runs from job start until all map tasks complete (CPU +
+	// disk + network intensive).
+	PhaseMap Phase = iota
+	// PhaseShuffle runs from all-maps-done until the last reducer finishes
+	// fetching (disk + network intensive).
+	PhaseShuffle
+	// PhaseReduce covers the final sort/merge, reduce function, and HDFS
+	// output (CPU + disk intensive).
+	PhaseReduce
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseMap:
+		return "Ph1-map"
+	case PhaseShuffle:
+		return "Ph2-shuffle"
+	case PhaseReduce:
+		return "Ph3-reduce"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// ProgressPoint is a timestamped completion fraction sample.
+type ProgressPoint struct {
+	Fraction float64
+	At       sim.Time
+}
+
+// Result summarises a finished job.
+type Result struct {
+	Name     string
+	Start    sim.Time
+	Done     sim.Time
+	Duration sim.Duration
+
+	MapsDoneAt    sim.Time
+	ShuffleDoneAt sim.Time
+
+	NumMaps    int
+	NumReduces int
+	Waves      float64 // map waves = blocks / (VMs × map slots)
+
+	// FirstMapDoneAt is when the first map output became fetchable (the
+	// earliest the shuffle could start).
+	FirstMapDoneAt sim.Time
+
+	// NonConcurrentShufflePct is Table II's metric: the part of the
+	// shuffle window that ran after the last map finished, as a
+	// percentage of the whole shuffle window (first map output available
+	// → last reducer fetched).
+	NonConcurrentShufflePct float64
+
+	Progress []ProgressPoint
+}
+
+// PhaseDuration returns the wall time spent in phase p.
+func (r Result) PhaseDuration(p Phase) sim.Duration {
+	switch p {
+	case PhaseMap:
+		return r.MapsDoneAt.Sub(r.Start)
+	case PhaseShuffle:
+		return r.ShuffleDoneAt.Sub(r.MapsDoneAt)
+	case PhaseReduce:
+		return r.Done.Sub(r.ShuffleDoneAt)
+	}
+	return 0
+}
+
+// Job is one executing MapReduce job.
+type Job struct {
+	eng *sim.Engine
+	cl  *cluster.Cluster
+	cfg Config
+
+	tts     []*taskTracker
+	maps    []*mapTask
+	reduces []*reduceTask
+
+	started  bool
+	start    sim.Time
+	mapsDone int
+	shuffled int
+	finished int
+
+	tFirstMap    sim.Time
+	tMapsDone    sim.Time
+	tShuffleDone sim.Time
+	tDone        sim.Time
+	done         bool
+
+	onDone        func(*Job)
+	onMapsDone    []func()
+	onShuffleDone []func()
+
+	credits      int
+	totalCredits int
+	progress     []ProgressPoint
+}
+
+// NewJob lays out a job on the cluster: places the HDFS input, creates one
+// data-local map task per block and the configured reduce tasks.
+func NewJob(cl *cluster.Cluster, cfg Config) *Job {
+	cfg.validate()
+	j := &Job{eng: cl.Eng, cl: cl, cfg: cfg}
+	nvm := cl.NumVMs()
+	for vm := 0; vm < nvm; vm++ {
+		j.tts = append(j.tts, newTaskTracker(j, vm))
+	}
+	// Data-local input placement: each VM maps its own blocks.
+	for vm := 0; vm < nvm; vm++ {
+		blocks := cl.DFS.PlaceInput(vm, cfg.InputPerVM)
+		for _, b := range blocks {
+			m := newMapTask(j, j.tts[vm], len(j.maps), b)
+			j.maps = append(j.maps, m)
+			j.tts[vm].mapQueue = append(j.tts[vm].mapQueue, m)
+		}
+	}
+	nred := cfg.ReducersPerVM * nvm
+	for r := 0; r < nred; r++ {
+		// Round-robin reducer placement over tasktrackers.
+		rt := newReduceTask(j, j.tts[r%nvm], r)
+		j.reduces = append(j.reduces, rt)
+		j.tts[r%nvm].reduceQueue = append(j.tts[r%nvm].reduceQueue, rt)
+	}
+	j.totalCredits = len(j.maps) + len(j.reduces)
+	return j
+}
+
+// Config returns the job configuration.
+func (j *Job) Config() Config { return j.cfg }
+
+// NumMaps returns the number of map tasks.
+func (j *Job) NumMaps() int { return len(j.maps) }
+
+// NumReduces returns the number of reduce tasks.
+func (j *Job) NumReduces() int { return len(j.reduces) }
+
+// OnMapsDone registers a callback fired the moment the last map finishes
+// (the paper's Ph1→Ph2 switch point).
+func (j *Job) OnMapsDone(fn func()) { j.onMapsDone = append(j.onMapsDone, fn) }
+
+// OnShuffleDone registers a callback fired when the last reducer finishes
+// fetching (the paper's Ph2→Ph3 switch point).
+func (j *Job) OnShuffleDone(fn func()) { j.onShuffleDone = append(j.onShuffleDone, fn) }
+
+// Start launches the job; onDone fires at completion.
+func (j *Job) Start(onDone func(*Job)) {
+	if j.started {
+		panic("mapred: job already started")
+	}
+	j.started = true
+	j.onDone = onDone
+	j.start = j.eng.Now()
+	for _, tt := range j.tts {
+		tt.launch()
+	}
+}
+
+// Done reports whether the job has completed.
+func (j *Job) Done() bool { return j.done }
+
+// Result returns the job summary; it panics if the job has not finished.
+func (j *Job) Result() Result {
+	if !j.done {
+		panic("mapred: Result before completion")
+	}
+	dur := j.tDone.Sub(j.start)
+	res := Result{
+		Name:           j.cfg.Name,
+		Start:          j.start,
+		Done:           j.tDone,
+		Duration:       dur,
+		FirstMapDoneAt: j.tFirstMap,
+		MapsDoneAt:     j.tMapsDone,
+		ShuffleDoneAt:  j.tShuffleDone,
+		NumMaps:        len(j.maps),
+		NumReduces:     len(j.reduces),
+		Waves:          float64(len(j.maps)) / float64(len(j.tts)*j.cfg.MapSlots),
+		Progress:       j.progress,
+	}
+	if window := j.tShuffleDone.Sub(j.tFirstMap); window > 0 {
+		res.NonConcurrentShufflePct = 100 * float64(j.tShuffleDone.Sub(j.tMapsDone)) / float64(window)
+	}
+	return res
+}
+
+// credit advances the progress meter by one completed task.
+func (j *Job) credit() {
+	j.credits++
+	j.progress = append(j.progress, ProgressPoint{
+		Fraction: float64(j.credits) / float64(j.totalCredits),
+		At:       j.eng.Now(),
+	})
+}
+
+// mapFinished is called by a map task on completion.
+func (j *Job) mapFinished(m *mapTask) {
+	if j.mapsDone == 0 {
+		j.tFirstMap = j.eng.Now()
+	}
+	j.mapsDone++
+	j.credit()
+	// Publish the map output to every reducer.
+	for _, r := range j.reduces {
+		r.mapOutputAvailable(m)
+	}
+	if j.mapsDone == len(j.maps) {
+		j.tMapsDone = j.eng.Now()
+		for _, fn := range j.onMapsDone {
+			fn()
+		}
+	}
+	m.tt.mapSlotFreed()
+}
+
+// reducerShuffled is called by a reducer when its fetch set completes.
+func (j *Job) reducerShuffled(*reduceTask) {
+	j.shuffled++
+	if j.shuffled == len(j.reduces) {
+		j.tShuffleDone = j.eng.Now()
+		for _, fn := range j.onShuffleDone {
+			fn()
+		}
+	}
+}
+
+// reducerFinished is called by a reducer when its output is committed.
+func (j *Job) reducerFinished(r *reduceTask) {
+	j.finished++
+	j.credit()
+	r.tt.reduceSlotFreed()
+	if j.finished == len(j.reduces) {
+		j.tDone = j.eng.Now()
+		j.done = true
+		if j.onDone != nil {
+			j.onDone(j)
+		}
+	}
+}
+
+// Run executes a job to completion on a fresh cluster and returns its
+// result. It is the standard entry point for experiments.
+func Run(cl *cluster.Cluster, cfg Config) Result {
+	j := NewJob(cl, cfg)
+	j.Start(nil)
+	cl.Eng.Run()
+	if !j.done {
+		panic("mapred: simulation drained before job completion (deadlock in model)")
+	}
+	return j.Result()
+}

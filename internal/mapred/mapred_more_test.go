@@ -1,0 +1,94 @@
+package mapred_test
+
+import (
+	"testing"
+
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/mapred"
+	"adaptmr/internal/workloads"
+)
+
+func TestMultiPassMergeWithTinySortFactor(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	cfg := workloads.Sort(192 << 20).Job
+	// Force multi-pass merges: tiny shuffle buffer produces many spills,
+	// tiny sort factor forces intermediate merge rounds.
+	cfg.ShuffleBufferBytes = 4 << 20
+	cfg.SortFactor = 2
+	res := mapred.Run(cl, cfg)
+	if res.Duration <= 0 {
+		t.Fatal("multi-pass merge job failed")
+	}
+}
+
+func TestMapSideMultiSpill(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	cfg := workloads.Sort(128 << 20).Job
+	// 64 MB map output against an 8 MB sort buffer: ~10 spills per map,
+	// merged (and re-merged: factor 4) before serving.
+	cfg.SortBufferBytes = 8 << 20
+	cfg.SortFactor = 4
+	res := mapred.Run(cl, cfg)
+	if res.Duration <= 0 {
+		t.Fatal("multi-spill job failed")
+	}
+}
+
+func TestSingleVMCluster(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cfg.Hosts = 1
+	cfg.VMsPerHost = 1
+	cl := cluster.New(cfg)
+	res := mapred.Run(cl, workloads.Sort(128<<20).Job)
+	if res.Duration <= 0 {
+		t.Fatal("degenerate 1-VM cluster failed")
+	}
+}
+
+func TestCPUBoundVsIOBoundShape(t *testing.T) {
+	// The same data volume, one CPU-heavy job and one I/O-heavy job: the
+	// CPU-heavy job's duration must be dominated by the map phase.
+	cl1 := cluster.New(smallConfig())
+	cpu := mapred.Run(cl1, workloads.WordCount(192<<20).Job)
+	cl2 := cluster.New(smallConfig())
+	io := mapred.Run(cl2, workloads.Sort(192<<20).Job)
+	cpuMapShare := cpu.PhaseDuration(mapred.PhaseMap).Seconds() / cpu.Duration.Seconds()
+	ioMapShare := io.PhaseDuration(mapred.PhaseMap).Seconds() / io.Duration.Seconds()
+	if cpuMapShare <= ioMapShare {
+		t.Fatalf("wordcount map share %.2f <= sort map share %.2f", cpuMapShare, ioMapShare)
+	}
+}
+
+func TestBiggerInputTakesLonger(t *testing.T) {
+	small := mapred.Run(cluster.New(smallConfig()), workloads.Sort(96<<20).Job)
+	big := mapred.Run(cluster.New(smallConfig()), workloads.Sort(256<<20).Job)
+	if big.Duration <= small.Duration {
+		t.Fatalf("256MB (%v) not slower than 96MB (%v)", big.Duration, small.Duration)
+	}
+}
+
+func TestSlowdownUnderHeterogeneity(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HostDiskSlowdown = map[int]float64{0: 3}
+	res := mapred.Run(cluster.New(cfg), workloads.Sort(128<<20).Job)
+	even := mapred.Run(cluster.New(smallConfig()), workloads.Sort(128<<20).Job)
+	if res.Duration <= even.Duration {
+		t.Fatal("slow disk had no effect on the job")
+	}
+	// The slow host also stretches the map phase specifically (stragglers).
+	if res.PhaseDuration(mapred.PhaseMap) <= even.PhaseDuration(mapred.PhaseMap) {
+		t.Fatal("map phase unaffected by the slow host")
+	}
+}
+
+func TestFetchOverheadSlowsShuffleWindow(t *testing.T) {
+	fast := workloads.Sort(128 << 20).Job
+	fast.FetchOverhead = 0
+	slow := workloads.Sort(128 << 20).Job
+	slow.FetchOverhead = 500 * 1000 * 1000 // 500ms per fetch
+	rf := mapred.Run(cluster.New(smallConfig()), fast)
+	rs := mapred.Run(cluster.New(smallConfig()), slow)
+	if rs.ShuffleDoneAt.Sub(rs.FirstMapDoneAt) <= rf.ShuffleDoneAt.Sub(rf.FirstMapDoneAt) {
+		t.Fatal("fetch overhead did not stretch the shuffle window")
+	}
+}

@@ -1,0 +1,238 @@
+package mapred_test
+
+import (
+	"testing"
+
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/mapred"
+	"adaptmr/internal/workloads"
+)
+
+func smallConfig() cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.Hosts = 2
+	cfg.VMsPerHost = 2
+	return cfg
+}
+
+func TestJobGeometry(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	job := workloads.Sort(128 << 20).Job // 2 blocks per VM
+	j := mapred.NewJob(cl, job)
+	if j.NumMaps() != 8 { // 4 VMs × 2 blocks
+		t.Fatalf("maps = %d", j.NumMaps())
+	}
+	if j.NumReduces() != 8 { // 2 per VM
+		t.Fatalf("reduces = %d", j.NumReduces())
+	}
+}
+
+func TestPhaseOrdering(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	res := mapred.Run(cl, workloads.Sort(128<<20).Job)
+	if res.MapsDoneAt < res.Start || res.ShuffleDoneAt < res.MapsDoneAt || res.Done < res.ShuffleDoneAt {
+		t.Fatalf("phases out of order: %+v", res)
+	}
+	if res.Duration != res.Done.Sub(res.Start) {
+		t.Fatalf("duration mismatch")
+	}
+	for _, p := range []mapred.Phase{mapred.PhaseMap, mapred.PhaseShuffle, mapred.PhaseReduce} {
+		if res.PhaseDuration(p) < 0 {
+			t.Fatalf("negative phase %v", p)
+		}
+	}
+}
+
+func TestWavesComputation(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	res := mapred.Run(cl, workloads.Sort(256<<20).Job) // 4 blocks/VM, 2 slots
+	if res.Waves != 2 {
+		t.Fatalf("waves = %v, want 2", res.Waves)
+	}
+}
+
+func TestProgressMonotone(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	res := mapred.Run(cl, workloads.Sort(128<<20).Job)
+	if len(res.Progress) != res.NumMaps+res.NumReduces {
+		t.Fatalf("progress points = %d, want %d", len(res.Progress), res.NumMaps+res.NumReduces)
+	}
+	for i := 1; i < len(res.Progress); i++ {
+		if res.Progress[i].Fraction < res.Progress[i-1].Fraction ||
+			res.Progress[i].At < res.Progress[i-1].At {
+			t.Fatalf("progress not monotone at %d", i)
+		}
+	}
+	last := res.Progress[len(res.Progress)-1]
+	if last.Fraction != 1.0 {
+		t.Fatalf("final fraction %v", last.Fraction)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := mapred.Run(cluster.New(smallConfig()), workloads.Sort(128<<20).Job)
+	b := mapred.Run(cluster.New(smallConfig()), workloads.Sort(128<<20).Job)
+	if a.Duration != b.Duration || a.MapsDoneAt != b.MapsDoneAt {
+		t.Fatalf("nondeterministic: %v vs %v", a.Duration, b.Duration)
+	}
+}
+
+func TestSeedChangesNothingStructural(t *testing.T) {
+	cfgA := smallConfig()
+	cfgA.Seed = 7
+	res := mapred.Run(cluster.New(cfgA), workloads.Sort(128<<20).Job)
+	if res.NumMaps != 8 || res.NumReduces != 8 {
+		t.Fatalf("geometry changed with seed: %+v", res)
+	}
+}
+
+func TestPhaseBoundaryHooks(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	j := mapred.NewJob(cl, workloads.Sort(128<<20).Job)
+	mapsDone, shuffleDone := false, false
+	j.OnMapsDone(func() { mapsDone = true })
+	j.OnShuffleDone(func() {
+		if !mapsDone {
+			t.Error("shuffle-done before maps-done")
+		}
+		shuffleDone = true
+	})
+	j.Start(nil)
+	cl.Eng.Run()
+	if !mapsDone || !shuffleDone {
+		t.Fatalf("hooks: maps=%v shuffle=%v", mapsDone, shuffleDone)
+	}
+}
+
+func TestOnDoneCallback(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	j := mapred.NewJob(cl, workloads.Sort(128<<20).Job)
+	var got *mapred.Job
+	j.Start(func(done *mapred.Job) { got = done })
+	cl.Eng.Run()
+	if got != j {
+		t.Fatal("onDone not invoked with the job")
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	j := mapred.NewJob(cl, workloads.Sort(128<<20).Job)
+	j.Start(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double start did not panic")
+		}
+	}()
+	j.Start(nil)
+}
+
+func TestResultBeforeCompletionPanics(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	j := mapred.NewJob(cl, workloads.Sort(128<<20).Job)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Result before completion did not panic")
+		}
+	}()
+	j.Result()
+}
+
+func TestLargeMapOutputSpills(t *testing.T) {
+	// wordcount w/o combiner emits 1.7× the input: a 64 MB split yields
+	// ~109 MB of map output against a 100 MB sort buffer — it must spill
+	// more than once and still complete.
+	cl := cluster.New(smallConfig())
+	res := mapred.Run(cl, workloads.WordCountNoCombiner(128<<20).Job)
+	if res.Duration <= 0 {
+		t.Fatal("job failed")
+	}
+}
+
+func TestTinyOutputJob(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	cfg := workloads.WordCount(64 << 20).Job
+	cfg.MapOutputRatio = 0 // degenerate: maps emit nothing
+	res := mapred.Run(cl, cfg)
+	if res.Duration <= 0 {
+		t.Fatal("zero-output job failed")
+	}
+}
+
+func TestPartialLastBlock(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	// 96 MB per VM = one full 64 MB block + one 32 MB block.
+	j := mapred.NewJob(cl, workloads.Sort(96<<20).Job)
+	if j.NumMaps() != 8 {
+		t.Fatalf("maps = %d, want 8 (two blocks per VM)", j.NumMaps())
+	}
+	j.Start(nil)
+	cl.Eng.Run()
+	if !j.Done() {
+		t.Fatal("job with partial block did not finish")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(c *mapred.Config){
+		func(c *mapred.Config) { c.InputPerVM = 0 },
+		func(c *mapred.Config) { c.MapSlots = 0 },
+		func(c *mapred.Config) { c.ReducersPerVM = 0 },
+		func(c *mapred.Config) { c.SpillThreshold = 1.5 },
+		func(c *mapred.Config) { c.ParallelCopies = 0 },
+		func(c *mapred.Config) { c.MapOutputRatio = -1 },
+		func(c *mapred.Config) { c.SortFactor = 1 },
+	}
+	for i, mut := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid config accepted", i)
+				}
+			}()
+			cfg := mapred.DefaultConfig()
+			mut(&cfg)
+			mapred.NewJob(cluster.New(smallConfig()), cfg)
+		}()
+	}
+}
+
+func TestMoreReducersThanSlotsQueue(t *testing.T) {
+	cl := cluster.New(smallConfig())
+	cfg := workloads.Sort(128 << 20).Job
+	cfg.ReducersPerVM = 4 // 16 reducers on 8 reduce slots: two waves
+	res := mapred.Run(cl, cfg)
+	if res.NumReduces != 16 {
+		t.Fatalf("reduces = %d", res.NumReduces)
+	}
+}
+
+func TestSchedulerPairAffectsRuntime(t *testing.T) {
+	run := func(code string) float64 {
+		cl := cluster.New(smallConfig())
+		p, err := iosched.ParsePair(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.InstallPair(p)
+		return mapred.Run(cl, workloads.Sort(192<<20).Job).Duration.Seconds()
+	}
+	cc, nn := run("cc"), run("nn")
+	if nn <= cc {
+		t.Fatalf("noop-in-VMM (%.1fs) should be slower than CFQ (%.1fs)", nn, cc)
+	}
+}
+
+func TestNonConcurrentShuffleDropsWithWaves(t *testing.T) {
+	measure := func(blocksPerVM int64) float64 {
+		cl := cluster.New(smallConfig())
+		cfg := workloads.Sort(blocksPerVM * 64 << 20).Job
+		return mapred.Run(cl, cfg).NonConcurrentShufflePct
+	}
+	oneWave := measure(2) // 2 blocks / 2 slots = 1 wave
+	fourWaves := measure(8)
+	if oneWave <= fourWaves {
+		t.Fatalf("non-concurrent shuffle: 1 wave %.1f%% <= 4 waves %.1f%%", oneWave, fourWaves)
+	}
+}

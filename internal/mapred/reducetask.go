@@ -1,0 +1,258 @@
+package mapred
+
+import (
+	"fmt"
+
+	"adaptmr/internal/block"
+	"adaptmr/internal/guestio"
+)
+
+// reduceTask executes one reducer: it fetches its partition of every map
+// output as outputs become available (ParallelCopies concurrent HTTP
+// copies: a disk read on the serving VM, a network transfer, and an
+// in-memory landing that spills to the reducer's local disk when the
+// shuffle buffer fills), then merge-sorts the collected segments and
+// streams them through the reduce function into replicated HDFS output.
+type reduceTask struct {
+	job *Job
+	tt  *taskTracker
+	id  int
+
+	stream  block.StreamID
+	running bool
+
+	ready    []*mapTask
+	inflight int
+	fetched  int
+
+	memBytes      int64
+	diskSpills    []*guestio.File
+	pendingSpills int
+
+	totalIn     int64
+	shuffleOver bool
+}
+
+func newReduceTask(j *Job, tt *taskTracker, id int) *reduceTask {
+	return &reduceTask{job: j, tt: tt, id: id}
+}
+
+func (r *reduceTask) run() {
+	r.running = true
+	r.stream = r.tt.fs.NewStream()
+	r.pump()
+}
+
+// mapOutputAvailable enqueues a finished map's output for fetching.
+func (r *reduceTask) mapOutputAvailable(m *mapTask) {
+	r.ready = append(r.ready, m)
+	if r.running {
+		r.pump()
+	}
+}
+
+func (r *reduceTask) pump() {
+	for r.inflight < r.job.cfg.ParallelCopies && len(r.ready) > 0 {
+		m := r.ready[0]
+		r.ready = r.ready[1:]
+		r.inflight++
+		r.fetch(m)
+	}
+	r.checkShuffleDone()
+}
+
+// fetch copies this reducer's partition of one map output.
+func (r *reduceTask) fetch(m *mapTask) {
+	part := m.outputBytes() / int64(len(r.job.reduces))
+	if part <= 0 {
+		r.job.eng.Schedule(0, func() { r.fetchDone(0) })
+		return
+	}
+	serving := m.tt
+	off := int64(r.id) * part
+	if off+part > m.outputFile().Size() {
+		off = m.outputFile().Size() - part
+	}
+	// Serving-side disk read by the TT's HTTP server, after the fixed
+	// connection/servlet overhead.
+	r.job.eng.Schedule(r.job.cfg.FetchOverhead, func() {
+		m.outputFile().Read(serving.serveStream, off, part, func() {
+			src, dst := serving.hostID(), r.tt.hostID()
+			if serving.vm == r.tt.vm {
+				// Same VM: loopback, no network or bridge traffic.
+				r.land(part)
+				return
+			}
+			r.job.cl.Net.Send(src, dst, float64(part), func() {
+				r.land(part)
+			})
+		})
+	})
+}
+
+// land runs the copier-side CPU work (stream decode, in-memory merge
+// bookkeeping), then books the segment into the shuffle buffer, spilling
+// to the reducer's local disk when over budget.
+func (r *reduceTask) land(bytes int64) {
+	mb := float64(bytes) / (1 << 20)
+	r.tt.fs.Domain().VCPU.Run(mb*r.job.cfg.CopyCPUSecPerMB, func() {
+		r.memBytes += bytes
+		r.totalIn += bytes
+		if r.memBytes > r.job.cfg.ShuffleBufferBytes {
+			r.spillShuffle()
+		}
+		r.fetchDone(bytes)
+	})
+}
+
+func (r *reduceTask) fetchDone(int64) {
+	r.inflight--
+	r.fetched++
+	r.pump()
+}
+
+// spillShuffle merges the in-memory segments onto disk (sort CPU + buffered
+// write).
+func (r *reduceTask) spillShuffle() {
+	cfg := r.job.cfg
+	bytes := r.memBytes
+	r.memBytes = 0
+	f := r.tt.fs.Create(fmt.Sprintf("reduce%d-spill%d", r.id, len(r.diskSpills)))
+	r.diskSpills = append(r.diskSpills, f)
+	r.pendingSpills++
+	mb := float64(bytes) / (1 << 20)
+	r.tt.fs.Domain().VCPU.Run(mb*cfg.SortCPUSecPerMB, func() {
+		f.Append(r.stream, bytes, func() {
+			r.pendingSpills--
+			r.checkShuffleDone()
+		})
+	})
+}
+
+func (r *reduceTask) checkShuffleDone() {
+	if r.shuffleOver || !r.running {
+		return
+	}
+	if r.fetched < len(r.job.maps) || r.inflight > 0 || r.pendingSpills > 0 {
+		return
+	}
+	r.shuffleOver = true
+	r.job.reducerShuffled(r)
+	r.sortPhase()
+}
+
+// sortPhase performs intermediate merge passes while the segment count
+// exceeds io.sort.factor, then enters the streaming reduce.
+func (r *reduceTask) sortPhase() {
+	cfg := r.job.cfg
+	segments := len(r.diskSpills)
+	if r.memBytes > 0 {
+		segments++
+	}
+	if segments > cfg.SortFactor && len(r.diskSpills) >= 2 {
+		n := cfg.SortFactor
+		if n > len(r.diskSpills) {
+			n = len(r.diskSpills)
+		}
+		r.mergeSpills(r.diskSpills[:n], func(out *guestio.File) {
+			r.diskSpills = append([]*guestio.File{out}, r.diskSpills[n:]...)
+			r.sortPhase()
+		})
+		return
+	}
+	r.reducePhase()
+}
+
+// mergeSpills reads the given spill files, charges merge CPU, and writes
+// one combined run.
+func (r *reduceTask) mergeSpills(spills []*guestio.File, done func(*guestio.File)) {
+	cfg := r.job.cfg
+	var total int64
+	for _, s := range spills {
+		total += s.Size()
+	}
+	out := r.tt.fs.Create(fmt.Sprintf("reduce%d-intermerge", r.id))
+	idx := 0
+	var next func()
+	next = func() {
+		if idx == len(spills) {
+			mb := float64(total) / (1 << 20)
+			r.tt.fs.Domain().VCPU.Run(mb*cfg.SortCPUSecPerMB, func() {
+				out.Append(r.stream, total, func() { done(out) })
+			})
+			return
+		}
+		s := spills[idx]
+		idx++
+		s.Read(r.stream, 0, s.Size(), next)
+	}
+	next()
+}
+
+// reducePhase streams the merged input through the reduce function into
+// HDFS: in-memory segments first (no disk read), then each disk spill in
+// I/O units, charging merge+reduce CPU per unit and writing
+// ReduceOutputRatio × input to the replicated output file.
+func (r *reduceTask) reducePhase() {
+	cfg := r.job.cfg
+	writer := r.job.cl.DFS.NewWriter(r.tt.vm, r.stream)
+
+	memLeft := r.memBytes
+	spillIdx := 0
+	spillOff := int64(0)
+
+	var step func()
+	processUnit := func(unit int64, needDiskRead bool, read func(cb func())) {
+		mb := float64(unit) / (1 << 20)
+		cpu := mb * (cfg.SortCPUSecPerMB + cfg.ReduceCPUSecPerMB)
+		work := func() {
+			r.tt.fs.Domain().VCPU.Run(cpu, func() {
+				out := int64(float64(unit) * cfg.ReduceOutputRatio)
+				if out > 0 {
+					writer.Write(out, step)
+				} else {
+					step()
+				}
+			})
+		}
+		if needDiskRead {
+			read(work)
+		} else {
+			work()
+		}
+	}
+
+	step = func() {
+		if memLeft > 0 {
+			unit := cfg.IOUnitBytes
+			if unit > memLeft {
+				unit = memLeft
+			}
+			memLeft -= unit
+			processUnit(unit, false, nil)
+			return
+		}
+		for spillIdx < len(r.diskSpills) && spillOff >= r.diskSpills[spillIdx].Size() {
+			spillIdx++
+			spillOff = 0
+		}
+		if spillIdx < len(r.diskSpills) {
+			s := r.diskSpills[spillIdx]
+			unit := cfg.IOUnitBytes
+			if unit > s.Size()-spillOff {
+				unit = s.Size() - spillOff
+			}
+			off := spillOff
+			spillOff += unit
+			processUnit(unit, true, func(cb func()) {
+				s.Read(r.stream, off, unit, cb)
+			})
+			return
+		}
+		// All input consumed: commit the output.
+		writer.Close(func() {
+			r.job.reducerFinished(r)
+		})
+	}
+	step()
+}

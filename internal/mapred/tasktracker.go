@@ -1,0 +1,67 @@
+package mapred
+
+import (
+	"adaptmr/internal/block"
+	"adaptmr/internal/guestio"
+)
+
+// taskTracker is the per-VM Hadoop worker: it owns the map/reduce slots
+// and the identity under which map outputs are served to reducers.
+type taskTracker struct {
+	job *Job
+	vm  int
+	fs  *guestio.FS
+
+	mapQueue    []*mapTask
+	reduceQueue []*reduceTask
+
+	busyMapSlots    int
+	busyReduceSlots int
+
+	// serveStream is the TT HTTP server's process identity: shuffle reads
+	// on the serving side are attributed to it.
+	serveStream block.StreamID
+}
+
+func newTaskTracker(j *Job, vm int) *taskTracker {
+	fs := j.cl.FS(vm)
+	return &taskTracker{job: j, vm: vm, fs: fs, serveStream: fs.NewStream()}
+}
+
+// hostID returns the physical node the VM runs on.
+func (tt *taskTracker) hostID() int { return tt.job.cl.HostOf(tt.vm) }
+
+// launch fills all slots at job start. Hadoop launches reducers early so
+// they shuffle while maps run.
+func (tt *taskTracker) launch() {
+	tt.pumpMaps()
+	tt.pumpReduces()
+}
+
+func (tt *taskTracker) pumpMaps() {
+	for tt.busyMapSlots < tt.job.cfg.MapSlots && len(tt.mapQueue) > 0 {
+		m := tt.mapQueue[0]
+		tt.mapQueue = tt.mapQueue[1:]
+		tt.busyMapSlots++
+		m.run()
+	}
+}
+
+func (tt *taskTracker) pumpReduces() {
+	for tt.busyReduceSlots < tt.job.cfg.ReduceSlots && len(tt.reduceQueue) > 0 {
+		r := tt.reduceQueue[0]
+		tt.reduceQueue = tt.reduceQueue[1:]
+		tt.busyReduceSlots++
+		r.run()
+	}
+}
+
+func (tt *taskTracker) mapSlotFreed() {
+	tt.busyMapSlots--
+	tt.pumpMaps()
+}
+
+func (tt *taskTracker) reduceSlotFreed() {
+	tt.busyReduceSlots--
+	tt.pumpReduces()
+}

@@ -1,0 +1,254 @@
+// Package netsim is a fluid-flow network model: flows between physical
+// nodes share per-node NIC uplink/downlink capacity under global max-min
+// fairness, recomputed whenever a flow starts or finishes. Traffic between
+// VMs on the same physical node crosses the software bridge instead of the
+// NIC, at a higher capacity.
+//
+// This level of detail is enough for the paper's effects: shuffle
+// all-to-all traffic contends on 1 GbE NICs (Fig 7d's scale trend) without
+// modelling packets.
+package netsim
+
+import (
+	"math"
+
+	"adaptmr/internal/sim"
+)
+
+// Config sets link capacities in bytes/second.
+type Config struct {
+	// NICBps is per-node NIC capacity each direction (1 GbE ≈ 117 MiB/s
+	// effective after protocol overhead).
+	NICBps float64
+	// BridgeBps is intra-node VM-to-VM capacity through the Xen bridge.
+	BridgeBps float64
+}
+
+// DefaultConfig models the paper's 1 Gb/s Ethernet.
+func DefaultConfig() Config {
+	return Config{NICBps: 117e6, BridgeBps: 400e6}
+}
+
+// Flow is one in-progress transfer.
+type Flow struct {
+	src, dst  int
+	remaining float64 // bytes
+	rate      float64 // bytes/sec, recomputed on membership changes
+	done      func()
+	canceled  bool
+}
+
+// Rate returns the flow's current allocation in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Cancel abandons the transfer without invoking its callback.
+func (f *Flow) Cancel() { f.canceled = true }
+
+// Stats aggregates network activity.
+type Stats struct {
+	Flows       int64
+	Bytes       float64
+	BridgeFlows int64
+}
+
+// Network simulates the cluster fabric.
+type Network struct {
+	eng   *sim.Engine
+	cfg   Config
+	nodes int
+
+	flows      []*Flow // insertion order, for deterministic accounting
+	lastUpdate sim.Time
+	next       *sim.Event
+
+	stats Stats
+}
+
+// New creates a network joining the given number of physical nodes.
+func New(eng *sim.Engine, nodes int, cfg Config) *Network {
+	if nodes <= 0 || cfg.NICBps <= 0 || cfg.BridgeBps <= 0 {
+		panic("netsim: invalid config")
+	}
+	return &Network{eng: eng, cfg: cfg, nodes: nodes}
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Active returns the number of in-flight flows.
+func (n *Network) Active() int { return len(n.flows) }
+
+// Send starts a transfer of bytes from src node to dst node and invokes
+// done on completion. Zero-byte transfers complete immediately (next
+// event).
+func (n *Network) Send(src, dst int, bytes float64, done func()) *Flow {
+	if src < 0 || src >= n.nodes || dst < 0 || dst >= n.nodes {
+		panic("netsim: node out of range")
+	}
+	if bytes < 0 {
+		panic("netsim: negative transfer")
+	}
+	n.advance()
+	f := &Flow{src: src, dst: dst, remaining: bytes, done: done}
+	n.flows = append(n.flows, f)
+	n.stats.Flows++
+	if src == dst {
+		n.stats.BridgeFlows++
+	}
+	n.recompute()
+	return f
+}
+
+// advance drains progress since the last membership change.
+func (n *Network) advance() {
+	now := n.eng.Now()
+	dt := now.Sub(n.lastUpdate).Seconds()
+	n.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range n.flows {
+		moved := f.rate * dt
+		f.remaining -= moved
+		n.stats.Bytes += moved
+	}
+}
+
+// link identifies a capacity constraint: NIC up/down per node, bridge per
+// node.
+type link struct {
+	node int
+	kind uint8 // 0 = up, 1 = down, 2 = bridge
+}
+
+// recompute performs max-min water-filling over all links and re-arms the
+// next completion event.
+func (n *Network) recompute() {
+	if n.next != nil {
+		n.next.Cancel()
+		n.next = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+
+	// Build link membership. Links are collected in first-use order so
+	// the water-filling iteration is deterministic.
+	capLeft := make(map[link]float64)
+	members := make(map[link][]*Flow)
+	flowLinks := make(map[*Flow][]link)
+	var links []link
+	for _, f := range n.flows {
+		var ls []link
+		if f.src == f.dst {
+			ls = []link{{f.src, 2}}
+		} else {
+			ls = []link{{f.src, 0}, {f.dst, 1}}
+		}
+		flowLinks[f] = ls
+		for _, l := range ls {
+			if _, ok := capLeft[l]; !ok {
+				if l.kind == 2 {
+					capLeft[l] = n.cfg.BridgeBps
+				} else {
+					capLeft[l] = n.cfg.NICBps
+				}
+				links = append(links, l)
+			}
+			members[l] = append(members[l], f)
+		}
+	}
+
+	frozen := make(map[*Flow]bool)
+	unfrozenOn := func(l link) int {
+		c := 0
+		for _, f := range members[l] {
+			if !frozen[f] {
+				c++
+			}
+		}
+		return c
+	}
+
+	for len(frozen) < len(n.flows) {
+		// Find the bottleneck link: smallest fair share among links with
+		// unfrozen flows.
+		var bott link
+		best := math.Inf(1)
+		found := false
+		for _, l := range links {
+			k := unfrozenOn(l)
+			if k == 0 {
+				continue
+			}
+			share := capLeft[l] / float64(k)
+			if share < best {
+				best, bott, found = share, l, true
+			}
+		}
+		if !found {
+			break
+		}
+		for _, f := range members[bott] {
+			if frozen[f] {
+				continue
+			}
+			frozen[f] = true
+			f.rate = best
+			for _, l := range flowLinks[f] {
+				capLeft[l] -= best
+				if capLeft[l] < 0 {
+					capLeft[l] = 0
+				}
+			}
+		}
+	}
+
+	// Arm completion for the earliest-finishing flow.
+	eta := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := f.remaining / f.rate
+		if t < eta {
+			eta = t
+		}
+	}
+	if math.IsInf(eta, 1) {
+		return
+	}
+	if eta < 0 {
+		eta = 0
+	}
+	d := sim.DurationFromSeconds(eta)
+	if d == 0 && eta > 0 {
+		// Sub-nanosecond residue must still advance the clock, or the
+		// completion event would loop at the current instant forever.
+		d = 1
+	}
+	n.next = n.eng.Schedule(d, n.completeDue)
+}
+
+// completeDue retires all flows that have drained.
+func (n *Network) completeDue() {
+	n.next = nil
+	n.advance()
+	const eps = 1.0 // sub-byte residue is float noise
+	var finished []*Flow
+	live := n.flows[:0]
+	for _, f := range n.flows {
+		if f.remaining <= eps {
+			finished = append(finished, f)
+		} else {
+			live = append(live, f)
+		}
+	}
+	n.flows = live
+	n.recompute()
+	for _, f := range finished {
+		if !f.canceled && f.done != nil {
+			f.done()
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adaptmr/internal/sim"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Mean(xs) != 2.8 {
+		t.Fatalf("mean %v", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatalf("min/max %v %v", Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty input should give zeros")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if math.Abs(StdDev(xs)-2.0) > 1e-9 {
+		t.Fatalf("sd %v", StdDev(xs))
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single sample sd")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {50, 30}, {100, 50}, {25, 20}, {-5, 10}, {200, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	cdf := CDF(xs)
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1.0}}
+	if len(cdf) != len(want) {
+		t.Fatalf("cdf %v", cdf)
+	}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Fatalf("cdf[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty cdf")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("%+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestQuickCDFInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		cdf := CDF(xs)
+		if len(xs) == 0 {
+			return cdf == nil
+		}
+		// Monotone in both coordinates; ends at 1.0.
+		for i := range cdf {
+			if i > 0 && (cdf[i].Value <= cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction) {
+				return false
+			}
+			if cdf[i].Fraction <= 0 || cdf[i].Fraction > 1 {
+				return false
+			}
+		}
+		if cdf[len(cdf)-1].Fraction != 1.0 {
+			return false
+		}
+		// Percentile is always within [min, max].
+		ys := append([]float64(nil), xs...)
+		sort.Float64s(ys)
+		for _, p := range []float64{0, 10, 50, 90, 100} {
+			v := Percentile(xs, p)
+			if v < ys[0] || v > ys[len(ys)-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputSampler(t *testing.T) {
+	eng := sim.New(1)
+	ts := NewThroughputSampler(eng, sim.Second)
+	// 10 MB at t=0.5, 20 MB at t=1.5.
+	eng.Schedule(500*sim.Millisecond, func() { ts.Record(10e6) })
+	eng.Schedule(1500*sim.Millisecond, func() { ts.Record(20e6) })
+	eng.Run()
+	series := ts.Series()
+	if len(series) != 2 {
+		t.Fatalf("series %v", series)
+	}
+	if math.Abs(series[0]-10) > 1e-9 {
+		t.Fatalf("window 0 = %v MB/s", series[0])
+	}
+	if ts.TotalBytes() != 30e6 {
+		t.Fatalf("total %d", ts.TotalBytes())
+	}
+	if m := ts.MeanMBps(); math.Abs(m-20) > 1e-6 { // 30 MB over 1.5s
+		t.Fatalf("mean %v", m)
+	}
+}
+
+func TestThroughputSamplerSkipsEmptyWindows(t *testing.T) {
+	eng := sim.New(1)
+	ts := NewThroughputSampler(eng, sim.Second)
+	eng.Schedule(100*sim.Millisecond, func() { ts.Record(1e6) })
+	eng.Schedule(5500*sim.Millisecond, func() { ts.Record(2e6) })
+	eng.Run()
+	series := ts.Series()
+	// Windows: [0,1)=1MB, [1..5) four empty windows, partial [5,5.5]=2MB.
+	if len(series) != 6 {
+		t.Fatalf("series len %d: %v", len(series), series)
+	}
+	for i := 1; i < 5; i++ {
+		if series[i] != 0 {
+			t.Fatalf("window %d = %v, want 0", i, series[i])
+		}
+	}
+}
+
+func TestSamplerInvalidWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewThroughputSampler(sim.New(1), 0)
+}

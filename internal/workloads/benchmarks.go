@@ -1,0 +1,115 @@
+// Package workloads defines the paper's benchmark suite: the three
+// MapReduce benchmarks (wordcount with combiner, wordcount without
+// combiner, stream sort) classified by disk-operation weight, plus the two
+// microbenchmarks used in the empirical study — Sysbench sequential file
+// writing (Fig 1) and parallel dd (the switch-cost probe of Fig 5).
+package workloads
+
+import (
+	"fmt"
+
+	"adaptmr/internal/mapred"
+)
+
+// Class is the paper's disk-operation taxonomy.
+type Class int
+
+const (
+	// Light disk operations: neither map output nor reduce output is big
+	// (wordcount with combiner).
+	Light Class = iota
+	// Moderate disk operations: only the map output is big (wordcount
+	// without combiner).
+	Moderate
+	// Heavy disk operations: map output and reduce output are both big
+	// (sort).
+	Heavy
+)
+
+func (c Class) String() string {
+	switch c {
+	case Light:
+		return "light"
+	case Moderate:
+		return "moderate"
+	case Heavy:
+		return "heavy"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Benchmark couples a job configuration with its paper classification.
+type Benchmark struct {
+	Class Class
+	Job   mapred.Config
+}
+
+// WordCount is the default wordcount benchmark: the combiner collapses the
+// in-memory map output, so almost all disk work is the sequential HDFS
+// input scan; the job is dominated by map-function CPU. Light disk
+// operations.
+func WordCount(inputPerVM int64) Benchmark {
+	cfg := mapred.DefaultConfig()
+	cfg.Name = "wordcount"
+	cfg.InputPerVM = inputPerVM
+	cfg.MapOutputRatio = 0.07 // post-combiner (word, partial-count) pairs
+	cfg.ReduceOutputRatio = 0.6
+	cfg.MapCPUSecPerMB = 0.28 // tokenising + hash counting + combiner
+	cfg.SortCPUSecPerMB = 0.010
+	cfg.ReduceCPUSecPerMB = 0.04
+	return Benchmark{Class: Light, Job: cfg}
+}
+
+// WordCountNoCombiner disables the combine function: the map output is
+// about 1.7× the input (every (word, 1) pair is spilled), but the reduce
+// output stays small. Moderate disk operations.
+func WordCountNoCombiner(inputPerVM int64) Benchmark {
+	cfg := mapred.DefaultConfig()
+	cfg.Name = "wordcount-nc"
+	cfg.InputPerVM = inputPerVM
+	cfg.MapOutputRatio = 1.7
+	cfg.ReduceOutputRatio = 0.04
+	cfg.MapCPUSecPerMB = 0.18 // tokenising, no combining
+	cfg.SortCPUSecPerMB = 0.010
+	cfg.ReduceCPUSecPerMB = 0.05
+	return Benchmark{Class: Moderate, Job: cfg}
+}
+
+// Sort is the stream sort benchmark: map input, map output, reduce input
+// and reduce output all have the same size, so the job moves roughly 6×
+// its input size across the disks. Heavy disk operations.
+func Sort(inputPerVM int64) Benchmark {
+	cfg := mapred.DefaultConfig()
+	cfg.Name = "sort"
+	cfg.InputPerVM = inputPerVM
+	cfg.MapOutputRatio = 1.0
+	cfg.ReduceOutputRatio = 1.0
+	cfg.MapCPUSecPerMB = 0.012
+	cfg.SortCPUSecPerMB = 0.008
+	cfg.ReduceCPUSecPerMB = 0.012
+	return Benchmark{Class: Heavy, Job: cfg}
+}
+
+// Suite returns the paper's three benchmarks at the given per-VM input
+// size (512 MB in the paper's default setting).
+func Suite(inputPerVM int64) []Benchmark {
+	return []Benchmark{
+		WordCount(inputPerVM),
+		WordCountNoCombiner(inputPerVM),
+		Sort(inputPerVM),
+	}
+}
+
+// ByName returns the named benchmark ("wordcount", "wordcount-nc",
+// "sort").
+func ByName(name string, inputPerVM int64) (Benchmark, error) {
+	switch name {
+	case "wordcount":
+		return WordCount(inputPerVM), nil
+	case "wordcount-nc", "wordcount-no-combiner":
+		return WordCountNoCombiner(inputPerVM), nil
+	case "sort":
+		return Sort(inputPerVM), nil
+	}
+	return Benchmark{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}

@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"fmt"
+
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/sim"
+)
+
+// DDConfig reproduces the paper's switch-cost probe: `dd if=/dev/zero
+// of=file` run in parallel on every VM of one physical machine, writing
+// BytesPerVM of zeroes through the page cache.
+type DDConfig struct {
+	BytesPerVM int64
+	WriteBytes int64 // dd block size at the write() level
+}
+
+// DefaultDDConfig mirrors the paper: 600 MB per VM.
+func DefaultDDConfig() DDConfig {
+	return DDConfig{BytesPerVM: 600 << 20, WriteBytes: 1 << 20}
+}
+
+// RunDD runs the dd workload to full writeback drain and returns the epoch
+// duration. If switchTo is non-nil, the scheduler pair is switched to
+// *switchTo the moment half of the total data has been accepted by the
+// page caches — the paper's "two solutions" run.
+func RunDD(mh *MicroHost, cfg DDConfig, switchTo *iosched.Pair) sim.Duration {
+	if cfg.BytesPerVM <= 0 || cfg.WriteBytes <= 0 {
+		panic("workloads: invalid dd config")
+	}
+	start := mh.Eng.Now()
+	total := cfg.BytesPerVM * int64(len(mh.FS))
+	accepted := int64(0)
+	switched := switchTo == nil
+
+	for i, fs := range mh.FS {
+		fs := fs
+		stream := fs.NewStream()
+		f := fs.Create(fmt.Sprintf("dd-vm%d", i))
+		written := int64(0)
+		var step func()
+		step = func() {
+			if written >= cfg.BytesPerVM {
+				return // dd exits; writeback continues in the background
+			}
+			n := cfg.WriteBytes
+			if n > cfg.BytesPerVM-written {
+				n = cfg.BytesPerVM - written
+			}
+			written += n
+			f.Append(stream, n, func() {
+				accepted += n
+				if !switched && accepted*2 >= total {
+					switched = true
+					// Issue the switch command on Dom0 and all VMs.
+					mh.Host.SetPair(*switchTo, nil)
+				}
+				step()
+			})
+		}
+		step()
+	}
+
+	mh.RunUntilIdle()
+	if !switched {
+		panic("workloads: dd finished before the switch point")
+	}
+	// The epoch ends when the disk retires the last write, not when the
+	// (coarse) flush timers quiesce.
+	return mh.Host.Disk().Stats().LastDoneAt.Sub(start)
+}
+
+// SwitchCost measures the paper's Fig 5 metric for an ordered state pair:
+// Cost = T(first→second) − (T(first) + T(second)) / 2, each term measured
+// on a fresh host. Costs are not commutative, and first==second is still
+// nonzero because the switch command drains and re-initialises the queues
+// regardless.
+func SwitchCost(newHost func() *MicroHost, cfg DDConfig, first, second iosched.Pair) sim.Duration {
+	t1 := runDDUnder(newHost(), cfg, first, nil)
+	t2 := runDDUnder(newHost(), cfg, second, nil)
+	tBoth := runDDUnder(newHost(), cfg, first, &second)
+	return tBoth - (t1+t2)/2
+}
+
+func runDDUnder(mh *MicroHost, cfg DDConfig, initial iosched.Pair, switchTo *iosched.Pair) sim.Duration {
+	mh.InstallPair(initial)
+	return RunDD(mh, cfg, switchTo)
+}

@@ -1,0 +1,55 @@
+package workloads
+
+import (
+	"adaptmr/internal/guestio"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/sim"
+	"adaptmr/internal/xen"
+)
+
+// MicroHost is a single physical machine used by the Sysbench and dd
+// microbenchmarks (Fig 1 and Fig 5 run on one node).
+type MicroHost struct {
+	Eng  *sim.Engine
+	Host *xen.Host
+	FS   []*guestio.FS
+}
+
+// NewMicroHost builds a host with the given VM consolidation degree.
+func NewMicroHost(vms int, hostCfg xen.HostConfig, guestCfg guestio.Config, seed int64) *MicroHost {
+	eng := sim.New(seed)
+	h := xen.NewHost(eng, 0, vms, hostCfg)
+	mh := &MicroHost{Eng: eng, Host: h}
+	for _, d := range h.Domains() {
+		mh.FS = append(mh.FS, guestio.NewFS(eng, d, guestCfg))
+	}
+	return mh
+}
+
+// InstallPair installs a scheduler pair before the workload starts.
+func (mh *MicroHost) InstallPair(p iosched.Pair) {
+	done := false
+	mh.Host.SetPair(p, func() { done = true })
+	mh.Eng.Run()
+	if !done {
+		panic("workloads: pair install did not complete")
+	}
+}
+
+// RunUntilIdle advances the simulation until every queue has drained and
+// all dirty guest pages are written back, returning the time it happened.
+// It is the "epoch end" used by the dd switch-cost probe.
+func (mh *MicroHost) RunUntilIdle() sim.Time {
+	// The event calendar drains naturally once writeback completes: flush
+	// timers re-arm only while dirty files remain.
+	mh.Eng.Run()
+	for _, fs := range mh.FS {
+		if fs.DirtyBytes() != 0 {
+			panic("workloads: dirty pages survived an idle run")
+		}
+	}
+	if !mh.Host.Idle() {
+		panic("workloads: queues busy after event calendar drained")
+	}
+	return mh.Eng.Now()
+}

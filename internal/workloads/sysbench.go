@@ -1,0 +1,116 @@
+package workloads
+
+import (
+	"fmt"
+
+	"adaptmr/internal/guestio"
+	"adaptmr/internal/sim"
+)
+
+// SysbenchConfig reproduces `sysbench --test=fileio --file-test-mode=seqwr`:
+// one process per VM sequentially writes TotalBytes across Files files,
+// issuing an fsync every FsyncEveryBytes of data (sysbench's
+// file-fsync-freq=100 at 16 KiB requests ≈ every 1.6 MB), which is what
+// makes the workload scheduler-sensitive synchronous writing.
+type SysbenchConfig struct {
+	Files           int
+	TotalBytes      int64
+	WriteBytes      int64 // application write() size
+	FsyncEveryBytes int64
+}
+
+// DefaultSysbenchConfig mirrors the paper's Fig 1 run: 1 GB over 16 files.
+func DefaultSysbenchConfig() SysbenchConfig {
+	return SysbenchConfig{
+		Files:           16,
+		TotalBytes:      1 << 30,
+		WriteBytes:      1 << 20,
+		FsyncEveryBytes: 1600 << 10, // sysbench file-fsync-freq=100 at 16 KiB requests
+	}
+}
+
+// SysbenchResult is the per-VM and aggregate outcome.
+type SysbenchResult struct {
+	PerVM   []sim.Duration
+	Mean    sim.Duration
+	Longest sim.Duration
+}
+
+// RunSysbench executes the benchmark on every VM of the host concurrently
+// and returns per-VM elapsed times (write + fsync, as sysbench reports).
+func RunSysbench(mh *MicroHost, cfg SysbenchConfig) SysbenchResult {
+	if cfg.Files <= 0 || cfg.TotalBytes <= 0 || cfg.WriteBytes <= 0 {
+		panic("workloads: invalid sysbench config")
+	}
+	start := mh.Eng.Now()
+	elapsed := make([]sim.Duration, len(mh.FS))
+	remaining := len(mh.FS)
+
+	for i, fs := range mh.FS {
+		i, fs := i, fs
+		stream := fs.NewStream()
+		perFile := cfg.TotalBytes / int64(cfg.Files)
+		files := make([]*guestio.File, cfg.Files)
+		for k := range files {
+			files[k] = fs.Create(fmt.Sprintf("sysbench-vm%d-f%d", i, k))
+		}
+
+		fileIdx, written, sinceSync := 0, int64(0), int64(0)
+		var cur *guestio.File
+		var step func()
+		step = func() {
+			if written >= perFile {
+				// Next file (fsync the finished one first).
+				f := cur
+				cur = nil
+				written, sinceSync = 0, 0
+				fileIdx++
+				f.Sync(stream, func() {
+					if fileIdx >= cfg.Files {
+						elapsed[i] = mh.Eng.Now().Sub(start)
+						remaining--
+						return
+					}
+					step()
+				})
+				return
+			}
+			if cur == nil {
+				cur = files[fileIdx]
+			}
+			n := cfg.WriteBytes
+			if n > perFile-written {
+				n = perFile - written
+			}
+			written += n
+			sinceSync += n
+			if cfg.FsyncEveryBytes > 0 && sinceSync >= cfg.FsyncEveryBytes {
+				sinceSync = 0
+				f := cur
+				cur.Append(stream, n, func() {
+					f.Sync(stream, step)
+				})
+				return
+			}
+			cur.Append(stream, n, step)
+		}
+		step()
+	}
+
+	mh.Eng.Run()
+	if remaining != 0 {
+		panic("workloads: sysbench did not complete")
+	}
+
+	var res SysbenchResult
+	res.PerVM = elapsed
+	var sum sim.Duration
+	for _, e := range elapsed {
+		sum += e
+		if e > res.Longest {
+			res.Longest = e
+		}
+	}
+	res.Mean = sum / sim.Duration(len(elapsed))
+	return res
+}

@@ -1,0 +1,168 @@
+package workloads
+
+import (
+	"testing"
+
+	"adaptmr/internal/guestio"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/sim"
+	"adaptmr/internal/xen"
+)
+
+func TestSuiteClasses(t *testing.T) {
+	suite := Suite(512 << 20)
+	if len(suite) != 3 {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	wantClass := []Class{Light, Moderate, Heavy}
+	wantName := []string{"wordcount", "wordcount-nc", "sort"}
+	for i, bm := range suite {
+		if bm.Class != wantClass[i] || bm.Job.Name != wantName[i] {
+			t.Fatalf("benchmark %d: %v %q", i, bm.Class, bm.Job.Name)
+		}
+		if bm.Job.InputPerVM != 512<<20 {
+			t.Fatalf("input %d", bm.Job.InputPerVM)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Light.String() != "light" || Moderate.String() != "moderate" || Heavy.String() != "heavy" {
+		t.Fatal("class names")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"wordcount", "wordcount-nc", "sort"} {
+		bm, err := ByName(name, 1<<20)
+		if err != nil || bm.Job.Name != name {
+			t.Fatalf("ByName(%q): %v %v", name, bm.Job.Name, err)
+		}
+	}
+	if _, err := ByName("terasort", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestBenchmarkRatiosMatchPaper(t *testing.T) {
+	// The paper: wordcount w/o combiner's map output ≈ 1.7× input; sort is
+	// identity in and out; wordcount's combiner collapses the output.
+	wc := WordCount(1 << 20)
+	nc := WordCountNoCombiner(1 << 20)
+	srt := Sort(1 << 20)
+	if nc.Job.MapOutputRatio != 1.7 {
+		t.Fatalf("wc-nc ratio %v", nc.Job.MapOutputRatio)
+	}
+	if srt.Job.MapOutputRatio != 1.0 || srt.Job.ReduceOutputRatio != 1.0 {
+		t.Fatalf("sort ratios %v %v", srt.Job.MapOutputRatio, srt.Job.ReduceOutputRatio)
+	}
+	if wc.Job.MapOutputRatio >= 0.5 {
+		t.Fatalf("wordcount post-combiner ratio too big: %v", wc.Job.MapOutputRatio)
+	}
+	if wc.Job.MapCPUSecPerMB <= srt.Job.MapCPUSecPerMB {
+		t.Fatal("wordcount should be more CPU-intensive than sort")
+	}
+}
+
+func newMH(t testing.TB, vms int) *MicroHost {
+	t.Helper()
+	return NewMicroHost(vms, xen.DefaultHostConfig(), guestio.DefaultConfig(), 1)
+}
+
+func TestMicroHostInstallPair(t *testing.T) {
+	mh := newMH(t, 2)
+	p := iosched.Pair{VMM: iosched.Deadline, VM: iosched.Noop}
+	mh.InstallPair(p)
+	if mh.Host.Pair() != p {
+		t.Fatalf("pair %v", mh.Host.Pair())
+	}
+	if len(mh.FS) != 2 {
+		t.Fatalf("fs count %d", len(mh.FS))
+	}
+}
+
+func TestSysbenchRuns(t *testing.T) {
+	mh := newMH(t, 2)
+	cfg := SysbenchConfig{Files: 4, TotalBytes: 32 << 20, WriteBytes: 1 << 20, FsyncEveryBytes: 4 << 20}
+	r := RunSysbench(mh, cfg)
+	if len(r.PerVM) != 2 {
+		t.Fatalf("per-VM results %d", len(r.PerVM))
+	}
+	for i, e := range r.PerVM {
+		if e <= 0 {
+			t.Fatalf("vm %d elapsed %v", i, e)
+		}
+	}
+	if r.Mean <= 0 || r.Longest < r.Mean {
+		t.Fatalf("mean %v longest %v", r.Mean, r.Longest)
+	}
+}
+
+func TestSysbenchSlowerWithConsolidation(t *testing.T) {
+	cfg := SysbenchConfig{Files: 4, TotalBytes: 64 << 20, WriteBytes: 1 << 20, FsyncEveryBytes: 2 << 20}
+	run := func(vms int) sim.Duration {
+		mh := newMH(t, vms)
+		return RunSysbench(mh, cfg).Mean
+	}
+	one, three := run(1), run(3)
+	if float64(three) < 1.5*float64(one) {
+		t.Fatalf("3 VMs (%v) not markedly slower than 1 VM (%v)", three, one)
+	}
+}
+
+func TestDDRunsToDrain(t *testing.T) {
+	mh := newMH(t, 2)
+	cfg := DDConfig{BytesPerVM: 32 << 20, WriteBytes: 1 << 20}
+	d := RunDD(mh, cfg, nil)
+	if d <= 0 {
+		t.Fatalf("epoch %v", d)
+	}
+	// All data must be on disk at drain.
+	if got := mh.Host.Disk().Stats().Bytes; got < 64<<20 {
+		t.Fatalf("disk saw %d bytes", got)
+	}
+}
+
+func TestDDMidRunSwitch(t *testing.T) {
+	mh := newMH(t, 2) // boots with (CFQ, CFQ)
+	target := iosched.Pair{VMM: iosched.Deadline, VM: iosched.Deadline}
+	cfg := DDConfig{BytesPerVM: 32 << 20, WriteBytes: 1 << 20}
+	RunDD(mh, cfg, &target)
+	if mh.Host.Pair() != target {
+		t.Fatalf("pair after switch: %v", mh.Host.Pair())
+	}
+	if mh.Host.Dom0Queue().Stats().Switches != 1 {
+		t.Fatalf("dom0 switches = %d", mh.Host.Dom0Queue().Stats().Switches)
+	}
+}
+
+func TestSwitchCostSelfIsPositive(t *testing.T) {
+	// Per-VM data must exceed the dirty-page limits, or the page cache
+	// absorbs everything before the mid-run switch point.
+	cfg := DDConfig{BytesPerVM: 192 << 20, WriteBytes: 1 << 20}
+	newHost := func() *MicroHost { return newMH(t, 2) }
+	p := iosched.Pair{VMM: iosched.CFQ, VM: iosched.CFQ}
+	cost := SwitchCost(newHost, cfg, p, p)
+	// Re-asserting the same pair drains and stalls: the cost must be
+	// visible (the paper stresses this).
+	if cost <= 0 {
+		t.Fatalf("self switch cost %v, want positive", cost)
+	}
+}
+
+func TestInvalidConfigsPanic(t *testing.T) {
+	mh := newMH(t, 1)
+	for _, fn := range []func(){
+		func() { RunSysbench(mh, SysbenchConfig{}) },
+		func() { RunDD(mh, DDConfig{}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,229 @@
+// Package xen models the two-level virtualized block stack of a Xen host:
+// each guest domain (DomU) runs its own elevator over a paravirtual disk
+// whose backend forwards requests — retagged with the VM's identity — into
+// the Dom0 request queue, whose elevator finally feeds the physical disk.
+//
+// VM disk images are disjoint contiguous extents of the physical disk, so
+// guest-sequential I/O stays host-sequential inside one VM's extent while
+// different VMs' streams are megabytes apart — the geometry behind the
+// inter-VM seek interference the paper measures.
+package xen
+
+import (
+	"fmt"
+
+	"adaptmr/internal/block"
+	"adaptmr/internal/cpusim"
+	"adaptmr/internal/disk"
+	"adaptmr/internal/iosched"
+	"adaptmr/internal/sim"
+)
+
+// HostConfig describes one physical node.
+type HostConfig struct {
+	Disk disk.Config
+	// Sched is the scheduler parameter set shared by Dom0 and guests.
+	Sched iosched.Params
+	// RingLatency is the blkfront→blkback hop (hypercall + grant copy).
+	RingLatency sim.Duration
+	// GuestDepth is how many requests a guest queue keeps outstanding at
+	// its backend ring.
+	GuestDepth int
+	// Dom0Depth is the dispatch depth from the Dom0 queue to the disk.
+	Dom0Depth int
+	// SwitchReinit is the fixed elevator re-init stall applied on a
+	// scheduler switch after the queue drains (sysfs path, elevator_init).
+	SwitchReinit sim.Duration
+	// VMExtentSectors is the size of each VM's disk image extent.
+	VMExtentSectors int64
+	// VMExtentGap leaves unallocated space between images (image files are
+	// not adjacent on the host filesystem).
+	VMExtentGap int64
+	// VCPUSpeed is each VM's CPU speed in core-equivalents.
+	VCPUSpeed float64
+}
+
+// DefaultHostConfig mirrors the paper testbed: Xen 3.4.2, one SATA disk,
+// 1-VCPU VMs pinned to their own cores.
+func DefaultHostConfig() HostConfig {
+	return HostConfig{
+		Disk:            disk.DefaultConfig(),
+		Sched:           iosched.DefaultParams(),
+		RingLatency:     60 * sim.Microsecond,
+		GuestDepth:      8,
+		Dom0Depth:       1,
+		SwitchReinit:    80 * sim.Millisecond,
+		VMExtentSectors: 100 * 1024 * 1024 * 2, // 100 GiB per VM image
+		VMExtentGap:     4 * 1024 * 1024 * 2,   // 4 GiB between images
+		VCPUSpeed:       1.0,
+	}
+}
+
+// Host is one physical machine: a disk, a Dom0 queue, and guest domains.
+type Host struct {
+	Eng *sim.Engine
+	ID  int
+
+	cfg  HostConfig
+	disk *disk.Disk
+	dom0 *block.Queue
+
+	domains []*Domain
+	pair    iosched.Pair
+}
+
+// NewHost builds a host with the given number of guest domains, all
+// initially running the default (CFQ, CFQ) pair.
+func NewHost(eng *sim.Engine, id int, numVMs int, cfg HostConfig) *Host {
+	if numVMs <= 0 {
+		panic("xen: host needs at least one VM")
+	}
+	h := &Host{Eng: eng, ID: id, cfg: cfg, pair: iosched.DefaultPair}
+	h.disk = disk.New(eng, cfg.Disk)
+	h.dom0 = block.NewQueue(eng, iosched.MustNew(h.pair.VMM, cfg.Sched), h.disk, cfg.Dom0Depth)
+	for i := 0; i < numVMs; i++ {
+		h.domains = append(h.domains, newDomain(h, i))
+	}
+	return h
+}
+
+// Config returns the host configuration.
+func (h *Host) Config() HostConfig { return h.cfg }
+
+// Disk returns the physical disk model.
+func (h *Host) Disk() *disk.Disk { return h.disk }
+
+// Dom0Queue returns the hypervisor-level request queue.
+func (h *Host) Dom0Queue() *block.Queue { return h.dom0 }
+
+// Domains returns the guest domains on this host.
+func (h *Host) Domains() []*Domain { return h.domains }
+
+// Domain returns guest i.
+func (h *Host) Domain(i int) *Domain { return h.domains[i] }
+
+// Pair returns the currently installed scheduler pair.
+func (h *Host) Pair() iosched.Pair { return h.pair }
+
+// SetPair switches the Dom0 elevator and every guest elevator to the given
+// pair, mimicking `echo sched > /sys/block/*/queue/scheduler` issued in
+// Dom0 and in each VM. Every queue drains independently; onDone fires when
+// all switches complete. Re-asserting the current pair still drains — the
+// paper observes the switch command is costly even when the target equals
+// the current scheduler.
+func (h *Host) SetPair(p iosched.Pair, onDone func()) {
+	if !p.Valid() {
+		panic(fmt.Sprintf("xen: invalid pair %v", p))
+	}
+	h.pair = p
+	remaining := 1 + len(h.domains)
+	finish := func() {
+		remaining--
+		if remaining == 0 && onDone != nil {
+			onDone()
+		}
+	}
+	h.dom0.SetElevator(iosched.MustNew(p.VMM, h.cfg.Sched), h.cfg.SwitchReinit, finish)
+	for _, d := range h.domains {
+		d.q.SetElevator(iosched.MustNew(p.VM, h.cfg.Sched), h.cfg.SwitchReinit, finish)
+	}
+}
+
+// Switching reports whether any queue on the host is mid-switch.
+func (h *Host) Switching() bool {
+	if h.dom0.Switching() {
+		return true
+	}
+	for _, d := range h.domains {
+		if d.q.Switching() {
+			return true
+		}
+	}
+	return false
+}
+
+// QuiesceThen runs fn once all queues on the host are idle (used by tests
+// and the dd/sysbench harnesses for clean epochs).
+func (h *Host) Idle() bool {
+	if h.dom0.Pending() > 0 {
+		return false
+	}
+	for _, d := range h.domains {
+		if d.q.Pending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Domain is one guest VM.
+type Domain struct {
+	host  *Host
+	Index int // position within the host
+
+	extentStart int64
+	extentLen   int64
+
+	q    *block.Queue
+	VCPU *cpusim.VCPU
+}
+
+// ring is the paravirtual disk backend: it forwards guest requests into the
+// Dom0 queue after the ring hop, retagged with the domain's stream id.
+type ring struct {
+	d *Domain
+}
+
+func newDomain(h *Host, index int) *Domain {
+	d := &Domain{
+		host:        h,
+		Index:       index,
+		extentStart: int64(index) * (h.cfg.VMExtentSectors + h.cfg.VMExtentGap),
+		extentLen:   h.cfg.VMExtentSectors,
+	}
+	if d.extentStart+d.extentLen > h.cfg.Disk.Sectors {
+		panic("xen: VM extents exceed disk capacity")
+	}
+	d.q = block.NewQueue(h.Eng, iosched.MustNew(h.pair.VM, h.cfg.Sched), ring{d}, h.cfg.GuestDepth)
+	d.VCPU = cpusim.New(h.Eng, h.cfg.VCPUSpeed)
+	return d
+}
+
+// Host returns the physical node hosting the domain.
+func (d *Domain) Host() *Host { return d.host }
+
+// Queue returns the guest-level request queue.
+func (d *Domain) Queue() *block.Queue { return d.q }
+
+// ExtentSectors returns the size of the VM's virtual disk.
+func (d *Domain) ExtentSectors() int64 { return d.extentLen }
+
+// Submit issues a guest block request. sector is in the VM's virtual disk
+// address space; stream identifies the guest process for the guest
+// elevator's fairness/anticipation decisions.
+func (d *Domain) Submit(op block.Op, sector, count int64, sync bool, stream block.StreamID, onComplete func()) {
+	if sector < 0 || sector+count > d.extentLen {
+		panic(fmt.Sprintf("xen: guest request [%d+%d] outside VM extent of %d sectors", sector, count, d.extentLen))
+	}
+	r := block.NewRequest(op, sector, count, sync, stream)
+	if onComplete != nil {
+		r.OnComplete = func(*block.Request) { onComplete() }
+	}
+	d.q.Submit(r)
+}
+
+// Service implements block.Device for the guest queue: the request crosses
+// the ring, is translated into the host address space and tagged with the
+// VM identity (the Dom0 elevator sees each VM as a single process), then
+// queued at Dom0. Completion crosses the ring back.
+func (rg ring) Service(r *block.Request, done func()) {
+	d := rg.d
+	eng := d.host.Eng
+	eng.Schedule(d.host.cfg.RingLatency, func() {
+		host := block.NewRequest(r.Op, d.extentStart+r.Sector, r.Count, r.Sync, block.StreamID(d.Index))
+		host.OnComplete = func(*block.Request) {
+			eng.Schedule(d.host.cfg.RingLatency, done)
+		}
+		d.host.dom0.Submit(host)
+	})
+}
