@@ -28,6 +28,7 @@ import (
 	"adaptmr/internal/experiments"
 	"adaptmr/internal/iosched"
 	"adaptmr/internal/mapred"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/sim"
 	"adaptmr/internal/workloads"
 )
@@ -104,6 +105,44 @@ func RunJob(cfg ClusterConfig, job JobConfig, pair Pair) JobResult {
 	return mapred.Run(cl, job)
 }
 
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+// Tracer records span/instant events across every simulated layer (disk,
+// elevators, Xen ring, network, MapReduce tasks and phases) and exports
+// Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
+type Tracer = obs.Tracer
+
+// NewTracer returns an empty tracer; attach it with WithTracer or
+// Tuner.WithTracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// Metrics is a registry of counters, gauges and histograms the simulation
+// populates (per-level I/O latency, merge and seek behaviour, scheduler
+// decisions, switch costs, per-phase volumes).
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry; attach it with WithMetrics
+// or Tuner.WithMetrics.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// MetricsSnapshot is an exportable (JSON/CSV) copy of a metrics registry;
+// JobResult.Metrics and RunResult.Metrics carry one per executed job.
+type MetricsSnapshot = obs.Snapshot
+
+// WithTracer returns a copy of cfg that records trace events into t.
+func WithTracer(cfg ClusterConfig, t *Tracer) ClusterConfig {
+	cfg.Obs.Trace = t
+	return cfg
+}
+
+// WithMetrics returns a copy of cfg that records metrics into m.
+func WithMetrics(cfg ClusterConfig, m *Metrics) ClusterConfig {
+	cfg.Obs.Metrics = m
+	return cfg
+}
+
 // Plan assigns a scheduler pair to each phase of a job.
 type Plan = core.Plan
 
@@ -144,6 +183,21 @@ func (t *Tuner) WithScheme(s Scheme) *Tuner { t.scheme = s; return t }
 
 // WithCandidates restricts the candidate pairs.
 func (t *Tuner) WithCandidates(pairs []Pair) *Tuner { t.pairs = pairs; return t }
+
+// WithTracer records every evaluation into tr, each under its own trace
+// process group labelled with the evaluated plan.
+func (t *Tuner) WithTracer(tr *Tracer) *Tuner {
+	t.runner.ClusterConfig.Obs.Trace = tr
+	return t
+}
+
+// WithMetrics aggregates every evaluation's metrics into m; per-candidate
+// snapshots additionally land on each RunResult (and on
+// TuningResult.Profiles via their embedded job results).
+func (t *Tuner) WithMetrics(m *Metrics) *Tuner {
+	t.runner.ClusterConfig.Obs.Metrics = m
+	return t
+}
 
 // Tune profiles the candidates and runs the heuristic (Algorithm 1),
 // returning the chosen plan alongside the default and best-single

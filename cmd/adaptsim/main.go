@@ -9,6 +9,11 @@
 //	adaptsim -bench wordcount -adaptive          # run the meta-scheduler
 //	adaptsim -bench sort -reactive               # the reactive controller
 //	adaptsim -bench sort -hosts 6 -vms 4 -input 1024 -adaptive
+//	adaptsim -bench sort -trace trace.json -metrics metrics.csv
+//
+// -trace writes a Chrome trace-event JSON file (load it in Perfetto or
+// chrome://tracing); -metrics writes a metrics snapshot (CSV when the path
+// ends in .csv, JSON otherwise).
 package main
 
 import (
@@ -36,12 +41,25 @@ func main() {
 	inputMB := flag.Int64("input", 512, "input data per datanode VM, in MB")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	phases := flag.Int("phases", 2, "phase scheme for plans and tuning (2 or 3)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot (.csv for CSV, else JSON)")
 	flag.Parse()
 
 	cfg := adaptmr.DefaultClusterConfig()
 	cfg.Hosts = *hosts
 	cfg.VMsPerHost = *vms
 	cfg.Seed = *seed
+
+	var tracer *adaptmr.Tracer
+	if *tracePath != "" {
+		tracer = adaptmr.NewTracer()
+		cfg = adaptmr.WithTracer(cfg, tracer)
+	}
+	var metrics *adaptmr.Metrics
+	if *metricsPath != "" {
+		metrics = adaptmr.NewMetrics()
+		cfg = adaptmr.WithMetrics(cfg, metrics)
+	}
 
 	var wl adaptmr.Workload
 	switch *bench {
@@ -106,6 +124,19 @@ func main() {
 		res := adaptmr.RunJob(cfg, wl.Job, p)
 		fmt.Printf("pair %s on %s: %.1fs\n", p, wl.Job.Name, res.Duration.Seconds())
 		printPhases(res)
+	}
+
+	if tracer != nil {
+		if err := tracer.WriteFile(*tracePath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: %d events written to %s\n", tracer.Len(), *tracePath)
+	}
+	if metrics != nil {
+		if err := metrics.Snapshot().WriteFile(*metricsPath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsPath)
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-quick] [-only fig2,table1] [-o out.txt]
+//	paperbench [-quick] [-only fig2,table1] [-o out.txt] [-trace t.json] [-metrics m.csv]
 //
 // With -quick a scaled-down testbed is used (2×2 cluster, smaller inputs,
 // 6 candidate pairs); without it the full paper configuration runs (4×4
@@ -26,11 +26,24 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset (fig1..fig8, table1, table2)")
 	out := flag.String("o", "", "also write the artefacts to this file")
 	csvDir := flag.String("csv", "", "directory to write per-artefact CSV data into")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file covering every simulated job")
+	metricsPath := flag.String("metrics", "", "write an aggregate metrics snapshot (.csv for CSV, else JSON)")
 	flag.Parse()
 
 	cfg := adaptmr.PaperExperiments()
 	if *quick {
 		cfg = adaptmr.QuickExperiments()
+	}
+
+	var tracer *adaptmr.Tracer
+	if *tracePath != "" {
+		tracer = adaptmr.NewTracer()
+		cfg.Cluster = adaptmr.WithTracer(cfg.Cluster, tracer)
+	}
+	var metrics *adaptmr.Metrics
+	if *metricsPath != "" {
+		metrics = adaptmr.NewMetrics()
+		cfg.Cluster = adaptmr.WithMetrics(cfg.Cluster, metrics)
 	}
 
 	var w io.Writer = os.Stdout
@@ -62,5 +75,20 @@ func main() {
 	if err := adaptmr.RunExperimentsCSV(cfg, w, *csvDir, subset...); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
+	}
+
+	if tracer != nil {
+		if err := tracer.WriteFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events written to %s\n", tracer.Len(), *tracePath)
+	}
+	if metrics != nil {
+		if err := metrics.Snapshot().WriteFile(*metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsPath)
 	}
 }

@@ -291,7 +291,7 @@ func TestCoalescedSwitches(t *testing.T) {
 func TestOnCompleteHook(t *testing.T) {
 	eng, q, _ := newTestQueue(1)
 	var bytes int64
-	q.OnComplete = func(r *Request) { bytes += r.Bytes() }
+	q.OnComplete(func(r *Request) { bytes += r.Bytes() })
 	q.Submit(NewRequest(Read, 0, 8, true, 1))
 	q.Submit(NewRequest(Write, 100, 8, false, 1))
 	eng.Run()

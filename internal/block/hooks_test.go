@@ -1,0 +1,105 @@
+package block
+
+import (
+	"testing"
+
+	"adaptmr/internal/sim"
+)
+
+// TestQueueHookFanout verifies every subscriber of each hook fires, in
+// registration order, for every request — the multi-subscriber contract
+// tracers, samplers and controllers rely on to coexist.
+func TestQueueHookFanout(t *testing.T) {
+	eng, q, _ := newTestQueue(1)
+
+	var order []string
+	q.OnEnqueue(func(r *Request) { order = append(order, "enq1") })
+	q.OnEnqueue(func(r *Request) { order = append(order, "enq2") })
+	q.OnDispatch(func(r *Request) { order = append(order, "disp") })
+	q.OnComplete(func(r *Request) { order = append(order, "done1") })
+	q.OnComplete(func(r *Request) { order = append(order, "done2") })
+
+	q.Submit(NewRequest(Read, 0, 4, true, 1))
+	eng.Run()
+
+	want := []string{"enq1", "enq2", "disp", "done1", "done2"}
+	if len(order) != len(want) {
+		t.Fatalf("hook calls %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hook calls %v, want %v", order, want)
+		}
+	}
+}
+
+// TestQueueHookRequestState checks the request state visible inside each
+// hook: enqueue sees Issued set, dispatch sees Dispatched, complete sees
+// Completed, and timestamps are monotone.
+func TestQueueHookRequestState(t *testing.T) {
+	eng, q, _ := newTestQueue(1)
+	checked := 0
+	q.OnEnqueue(func(r *Request) {
+		checked++
+		if r.Issued != eng.Now() {
+			t.Errorf("enqueue: Issued=%v now=%v", r.Issued, eng.Now())
+		}
+	})
+	q.OnDispatch(func(r *Request) {
+		checked++
+		if r.Dispatched < r.Issued {
+			t.Errorf("dispatch before issue: %v < %v", r.Dispatched, r.Issued)
+		}
+	})
+	q.OnComplete(func(r *Request) {
+		checked++
+		if r.Completed < r.Dispatched {
+			t.Errorf("complete before dispatch: %v < %v", r.Completed, r.Dispatched)
+		}
+	})
+	eng.Schedule(sim.Millisecond, func() {
+		q.Submit(NewRequest(Write, 64, 8, false, 2))
+	})
+	eng.Run()
+	if checked != 3 {
+		t.Fatalf("hooks fired %d times, want 3", checked)
+	}
+}
+
+// TestQueueOnSwitched verifies switch observers receive the elevator names
+// and a stall covering the drain + reinit window.
+func TestQueueOnSwitched(t *testing.T) {
+	eng, q, _ := newTestQueue(1)
+	var got []SwitchInfo
+	q.OnSwitched(func(info SwitchInfo) { got = append(got, info) })
+
+	// Keep the device busy so the switch has something to drain.
+	for i := 0; i < 3; i++ {
+		q.Submit(NewRequest(Read, int64(i*16), 4, true, 1))
+	}
+	reinit := 2 * sim.Millisecond
+	switchedAt := sim.Time(-1)
+	q.SetElevator(&fifoElv{}, reinit, func() { switchedAt = eng.Now() })
+	q.Submit(NewRequest(Read, 64, 4, true, 1)) // backlogged during the switch
+	eng.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("OnSwitched fired %d times", len(got))
+	}
+	info := got[0]
+	if info.From != "fifo" || info.To != "fifo" {
+		t.Fatalf("names: %q → %q", info.From, info.To)
+	}
+	if info.Stall < reinit {
+		t.Fatalf("stall %v < reinit %v", info.Stall, reinit)
+	}
+	if info.Done.Sub(info.Start) != info.Stall {
+		t.Fatalf("stall %v != window %v", info.Stall, info.Done.Sub(info.Start))
+	}
+	if switchedAt != info.Done {
+		t.Fatalf("onDone at %v, switch done at %v", switchedAt, info.Done)
+	}
+	if q.Pending() != 0 || q.InFlight() != 0 {
+		t.Fatal("backlogged request not replayed after switch")
+	}
+}

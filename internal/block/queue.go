@@ -51,7 +51,25 @@ type QueueStats struct {
 	SwitchStall    sim.Duration // total time submissions were blocked by switching
 }
 
+// SwitchInfo describes one completed elevator switch for observer hooks.
+type SwitchInfo struct {
+	// From and To are the elevator names before and after the switch.
+	From, To string
+	// Start is when SetElevator initiated the switch; Done is when the
+	// new elevator took over and the backlog replayed.
+	Start, Done sim.Time
+	// Stall is Done - Start: the full drain + re-init window during which
+	// new submissions were held back.
+	Stall sim.Duration
+}
+
 // Queue binds an elevator to a device, mirroring a Linux request queue.
+//
+// Observability: OnEnqueue, OnMerge, OnDispatch, OnComplete and
+// OnSwitched register multi-subscriber observer hooks covering the full
+// request lifecycle. Subscribers fire in registration order; there is no
+// unsubscribe (discard the queue instead). With no subscribers each hook
+// point costs a nil-slice range — the disabled fast path.
 type Queue struct {
 	eng   *sim.Engine
 	elv   Elevator
@@ -63,16 +81,19 @@ type Queue struct {
 
 	switching   bool
 	switchStart sim.Time
+	switchFrom  string
 	backlog     []*Request
 	nextElv     Elevator
 	switchStall sim.Duration
-	onSwitched  []func()
+	switchDone  []func()
 
 	stats QueueStats
 
-	// OnComplete, if set, observes every completed request (used by the
-	// throughput tracer for Fig 3).
-	OnComplete func(r *Request)
+	onEnqueue  []func(*Request)
+	onMerge    []func(parent, child *Request)
+	onDispatch []func(*Request)
+	onComplete []func(*Request)
+	onSwitched []func(SwitchInfo)
 }
 
 // NewQueue creates a queue dispatching at most depth requests into dev.
@@ -100,6 +121,24 @@ func (q *Queue) InFlight() int { return q.inflight }
 // Switching reports whether an elevator switch is draining.
 func (q *Queue) Switching() bool { return q.switching }
 
+// OnEnqueue subscribes fn to fire when a request enters the queue
+// (before elevator insertion and thus before any merge).
+func (q *Queue) OnEnqueue(fn func(*Request)) { q.onEnqueue = append(q.onEnqueue, fn) }
+
+// OnMerge subscribes fn to fire when a request is coalesced into another;
+// parent absorbed child.
+func (q *Queue) OnMerge(fn func(parent, child *Request)) { q.onMerge = append(q.onMerge, fn) }
+
+// OnDispatch subscribes fn to fire when a request is handed to the device.
+func (q *Queue) OnDispatch(fn func(*Request)) { q.onDispatch = append(q.onDispatch, fn) }
+
+// OnComplete subscribes fn to fire when a request completes at the device
+// (merged children complete through their parent's callbacks, not here).
+func (q *Queue) OnComplete(fn func(*Request)) { q.onComplete = append(q.onComplete, fn) }
+
+// OnSwitched subscribes fn to fire when an elevator switch finishes.
+func (q *Queue) OnSwitched(fn func(SwitchInfo)) { q.onSwitched = append(q.onSwitched, fn) }
+
 // Submit hands a request to the queue. During an elevator switch new
 // requests are held back (the sysfs switch path blocks submitters while the
 // old elevator drains), which is the physical origin of the paper's switch
@@ -110,12 +149,26 @@ func (q *Queue) Submit(r *Request) {
 	}
 	r.state = stateQueued
 	r.Issued = q.eng.Now()
+	for _, fn := range q.onEnqueue {
+		fn(r)
+	}
 	if q.switching {
 		q.backlog = append(q.backlog, r)
 		return
 	}
-	q.elv.Add(r, q.eng.Now())
+	q.addToElevator(r)
 	q.kick()
+}
+
+// addToElevator inserts r into the current elevator and reports a merge to
+// subscribers if the elevator coalesced it into an existing request.
+func (q *Queue) addToElevator(r *Request) {
+	q.elv.Add(r, q.eng.Now())
+	if r.state == stateMerged && r.mergedInto != nil {
+		for _, fn := range q.onMerge {
+			fn(r.mergedInto, r)
+		}
+	}
 }
 
 // SetElevator switches the queue to a new elevator: dispatching continues
@@ -134,16 +187,17 @@ func (q *Queue) SetElevator(elv Elevator, reinit sim.Duration, onDone func()) {
 		// Coalesce: the most recent target wins.
 		q.nextElv = elv
 		if onDone != nil {
-			q.onSwitched = append(q.onSwitched, onDone)
+			q.switchDone = append(q.switchDone, onDone)
 		}
 		return
 	}
 	q.switching = true
 	q.switchStart = q.eng.Now()
+	q.switchFrom = q.elv.Name()
 	q.nextElv = elv
 	q.switchStall = reinit
 	if onDone != nil {
-		q.onSwitched = append(q.onSwitched, onDone)
+		q.switchDone = append(q.switchDone, onDone)
 	}
 	q.stats.Switches++
 	q.maybeFinishSwitch()
@@ -159,16 +213,26 @@ func (q *Queue) maybeFinishSwitch() {
 		q.elv = q.nextElv
 		q.nextElv = nil
 		q.switching = false
-		q.stats.SwitchStall += q.eng.Now().Sub(q.switchStart)
+		now := q.eng.Now()
+		q.stats.SwitchStall += now.Sub(q.switchStart)
 		backlog := q.backlog
 		q.backlog = nil
-		now := q.eng.Now()
 		for _, r := range backlog {
-			q.elv.Add(r, now)
+			q.addToElevator(r)
 		}
-		done := q.onSwitched
-		q.onSwitched = nil
+		info := SwitchInfo{
+			From:  q.switchFrom,
+			To:    q.elv.Name(),
+			Start: q.switchStart,
+			Done:  now,
+			Stall: now.Sub(q.switchStart),
+		}
+		done := q.switchDone
+		q.switchDone = nil
 		q.kick()
+		for _, fn := range q.onSwitched {
+			fn(info)
+		}
 		for _, fn := range done {
 			fn()
 		}
@@ -198,6 +262,9 @@ func (q *Queue) kick() {
 		r.state = stateDispatched
 		r.Dispatched = q.eng.Now()
 		q.inflight++
+		for _, fn := range q.onDispatch {
+			fn(r)
+		}
 		req := r
 		q.dev.Service(req, func() { q.complete(req) })
 	}
@@ -215,8 +282,8 @@ func (q *Queue) complete(r *Request) {
 	q.stats.MergedRequests += int64(len(r.merged))
 	q.elv.Completed(r, now)
 	r.finish(now)
-	if q.OnComplete != nil {
-		q.OnComplete(r)
+	for _, fn := range q.onComplete {
+		fn(r)
 	}
 	q.maybeFinishSwitch()
 	q.kick()

@@ -63,6 +63,9 @@ type Request struct {
 	// merged tracks requests coalesced into this one; their callbacks run
 	// when this request completes.
 	merged []*Request
+	// mergedInto points from a coalesced request back to the request that
+	// absorbed it (observer hooks report merge pairs through it).
+	mergedInto *Request
 
 	// state guards against double-dispatch / double-complete bugs.
 	state reqState
@@ -132,6 +135,7 @@ func (r *Request) BackMerge(next *Request) {
 	}
 	r.Count += next.Count
 	next.state = stateMerged
+	next.mergedInto = r
 	r.merged = append(r.merged, next)
 }
 
@@ -143,6 +147,7 @@ func (r *Request) FrontMerge(prev *Request) {
 	r.Sector = prev.Sector
 	r.Count += prev.Count
 	prev.state = stateMerged
+	prev.mergedInto = r
 	r.merged = append(r.merged, prev)
 }
 

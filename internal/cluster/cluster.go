@@ -11,6 +11,7 @@ import (
 	"adaptmr/internal/hdfs"
 	"adaptmr/internal/iosched"
 	"adaptmr/internal/netsim"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/sim"
 	"adaptmr/internal/xen"
 )
@@ -31,6 +32,11 @@ type Config struct {
 	HDFS hdfs.Config
 	// Seed feeds the deterministic random source.
 	Seed int64
+
+	// Obs attaches the observability layer (tracer and/or metrics) to
+	// every component built for this cluster. The zero value disables
+	// observation entirely.
+	Obs obs.Sink
 
 	// HostDiskSlowdown optionally makes specific hosts' disks slower by
 	// the given factor (2.0 = half the transfer rate, double the seeks) —
@@ -71,9 +77,18 @@ func New(cfg Config) *Cluster {
 	eng := sim.New(cfg.Seed)
 	c := &Cluster{Eng: eng, cfg: cfg}
 	c.Net = netsim.New(eng, cfg.Hosts, cfg.Net)
+	if cfg.Obs.Enabled() {
+		cfg.Obs.InstrumentEngine(eng)
+		if tr := cfg.Obs.Trace; tr != nil {
+			tr.NameProcess(cfg.Obs.ClusterPID(), cfg.Obs.ProcName("cluster"))
+			tr.NameThread(cfg.Obs.ClusterPID(), obs.TIDJob, "job")
+		}
+		c.instrumentNet()
+	}
 	var nodes []hdfs.DataNode
 	for h := 0; h < cfg.Hosts; h++ {
 		hostCfg := cfg.Host
+		hostCfg.Obs = cfg.Obs
 		if f, ok := cfg.HostDiskSlowdown[h]; ok && f > 0 {
 			hostCfg.Disk.TransferMBps /= f
 			hostCfg.Disk.SeekMin = sim.Duration(float64(hostCfg.Disk.SeekMin) * f)
@@ -91,6 +106,29 @@ func New(cfg Config) *Cluster {
 	c.DFS = hdfs.New(eng, cfg.HDFS, nodes, c.Net)
 	return c
 }
+
+// instrumentNet subscribes flow tracing/metrics to the network. Flow spans
+// land on the source host's NIC thread; same-host bridge traffic too.
+func (c *Cluster) instrumentNet() {
+	s := c.cfg.Obs
+	flows := s.Metrics.Counter("net.flows")
+	bytes := s.Metrics.Counter("net.bytes")
+	tr := s.Trace
+	c.Net.OnFlowDone = func(f *netsim.Flow) {
+		flows.Inc()
+		bytes.Add(int64(f.Bytes()))
+		if tr != nil {
+			tr.AsyncSpan(s.HostPID(f.Src()), obs.TIDNet, "net", "flow",
+				f.Start(), c.Eng.Now(),
+				obs.I("src", int64(f.Src())),
+				obs.I("dst", int64(f.Dst())),
+				obs.I("bytes", int64(f.Bytes())))
+		}
+	}
+}
+
+// Obs returns the observability sink the cluster was built with.
+func (c *Cluster) Obs() obs.Sink { return c.cfg.Obs }
 
 // Config returns the construction parameters.
 func (c *Cluster) Config() Config { return c.cfg }

@@ -29,6 +29,7 @@ import (
 
 	"adaptmr/internal/iosched"
 	"adaptmr/internal/mapred"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/sim"
 )
 
@@ -143,6 +144,10 @@ type RunResult struct {
 	// SwitchStall is the total time queues spent draining/stalling for
 	// switches across the cluster (aggregate, overlapping included).
 	SwitchStall sim.Duration
+	// Metrics is this evaluation's private metrics snapshot (nil when the
+	// runner executed without a metrics registry). The Runner also folds
+	// it into the caller's shared registry.
+	Metrics *obs.Snapshot
 }
 
 // Profile records one pair's full-job execution broken into phases; the

@@ -80,18 +80,13 @@ func (fg *FineGrained) Attach(cl *cluster.Cluster) (detach func()) {
 		// can react to the opening regime.
 		mon := &hostMonitor{lastSwitch: cl.Eng.Now().Add(-fg.MinDwell)}
 		mons[i] = mon
-		q := h.Dom0Queue()
-		prev := q.OnComplete
-		q.OnComplete = func(r *block.Request) {
-			if prev != nil {
-				prev(r)
-			}
+		h.Dom0Queue().OnComplete(func(r *block.Request) {
 			if r.Op == block.Read {
 				mon.readBytes += r.Bytes()
 			} else {
 				mon.writeBytes += r.Bytes()
 			}
-		}
+		})
 		host := h
 		var tick func()
 		tick = func() {

@@ -4,6 +4,7 @@ import (
 	"adaptmr/internal/cluster"
 	"adaptmr/internal/iosched"
 	"adaptmr/internal/mapred"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/sim"
 )
 
@@ -43,7 +44,20 @@ func (r *Runner) Run(plan Plan) RunResult {
 
 func (r *Runner) runOnce(plan Plan) RunResult {
 	r.Evaluations++
-	cl := cluster.New(r.ClusterConfig)
+	cc := r.ClusterConfig
+	base := cc.Obs
+	if base.Enabled() {
+		// Each evaluation gets its own slice of trace-process ids and a
+		// private registry; the private snapshot is folded back into the
+		// caller's registry below, so per-candidate and aggregate views
+		// both exist.
+		cc.Obs.PIDBase = base.PIDBase + int64(r.Evaluations-1)*1000
+		cc.Obs.RunLabel = plan.String()
+		if base.Metrics != nil {
+			cc.Obs.Metrics = obs.NewRegistry()
+		}
+	}
+	cl := cluster.New(cc)
 	// Phase 1's pair is installed before the job starts (clean boot
 	// install, no cost).
 	cl.InstallPair(plan.Pairs[0])
@@ -67,8 +81,9 @@ func (r *Runner) runOnce(plan Plan) RunResult {
 		panic("core: job did not complete")
 	}
 	res := job.Result()
+	base.Metrics.Absorb(res.Metrics)
 	stall := totalStall(cl) - baseStall
-	return RunResult{Plan: plan, Duration: res.Duration, Job: res, SwitchStall: stall}
+	return RunResult{Plan: plan, Duration: res.Duration, Job: res, SwitchStall: stall, Metrics: res.Metrics}
 }
 
 // totalStall sums switch stall time across every queue in the cluster.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"adaptmr/internal/cluster"
 	"adaptmr/internal/iosched"
 	"adaptmr/internal/mapred"
 	"adaptmr/internal/workloads"
@@ -31,11 +32,7 @@ func Fig4(cfg Config) Fig4Result {
 		res.Fractions = append(res.Fractions, float64(k)/8)
 	}
 	for _, p := range cfg.Pairs {
-		r := runPair(cfg, bm, p)
-		var row []float64
-		for _, f := range res.Fractions {
-			row = append(row, timeToFraction(r, f))
-		}
+		_, row := runPairProgress(cfg, bm, p, res.Fractions)
 		res.TimeAt = append(res.TimeAt, row)
 	}
 	// Composed optimum: for each segment between checkpoints take the best
@@ -59,15 +56,35 @@ func Fig4(cfg Config) Fig4Result {
 	return res
 }
 
-// timeToFraction reads the progress trace for the first point at or past
-// fraction f and returns elapsed seconds from job start.
-func timeToFraction(r mapred.Result, f float64) float64 {
-	for _, p := range r.Progress {
-		if p.Fraction >= f {
-			return p.At.Sub(r.Start).Seconds()
+// runPairProgress executes the benchmark under one pair on a fresh cluster,
+// sampling elapsed time at each requested progress fraction live via the
+// job's OnProgress hook (rather than scanning the progress trace after the
+// fact). Fractions never reached resolve to the total duration.
+func runPairProgress(cfg Config, bm workloads.Benchmark, p iosched.Pair, fractions []float64) (mapred.Result, []float64) {
+	cl := cluster.New(cfg.Cluster)
+	cl.InstallPair(p)
+	j := mapred.NewJob(cl, bm.Job)
+	start := cl.Eng.Now()
+	times := make([]float64, len(fractions))
+	for i := range times {
+		times[i] = -1
+	}
+	j.OnProgress(func(pt mapred.ProgressPoint) {
+		for i, f := range fractions {
+			if times[i] < 0 && pt.Fraction >= f {
+				times[i] = pt.At.Sub(start).Seconds()
+			}
+		}
+	})
+	j.Start(nil)
+	cl.Eng.Run()
+	res := j.Result()
+	for i := range times {
+		if times[i] < 0 {
+			times[i] = res.Duration.Seconds()
 		}
 	}
-	return r.Duration.Seconds()
+	return res, times
 }
 
 // OptimalImprovementOverDefault returns the gain of the composed optimum

@@ -201,12 +201,12 @@ func TestSyncCleanFileIsImmediate(t *testing.T) {
 func TestJournalCommitsHappen(t *testing.T) {
 	eng, fs, h := testFS(t)
 	var journalWrites int
-	h.Dom0Queue().OnComplete = func(r *block.Request) {
+	h.Dom0Queue().OnComplete(func(r *block.Request) {
 		// The journal occupies the low sectors of the VM extent.
 		if r.Op == block.Write && r.Sector < fs.journalSectors {
 			journalWrites++
 		}
-	}
+	})
 	f := fs.Create("data")
 	f.Append(fs.NewStream(), 16<<20, nil2)
 	eng.Run()

@@ -38,11 +38,11 @@ func TestReadSubmitsChunksInOrder(t *testing.T) {
 	f := fs.Create("seq")
 	f.Preallocate(2 << 20)
 	var sectors []int64
-	h.Dom0Queue().OnComplete = func(r *block.Request) {
+	h.Dom0Queue().OnComplete(func(r *block.Request) {
 		if r.Op == block.Read {
 			sectors = append(sectors, r.Sector)
 		}
-	}
+	})
 	f.Read(fs.NewStream(), 0, 2<<20, func() {})
 	eng.Run()
 	if len(sectors) == 0 {

@@ -150,11 +150,11 @@ func TestReplicaLandsOnRemoteDisk(t *testing.T) {
 	// Writer on host 0; the replica must generate write traffic on host 1.
 	h1fs := dfs.nodes[1].FS
 	var h1writes int64
-	h1fs.Domain().Host().Dom0Queue().OnComplete = func(r *block.Request) {
+	h1fs.Domain().Host().Dom0Queue().OnComplete(func(r *block.Request) {
 		if r.Op == block.Write {
 			h1writes += r.Bytes()
 		}
-	}
+	})
 	dfs.WriteFile(0, 1, 64<<20, nil)
 	eng.Run()
 	if h1writes < 64<<20 {

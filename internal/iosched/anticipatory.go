@@ -121,6 +121,7 @@ func (s *AnticipatorySched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 			s.anticipating = false
 			s.misses[s.anticStream]++
 			s.stats.Timeouts++
+			s.p.Counters.AnticTimeout()
 		}
 		return nil, 0
 	}
@@ -131,6 +132,7 @@ func (s *AnticipatorySched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 			s.anticipating = false
 			s.misses[s.anticStream]++
 			s.stats.Timeouts++
+			s.p.Counters.AnticTimeout()
 		} else {
 			// Serve the anticipated stream's reads ahead of everything —
 			// but only if the candidate continues the current run
@@ -140,6 +142,7 @@ func (s *AnticipatorySched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 				s.anticipating = false
 				s.misses[s.anticStream] = 0
 				s.stats.Hits++
+				s.p.Counters.AnticHit()
 				if !s.inBatch || s.batchOp != block.Read {
 					s.inBatch = true
 					s.batchOp = block.Read
@@ -241,6 +244,7 @@ func (s *AnticipatorySched) Completed(r *block.Request, now sim.Time) {
 		return
 	}
 	s.stats.Armed++
+	s.p.Counters.AnticArmed()
 	s.anticipating = true
 	s.anticStream = r.Stream
 	s.anticUntil = now.Add(s.p.AnticExpire)

@@ -122,6 +122,7 @@ func (s *CFQSched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 	}
 	s.active = q
 	s.idling = false
+	s.p.Counters.CFQSlice()
 	slice := s.p.SliceSync
 	if !q.sync {
 		slice = s.p.SliceAsync
@@ -205,6 +206,7 @@ func (s *CFQSched) Completed(r *block.Request, now sim.Time) {
 	}
 	if s.active.list.len() == 0 && s.p.SliceIdle > 0 && now < s.sliceEnd {
 		s.idling = true
+		s.p.Counters.CFQIdle()
 		s.idleUntil = now.Add(s.p.SliceIdle)
 		if s.idleUntil > s.sliceEnd {
 			s.idleUntil = s.sliceEnd

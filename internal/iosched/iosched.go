@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"adaptmr/internal/block"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/sim"
 )
 
@@ -86,6 +87,12 @@ type Params struct {
 	SliceSync  sim.Duration // sync per-stream slice (100ms)
 	SliceAsync sim.Duration // async pseudo-stream slice (40ms)
 	SliceIdle  sim.Duration // idle window at end of a sync slice (8ms)
+
+	// Counters, when non-nil, receives scheduler-internal decision counts
+	// (anticipation windows, CFQ slices/idles). Shared across elevator
+	// switches so a level's counts accumulate over the whole run; a nil
+	// value discards updates.
+	Counters *obs.SchedCounters
 }
 
 // DefaultParams mirrors the Linux 2.6.22 defaults the paper's testbed ran.

@@ -87,7 +87,7 @@ func TestRequestLifecyclesUnderSwitch(t *testing.T) {
 	var completions int64
 	for _, h := range cl.Hosts {
 		q := h.Dom0Queue()
-		q.OnComplete = func(r *block.Request) { completions++ }
+		q.OnComplete(func(r *block.Request) { completions++ })
 	}
 	j := mapred.NewJob(cl, workloads.Sort(128<<20).Job)
 	target, err := iosched.ParsePair("dd")

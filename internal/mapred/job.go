@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"adaptmr/internal/cluster"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/sim"
 )
 
@@ -65,6 +66,10 @@ type Result struct {
 	NonConcurrentShufflePct float64
 
 	Progress []ProgressPoint
+
+	// Metrics is a snapshot of the cluster's metrics registry taken when
+	// the result was built (nil when the cluster ran without one).
+	Metrics *obs.Snapshot
 }
 
 // PhaseDuration returns the wall time spent in phase p.
@@ -105,10 +110,15 @@ type Job struct {
 	onDone        func(*Job)
 	onMapsDone    []func()
 	onShuffleDone []func()
+	onProgress    []func(ProgressPoint)
 
 	credits      int
 	totalCredits int
 	progress     []ProgressPoint
+
+	// ioMarkR/ioMarkW checkpoint the cluster-wide Dom0 byte counters at
+	// the last phase boundary, so per-phase I/O volumes can be attributed.
+	ioMarkR, ioMarkW int64
 }
 
 // NewJob lays out a job on the cluster: places the HDFS input, creates one
@@ -157,6 +167,11 @@ func (j *Job) OnMapsDone(fn func()) { j.onMapsDone = append(j.onMapsDone, fn) }
 // fetching (the paper's Ph2→Ph3 switch point).
 func (j *Job) OnShuffleDone(fn func()) { j.onShuffleDone = append(j.onShuffleDone, fn) }
 
+// OnProgress registers a callback fired on every task completion with the
+// new overall completion fraction — the hook live progress reporting and
+// experiment checkpointing subscribe to.
+func (j *Job) OnProgress(fn func(ProgressPoint)) { j.onProgress = append(j.onProgress, fn) }
+
 // Start launches the job; onDone fires at completion.
 func (j *Job) Start(onDone func(*Job)) {
 	if j.started {
@@ -165,8 +180,40 @@ func (j *Job) Start(onDone func(*Job)) {
 	j.started = true
 	j.onDone = onDone
 	j.start = j.eng.Now()
+	j.ioMarkR, j.ioMarkW = j.dom0IO()
 	for _, tt := range j.tts {
 		tt.launch()
+	}
+}
+
+// dom0IO sums the Dom0-level byte counters across all hosts.
+func (j *Job) dom0IO() (read, write int64) {
+	for _, h := range j.cl.Hosts {
+		st := h.Dom0Queue().Stats()
+		read += st.ReadBytes
+		write += st.WriteBytes
+	}
+	return read, write
+}
+
+// closePhase records a finished phase: a trace span on the job thread and
+// the per-phase Dom0 I/O volume gauges.
+func (j *Job) closePhase(p Phase, start, end sim.Time) {
+	s := j.cl.Obs()
+	if !s.Enabled() {
+		return
+	}
+	r, w := j.dom0IO()
+	dr, dw := r-j.ioMarkR, w-j.ioMarkW
+	j.ioMarkR, j.ioMarkW = r, w
+	if m := s.Metrics; m != nil {
+		name := map[Phase]string{PhaseMap: "map", PhaseShuffle: "shuffle", PhaseReduce: "reduce"}[p]
+		m.Gauge("phase." + name + ".read_bytes").Set(float64(dr))
+		m.Gauge("phase." + name + ".written_bytes").Set(float64(dw))
+	}
+	if tr := s.Trace; tr != nil {
+		tr.Span(s.ClusterPID(), obs.TIDJob, "mapred", p.String(), start, end,
+			obs.I("read_bytes", dr), obs.I("written_bytes", dw))
 	}
 }
 
@@ -195,16 +242,21 @@ func (j *Job) Result() Result {
 	if window := j.tShuffleDone.Sub(j.tFirstMap); window > 0 {
 		res.NonConcurrentShufflePct = 100 * float64(j.tShuffleDone.Sub(j.tMapsDone)) / float64(window)
 	}
+	res.Metrics = j.cl.Obs().Metrics.Snapshot()
 	return res
 }
 
 // credit advances the progress meter by one completed task.
 func (j *Job) credit() {
 	j.credits++
-	j.progress = append(j.progress, ProgressPoint{
+	pt := ProgressPoint{
 		Fraction: float64(j.credits) / float64(j.totalCredits),
 		At:       j.eng.Now(),
-	})
+	}
+	j.progress = append(j.progress, pt)
+	for _, fn := range j.onProgress {
+		fn(pt)
+	}
 }
 
 // mapFinished is called by a map task on completion.
@@ -220,6 +272,7 @@ func (j *Job) mapFinished(m *mapTask) {
 	}
 	if j.mapsDone == len(j.maps) {
 		j.tMapsDone = j.eng.Now()
+		j.closePhase(PhaseMap, j.start, j.tMapsDone)
 		for _, fn := range j.onMapsDone {
 			fn()
 		}
@@ -232,6 +285,7 @@ func (j *Job) reducerShuffled(*reduceTask) {
 	j.shuffled++
 	if j.shuffled == len(j.reduces) {
 		j.tShuffleDone = j.eng.Now()
+		j.closePhase(PhaseShuffle, j.tMapsDone, j.tShuffleDone)
 		for _, fn := range j.onShuffleDone {
 			fn()
 		}
@@ -246,6 +300,19 @@ func (j *Job) reducerFinished(r *reduceTask) {
 	if j.finished == len(j.reduces) {
 		j.tDone = j.eng.Now()
 		j.done = true
+		j.closePhase(PhaseReduce, j.tShuffleDone, j.tDone)
+		s := j.cl.Obs()
+		if m := s.Metrics; m != nil {
+			m.Counter("mapred.maps").Add(int64(len(j.maps)))
+			m.Counter("mapred.reduces").Add(int64(len(j.reduces)))
+			m.Gauge("mapred.duration_s").Set(j.tDone.Sub(j.start).Seconds())
+		}
+		if tr := s.Trace; tr != nil {
+			tr.AsyncSpan(s.ClusterPID(), obs.TIDJob, "mapred", "job:"+j.cfg.Name,
+				j.start, j.tDone,
+				obs.I("maps", int64(len(j.maps))),
+				obs.I("reduces", int64(len(j.reduces))))
+		}
 		if j.onDone != nil {
 			j.onDone(j)
 		}

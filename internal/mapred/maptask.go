@@ -5,6 +5,8 @@ import (
 
 	"adaptmr/internal/block"
 	"adaptmr/internal/guestio"
+	"adaptmr/internal/obs"
+	"adaptmr/internal/sim"
 )
 
 // mapTask executes one input split: it streams the split from the local
@@ -26,6 +28,7 @@ type mapTask struct {
 	outBytes  int64 // total map output produced
 	output    *guestio.File
 	completed bool
+	started   sim.Time
 }
 
 func newMapTask(j *Job, tt *taskTracker, id int, input *guestio.File) *mapTask {
@@ -40,6 +43,7 @@ func (m *mapTask) outputFile() *guestio.File { return m.output }
 
 func (m *mapTask) run() {
 	m.stream = m.tt.fs.NewStream()
+	m.started = m.job.eng.Now()
 	m.step()
 }
 
@@ -161,5 +165,13 @@ func (m *mapTask) finish() {
 		panic("mapred: map task finished twice")
 	}
 	m.completed = true
+	if s := m.job.cl.Obs(); s.Trace != nil {
+		// Map slots overlap on one VM thread, so tasks are async spans.
+		s.Trace.AsyncSpan(s.HostPID(m.tt.hostID()), obs.VMTaskTID(m.tt.localVM()),
+			"mapred", fmt.Sprintf("map%d", m.id), m.started, m.job.eng.Now(),
+			obs.I("bytes_in", m.input.Size()),
+			obs.I("bytes_out", m.outBytes),
+			obs.I("spills", int64(len(m.spills))))
+	}
 	m.job.mapFinished(m)
 }

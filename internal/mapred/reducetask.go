@@ -5,6 +5,8 @@ import (
 
 	"adaptmr/internal/block"
 	"adaptmr/internal/guestio"
+	"adaptmr/internal/obs"
+	"adaptmr/internal/sim"
 )
 
 // reduceTask executes one reducer: it fetches its partition of every map
@@ -31,6 +33,9 @@ type reduceTask struct {
 
 	totalIn     int64
 	shuffleOver bool
+
+	started    sim.Time
+	shuffledAt sim.Time
 }
 
 func newReduceTask(j *Job, tt *taskTracker, id int) *reduceTask {
@@ -40,6 +45,7 @@ func newReduceTask(j *Job, tt *taskTracker, id int) *reduceTask {
 func (r *reduceTask) run() {
 	r.running = true
 	r.stream = r.tt.fs.NewStream()
+	r.started = r.job.eng.Now()
 	r.pump()
 }
 
@@ -137,6 +143,13 @@ func (r *reduceTask) checkShuffleDone() {
 		return
 	}
 	r.shuffleOver = true
+	r.shuffledAt = r.job.eng.Now()
+	if s := r.job.cl.Obs(); s.Trace != nil {
+		s.Trace.AsyncSpan(s.HostPID(r.tt.hostID()), obs.VMTaskTID(r.tt.localVM()),
+			"mapred", fmt.Sprintf("shuffle%d", r.id), r.started, r.shuffledAt,
+			obs.I("bytes_in", r.totalIn),
+			obs.I("segments", int64(len(r.diskSpills))))
+	}
 	r.job.reducerShuffled(r)
 	r.sortPhase()
 }
@@ -251,6 +264,11 @@ func (r *reduceTask) reducePhase() {
 		}
 		// All input consumed: commit the output.
 		writer.Close(func() {
+			if s := r.job.cl.Obs(); s.Trace != nil {
+				s.Trace.AsyncSpan(s.HostPID(r.tt.hostID()), obs.VMTaskTID(r.tt.localVM()),
+					"mapred", fmt.Sprintf("reduce%d", r.id), r.shuffledAt, r.job.eng.Now(),
+					obs.I("bytes_in", r.totalIn))
+			}
 			r.job.reducerFinished(r)
 		})
 	}

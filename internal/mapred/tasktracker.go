@@ -31,6 +31,9 @@ func newTaskTracker(j *Job, vm int) *taskTracker {
 // hostID returns the physical node the VM runs on.
 func (tt *taskTracker) hostID() int { return tt.job.cl.HostOf(tt.vm) }
 
+// localVM returns the VM's index within its host (the trace-thread index).
+func (tt *taskTracker) localVM() int { return tt.job.cl.Domain(tt.vm).Index }
+
 // launch fills all slots at job start. Hadoop launches reducers early so
 // they shuffle while maps run.
 func (tt *taskTracker) launch() {

@@ -32,14 +32,28 @@ func DefaultConfig() Config {
 // Flow is one in-progress transfer.
 type Flow struct {
 	src, dst  int
+	bytes     float64 // total transfer size
 	remaining float64 // bytes
 	rate      float64 // bytes/sec, recomputed on membership changes
+	start     sim.Time
 	done      func()
 	canceled  bool
 }
 
 // Rate returns the flow's current allocation in bytes/second.
 func (f *Flow) Rate() float64 { return f.rate }
+
+// Src returns the source physical node.
+func (f *Flow) Src() int { return f.src }
+
+// Dst returns the destination physical node.
+func (f *Flow) Dst() int { return f.dst }
+
+// Bytes returns the total transfer size.
+func (f *Flow) Bytes() float64 { return f.bytes }
+
+// Start returns when the transfer was issued.
+func (f *Flow) Start() sim.Time { return f.start }
 
 // Cancel abandons the transfer without invoking its callback.
 func (f *Flow) Cancel() { f.canceled = true }
@@ -62,6 +76,10 @@ type Network struct {
 	next       *sim.Event
 
 	stats Stats
+
+	// OnFlowDone, if set, observes every non-cancelled flow as it finishes
+	// (tracing hook; netsim itself stays observability-agnostic).
+	OnFlowDone func(f *Flow)
 }
 
 // New creates a network joining the given number of physical nodes.
@@ -89,7 +107,7 @@ func (n *Network) Send(src, dst int, bytes float64, done func()) *Flow {
 		panic("netsim: negative transfer")
 	}
 	n.advance()
-	f := &Flow{src: src, dst: dst, remaining: bytes, done: done}
+	f := &Flow{src: src, dst: dst, bytes: bytes, remaining: bytes, start: n.eng.Now(), done: done}
 	n.flows = append(n.flows, f)
 	n.stats.Flows++
 	if src == dst {
@@ -247,7 +265,13 @@ func (n *Network) completeDue() {
 	n.flows = live
 	n.recompute()
 	for _, f := range finished {
-		if !f.canceled && f.done != nil {
+		if f.canceled {
+			continue
+		}
+		if n.OnFlowDone != nil {
+			n.OnFlowDone(f)
+		}
+		if f.done != nil {
 			f.done()
 		}
 	}

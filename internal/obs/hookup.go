@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"adaptmr/internal/block"
+	"adaptmr/internal/disk"
+	"adaptmr/internal/sim"
+)
+
+// LatencyEdgesMs is the default latency histogram layout: exponential
+// buckets from 50 µs to ~26 s, wide enough for both a merged-sequential
+// read and a starved write behind an elevator switch.
+func LatencyEdgesMs() []float64 { return ExpEdges(0.05, 2, 20) }
+
+// SeekEdges is the default seek-distance histogram layout in sectors
+// (1024 sectors = 512 KiB) up to full-stroke distances on a 1 TB disk.
+func SeekEdges() []float64 { return ExpEdges(1024, 4, 12) }
+
+// InstrumentQueue subscribes tracing and metrics to a block queue's
+// lifecycle hooks. level names the metric family ("dom0" or "vm"); pid/tid
+// place the queue's trace events. Request lifecycles are emitted as async
+// spans (they overlap on one track); elevator switches as complete spans.
+func (s Sink) InstrumentQueue(q *block.Queue, pid, tid int64, level string) {
+	if !s.Enabled() {
+		return
+	}
+	tr := s.Trace
+	m := s.Metrics
+	var (
+		reqs    = m.Counter("io." + level + ".requests")
+		bytes   = m.Counter("io." + level + ".bytes")
+		mergedC = m.Counter("io." + level + ".merged")
+		lat     *Histogram
+		swCount = m.Counter("switch.count")
+		swStall = m.Gauge("switch.stall_ms")
+	)
+	if m != nil {
+		lat = m.Histogram("io."+level+".latency_ms", LatencyEdgesMs())
+	}
+	cat := "io." + level
+	q.OnMerge(func(parent, child *block.Request) {
+		mergedC.Inc()
+		if tr != nil {
+			tr.Instant(pid, tid, cat, "merge", child.Issued,
+				I("parent_sector", parent.Sector),
+				I("child_sector", child.Sector),
+				I("sectors", child.Count))
+		}
+	})
+	q.OnComplete(func(r *block.Request) {
+		reqs.Inc()
+		bytes.Add(r.Bytes())
+		lat.Observe(r.Completed.Sub(r.Issued).Millis())
+		if tr != nil {
+			tr.AsyncSpan(pid, tid, cat, r.Op.String(), r.Issued, r.Completed,
+				I("sector", r.Sector),
+				I("sectors", r.Count),
+				I("stream", int64(r.Stream)),
+				F("wait_ms", r.Dispatched.Sub(r.Issued).Millis()))
+		}
+	})
+	q.OnSwitched(func(info block.SwitchInfo) {
+		swCount.Inc()
+		swStall.Add(info.Stall.Millis())
+		if tr != nil {
+			tr.Span(pid, tid, "switch", info.From+"→"+info.To,
+				info.Start, info.Done, F("stall_ms", info.Stall.Millis()))
+		}
+	})
+}
+
+// InstrumentDisk observes every serviced request on the physical disk:
+// seek-distance histogram plus one complete span per service period (the
+// disk services one request at a time, so spans never overlap).
+func (s Sink) InstrumentDisk(d *disk.Disk, pid, tid int64) {
+	if !s.Enabled() {
+		return
+	}
+	tr := s.Trace
+	var seekHist *Histogram
+	if s.Metrics != nil {
+		seekHist = s.Metrics.Histogram("disk.seek_sectors", SeekEdges())
+	}
+	overhead := d.Config().Overhead
+	prev := d.OnService
+	d.OnService = func(r *block.Request, pos, xfer sim.Duration) {
+		if prev != nil {
+			prev(r, pos, xfer)
+		}
+		// OnService fires before the head moves, so Head() is the
+		// pre-service position.
+		dist := r.Sector - d.Head()
+		if dist < 0 {
+			dist = -dist
+		}
+		seekHist.Observe(float64(dist))
+		if tr != nil {
+			// The queue dispatches synchronously into Service, so
+			// r.Dispatched is the service start time.
+			end := r.Dispatched.Add(pos + xfer + overhead)
+			tr.Span(pid, tid, "disk", r.Op.String(), r.Dispatched, end,
+				I("sector", r.Sector),
+				I("sectors", r.Count),
+				I("stream", int64(r.Stream)),
+				F("position_ms", pos.Millis()),
+				F("transfer_ms", xfer.Millis()))
+		}
+	}
+}
+
+type engineObserver struct{ events *Counter }
+
+func (o engineObserver) EventFired(sim.Time) { o.events.Inc() }
+
+// InstrumentEngine installs a metrics-counting observer on the simulation
+// engine ("sim.events"). It is a no-op without a metrics registry.
+func (s Sink) InstrumentEngine(eng *sim.Engine) {
+	if s.Metrics == nil {
+		return
+	}
+	eng.SetObserver(engineObserver{events: s.Metrics.Counter("sim.events")})
+}

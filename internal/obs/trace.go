@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"adaptmr/internal/sim"
+)
+
+// Arg is one key/value pair attached to a trace event. Construct with I,
+// F or S. Values render deterministically, so traces of identical runs are
+// byte-identical.
+type Arg struct {
+	Key  string
+	kind uint8 // 0 int, 1 float, 2 string
+	i    int64
+	f    float64
+	s    string
+}
+
+// I builds an integer argument.
+func I(key string, v int64) Arg { return Arg{Key: key, kind: 0, i: v} }
+
+// F builds a float argument.
+func F(key string, v float64) Arg { return Arg{Key: key, kind: 1, f: v} }
+
+// S builds a string argument.
+func S(key, v string) Arg { return Arg{Key: key, kind: 2, s: v} }
+
+// event phases (Chrome trace-event "ph" field).
+const (
+	phComplete   = 'X' // span with ts + dur
+	phInstant    = 'i' // point event
+	phAsyncBegin = 'b' // async span begin (id-matched)
+	phAsyncEnd   = 'e' // async span end
+	phMetadata   = 'M' // process_name / thread_name
+)
+
+type traceEvent struct {
+	name string
+	cat  string
+	ph   byte
+	ts   sim.Time
+	dur  sim.Duration // phComplete only
+	pid  int64
+	tid  int64
+	id   int64 // async events only
+	args []Arg
+}
+
+// Tracer records span and instant events across the simulated stack and
+// exports them as Chrome trace-event JSON. It is single-threaded, like the
+// simulation engine driving it. A nil *Tracer discards everything.
+type Tracer struct {
+	events []traceEvent
+	nextID int64
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Enabled reports whether the tracer records (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// NameProcess assigns a display name to a trace process.
+func (t *Tracer) NameProcess(pid int64, name string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		name: "process_name", ph: phMetadata, pid: pid,
+		args: []Arg{S("name", name)},
+	})
+}
+
+// NameThread assigns a display name to a trace thread.
+func (t *Tracer) NameThread(pid, tid int64, name string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		name: "thread_name", ph: phMetadata, pid: pid, tid: tid,
+		args: []Arg{S("name", name)},
+	})
+}
+
+// Span records a complete ('X') event from start to end. Spans on one
+// thread must nest properly; use AsyncSpan for overlapping lifecycles.
+func (t *Tracer) Span(pid, tid int64, cat, name string, start, end sim.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: phComplete, ts: start, dur: d,
+		pid: pid, tid: tid, args: args,
+	})
+}
+
+// AsyncSpan records an id-matched async span ('b'/'e' pair), which may
+// overlap other spans on the same thread — request lifecycles, tasks and
+// network flows use this.
+func (t *Tracer) AsyncSpan(pid, tid int64, cat, name string, start, end sim.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.nextID++
+	id := t.nextID
+	if end < start {
+		end = start
+	}
+	t.events = append(t.events,
+		traceEvent{name: name, cat: cat, ph: phAsyncBegin, ts: start, pid: pid, tid: tid, id: id, args: args},
+		traceEvent{name: name, cat: cat, ph: phAsyncEnd, ts: end, pid: pid, tid: tid, id: id},
+	)
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(pid, tid int64, cat, name string, at sim.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: phInstant, ts: at, pid: pid, tid: tid, args: args,
+	})
+}
+
+// WriteJSON writes the trace in Chrome trace-event JSON object form
+// ({"traceEvents": [...]}). Events are stably sorted by timestamp
+// (metadata first), so output for a deterministic simulation is
+// byte-identical across runs.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
+		return err
+	}
+	order := make([]int, len(t.events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ea, eb := &t.events[order[a]], &t.events[order[b]]
+		am, bm := ea.ph == phMetadata, eb.ph == phMetadata
+		if am != bm {
+			return am
+		}
+		return ea.ts < eb.ts
+	})
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	for k, idx := range order {
+		if k > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n")
+		writeEvent(bw, &t.events[idx])
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// WriteFile writes the trace JSON to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeEvent(bw *bufio.Writer, ev *traceEvent) {
+	bw.WriteString(`{"name":`)
+	writeJSONString(bw, ev.name)
+	if ev.cat != "" {
+		bw.WriteString(`,"cat":`)
+		writeJSONString(bw, ev.cat)
+	}
+	bw.WriteString(`,"ph":"`)
+	bw.WriteByte(ev.ph)
+	bw.WriteString(`","ts":`)
+	writeMicros(bw, int64(ev.ts))
+	if ev.ph == phComplete {
+		bw.WriteString(`,"dur":`)
+		writeMicros(bw, int64(ev.dur))
+	}
+	bw.WriteString(`,"pid":`)
+	bw.WriteString(strconv.FormatInt(ev.pid, 10))
+	bw.WriteString(`,"tid":`)
+	bw.WriteString(strconv.FormatInt(ev.tid, 10))
+	if ev.ph == phAsyncBegin || ev.ph == phAsyncEnd {
+		bw.WriteString(`,"id":"`)
+		bw.WriteString(strconv.FormatInt(ev.id, 10))
+		bw.WriteByte('"')
+	}
+	if ev.ph == phInstant {
+		bw.WriteString(`,"s":"t"`)
+	}
+	if len(ev.args) > 0 {
+		bw.WriteString(`,"args":{`)
+		for i, a := range ev.args {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			writeJSONString(bw, a.Key)
+			bw.WriteByte(':')
+			switch a.kind {
+			case 0:
+				bw.WriteString(strconv.FormatInt(a.i, 10))
+			case 1:
+				bw.WriteString(strconv.FormatFloat(a.f, 'g', -1, 64))
+			default:
+				writeJSONString(bw, a.s)
+			}
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte('}')
+}
+
+// writeMicros renders a nanosecond quantity as microseconds with fixed
+// 3-decimal precision ("1234.567") — the trace-event format's time unit.
+func writeMicros(bw *bufio.Writer, ns int64) {
+	neg := ns < 0
+	if neg {
+		ns = -ns
+		bw.WriteByte('-')
+	}
+	bw.WriteString(strconv.FormatInt(ns/1000, 10))
+	frac := ns % 1000
+	bw.WriteByte('.')
+	bw.WriteByte(byte('0' + frac/100))
+	bw.WriteByte(byte('0' + (frac/10)%10))
+	bw.WriteByte(byte('0' + frac%10))
+}
+
+const hexDigits = "0123456789abcdef"
+
+// writeJSONString writes s as a JSON string literal with minimal escaping.
+func writeJSONString(bw *bufio.Writer, s string) {
+	bw.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			bw.WriteByte('\\')
+			bw.WriteByte(c)
+		case c < 0x20:
+			bw.WriteString(`\u00`)
+			bw.WriteByte(hexDigits[c>>4])
+			bw.WriteByte(hexDigits[c&0xf])
+		default:
+			bw.WriteByte(c)
+		}
+	}
+	bw.WriteByte('"')
+}

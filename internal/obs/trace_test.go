@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"adaptmr/internal/sim"
+)
+
+// jsonEvent mirrors the trace-event fields we assert on.
+type jsonEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	TS   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	PID  int64           `json:"pid"`
+	TID  int64           `json:"tid"`
+	ID   string          `json:"id"`
+	Args map[string]any  `json:"args"`
+	S    json.RawMessage `json:"s"`
+}
+
+type jsonTrace struct {
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+	TraceEvents     []jsonEvent `json:"traceEvents"`
+}
+
+func parseTrace(t *testing.T, b []byte) jsonTrace {
+	t.Helper()
+	var tr jsonTrace
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	return tr
+}
+
+func TestTracerExport(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(2, `host"0\`)
+	tr.NameThread(2, 1, "dom0 elevator")
+	tr.Span(2, 1, "disk", "read", sim.Time(1500), sim.Time(4500), I("sectors", 8))
+	tr.AsyncSpan(2, 1, "io.dom0", "R", sim.Time(1000), sim.Time(9000), F("wait_ms", 0.5))
+	tr.Instant(2, 1, "io.dom0", "merge", sim.Time(2000), S("kind", "back"))
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trace := parseTrace(t, buf.Bytes())
+	if trace.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", trace.DisplayTimeUnit)
+	}
+	evs := trace.TraceEvents
+	if len(evs) != 6 { // 2 metadata + X + b + e + i
+		t.Fatalf("got %d events", len(evs))
+	}
+	// Metadata sorts first, regardless of emission order.
+	if evs[0].Ph != "M" || evs[1].Ph != "M" {
+		t.Fatalf("metadata not first: %v %v", evs[0].Ph, evs[1].Ph)
+	}
+	if got := evs[0].Args["name"]; got != `host"0\` {
+		t.Fatalf("escaped process name roundtrip: %q", got)
+	}
+	// Remaining events are time-sorted: b(1.0µs), X(1.5µs), i(2.0µs), e(9.0µs).
+	order := []string{"b", "X", "i", "e"}
+	for i, ph := range order {
+		if evs[2+i].Ph != ph {
+			t.Fatalf("event %d phase = %s, want %s", 2+i, evs[2+i].Ph, ph)
+		}
+	}
+	b, e := evs[2], evs[5]
+	if b.ID == "" || b.ID != e.ID {
+		t.Fatalf("async ids not matched: %q vs %q", b.ID, e.ID)
+	}
+	x := evs[3]
+	if x.TS != 1.5 || x.Dur != 3.0 { // ns rendered as µs
+		t.Fatalf("X span ts=%v dur=%v", x.TS, x.Dur)
+	}
+	if x.Args["sectors"] != float64(8) {
+		t.Fatalf("X args: %v", x.Args)
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+// TestTracerDeterministic builds the same event stream twice and requires
+// byte-identical exports — the property the golden-trace integration test
+// relies on end to end.
+func TestTracerDeterministic(t *testing.T) {
+	build := func() *Tracer {
+		tr := NewTracer()
+		tr.NameProcess(1, "cluster")
+		for i := 0; i < 100; i++ {
+			at := sim.Time(i * 1000)
+			tr.AsyncSpan(1, 1, "net", "flow", at, at.Add(500), I("bytes", int64(i)))
+			tr.Instant(1, 2, "io.vm", "merge", at)
+		}
+		return tr
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("identical event streams exported differently")
+	}
+}
+
+// TestNilTracer exercises the disabled fast path: every method on a nil
+// tracer is a no-op and WriteJSON emits a valid empty trace.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	tr.NameProcess(1, "x")
+	tr.NameThread(1, 1, "y")
+	tr.Span(1, 1, "c", "n", 0, 1)
+	tr.AsyncSpan(1, 1, "c", "n", 0, 1)
+	tr.Instant(1, 1, "c", "n", 0)
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer recorded")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trace := parseTrace(t, buf.Bytes())
+	if len(trace.TraceEvents) != 0 {
+		t.Fatalf("nil tracer events: %v", trace.TraceEvents)
+	}
+}
+
+// TestNegativeSpanClamped: spans with end < start must not render negative
+// durations (Perfetto rejects them).
+func TestNegativeSpanClamped(t *testing.T) {
+	tr := NewTracer()
+	tr.Span(1, 1, "c", "n", sim.Time(5000), sim.Time(1000))
+	tr.AsyncSpan(1, 1, "c", "n", sim.Time(5000), sim.Time(1000))
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range parseTrace(t, buf.Bytes()).TraceEvents {
+		if ev.Dur < 0 {
+			t.Fatalf("negative dur: %+v", ev)
+		}
+		if ev.Ph == "e" && ev.TS < 5.0 {
+			t.Fatalf("async end before begin: %+v", ev)
+		}
+	}
+}
+
+func TestSinkLayout(t *testing.T) {
+	s := Sink{PIDBase: 1000}
+	if s.ClusterPID() != 1001 || s.HostPID(0) != 1002 || s.HostPID(3) != 1005 {
+		t.Fatalf("pid layout: %d %d %d", s.ClusterPID(), s.HostPID(0), s.HostPID(3))
+	}
+	if s.ProcName("host0") != "host0" {
+		t.Fatal("unlabelled ProcName")
+	}
+	s.RunLabel = "[c → a]"
+	if s.ProcName("host0") != "[c → a]/host0" {
+		t.Fatalf("labelled ProcName: %q", s.ProcName("host0"))
+	}
+	if VMTID(1) == VMTaskTID(1) || VMTID(2) == VMTaskTID(1) {
+		t.Fatal("thread id collision")
+	}
+	if (Sink{}).Enabled() {
+		t.Fatal("zero sink enabled")
+	}
+	if !(Sink{Trace: NewTracer()}).Enabled() || !(Sink{Metrics: NewRegistry()}).Enabled() {
+		t.Fatal("non-zero sink disabled")
+	}
+}

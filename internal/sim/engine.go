@@ -53,6 +53,7 @@ type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	eng      *Engine
 	canceled bool
 	index    int // heap index, -1 once popped
 }
@@ -62,7 +63,17 @@ func (ev *Event) At() Time { return ev.at }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
+func (ev *Event) Cancel() {
+	if ev.canceled {
+		return
+	}
+	ev.canceled = true
+	// Track cancelled-but-undiscarded heap entries so Pending() reports
+	// only runnable events.
+	if ev.index >= 0 && ev.eng != nil {
+		ev.eng.cancelledPending++
+	}
+}
 
 // Canceled reports whether Cancel was called.
 func (ev *Event) Canceled() bool { return ev.canceled }
@@ -96,6 +107,15 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// Observer receives a callback for every event the engine fires — the
+// hook the observability layer's simulator metrics ride on. A nil
+// observer costs one predictable branch per event.
+type Observer interface {
+	// EventFired is invoked after the clock advanced to the event's
+	// timestamp, immediately before the event callback runs.
+	EventFired(at Time)
+}
+
 // Engine is a single-threaded discrete-event simulator.
 //
 // Engine is not safe for concurrent use; all model code runs inside event
@@ -107,6 +127,12 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+
+	// cancelledPending counts cancelled events still sitting in the heap,
+	// so Pending() can exclude them without eager heap surgery.
+	cancelledPending int
+
+	obs Observer
 }
 
 // New returns an engine whose random source is seeded with seed.
@@ -124,9 +150,13 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // benchmarking the simulator itself).
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled ones that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of runnable events currently scheduled.
+// Cancelled events still occupying heap slots are excluded.
+func (e *Engine) Pending() int { return len(e.events) - e.cancelledPending }
+
+// SetObserver installs (or, with nil, removes) the engine's execution
+// observer.
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
 
 // Schedule runs fn after delay d. A negative delay is treated as zero.
 func (e *Engine) Schedule(d Duration, fn func()) *Event {
@@ -144,7 +174,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
@@ -159,10 +189,14 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.canceled {
+			e.cancelledPending--
 			continue
 		}
 		e.now = ev.at
 		e.fired++
+		if e.obs != nil {
+			e.obs.EventFired(ev.at)
+		}
 		ev.fn()
 		return true
 	}
@@ -188,6 +222,7 @@ func (e *Engine) RunUntil(t Time) {
 		next := e.events[0]
 		if next.canceled {
 			heap.Pop(&e.events)
+			e.cancelledPending--
 			continue
 		}
 		if next.at > t {

@@ -249,3 +249,53 @@ func TestQuickEventOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPendingSkipsCancelled pins the satellite fix: Pending must not count
+// events that were cancelled while still sitting in the heap.
+func TestPendingSkipsCancelled(t *testing.T) {
+	e := New(1)
+	evs := make([]*Event, 4)
+	for i := range evs {
+		evs[i] = e.Schedule(Duration(10*(i+1)), func() {})
+	}
+	if e.Pending() != 4 {
+		t.Fatalf("pending = %d, want 4", e.Pending())
+	}
+	evs[1].Cancel()
+	evs[3].Cancel()
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d after two cancels, want 2", e.Pending())
+	}
+	evs[1].Cancel() // double-cancel must not double-count
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d after double cancel, want 2", e.Pending())
+	}
+	e.Step() // fires evs[0], pops nothing cancelled
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d after first fire, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after run, want 0", e.Pending())
+	}
+}
+
+// TestObserverSeesEveryFiredEvent checks the Observer hook fires once per
+// executed (non-cancelled) event, at the event's own timestamp.
+func TestObserverSeesEveryFiredEvent(t *testing.T) {
+	e := New(1)
+	var seen []Time
+	e.SetObserver(observerFunc(func(at Time) { seen = append(seen, at) }))
+	e.Schedule(10, func() {})
+	cancelled := e.Schedule(20, func() {})
+	cancelled.Cancel()
+	e.Schedule(30, func() {})
+	e.Run()
+	if len(seen) != 2 || seen[0] != 10 || seen[1] != 30 {
+		t.Fatalf("observer saw %v, want [10 30]", seen)
+	}
+}
+
+type observerFunc func(at Time)
+
+func (f observerFunc) EventFired(at Time) { f(at) }

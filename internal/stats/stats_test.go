@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"adaptmr/internal/block"
 	"adaptmr/internal/sim"
 )
 
@@ -161,4 +162,106 @@ func TestSamplerInvalidWindowPanics(t *testing.T) {
 		}
 	}()
 	NewThroughputSampler(sim.New(1), 0)
+}
+
+// fifoQueueElv / instantDev are minimal block.Queue collaborators so the
+// sampler's Attach path can be exercised without a full simulated disk.
+type fifoQueueElv struct{ q []*block.Request }
+
+func (f *fifoQueueElv) Name() string                       { return "fifo" }
+func (f *fifoQueueElv) Add(r *block.Request, _ sim.Time)   { f.q = append(f.q, r) }
+func (f *fifoQueueElv) Completed(*block.Request, sim.Time) {}
+func (f *fifoQueueElv) Pending() int                       { return len(f.q) }
+func (f *fifoQueueElv) Dispatch(_ sim.Time) (*block.Request, sim.Time) {
+	if len(f.q) == 0 {
+		return nil, 0
+	}
+	r := f.q[0]
+	f.q = f.q[1:]
+	return r, 0
+}
+
+type instantDev struct{ eng *sim.Engine }
+
+func (d *instantDev) Service(_ *block.Request, done func()) {
+	d.eng.Schedule(sim.Millisecond, done)
+}
+
+// TestThroughputSamplerAttachCoexists verifies Attach subscribes through the
+// queue's multi-subscriber hook: the sampler and another completion
+// listener both observe every request, with no chaining between them.
+func TestThroughputSamplerAttachCoexists(t *testing.T) {
+	eng := sim.New(1)
+	q := block.NewQueue(eng, &fifoQueueElv{}, &instantDev{eng: eng}, 1)
+	ts := NewThroughputSampler(eng, sim.Second)
+	other := 0
+	q.OnComplete(func(*block.Request) { other++ })
+	ts.Attach(q)
+	const n = 4
+	for i := 0; i < n; i++ {
+		q.Submit(block.NewRequest(block.Read, int64(i*16), 8, true, 1))
+	}
+	eng.Run()
+	if other != n {
+		t.Fatalf("co-subscriber saw %d completions, want %d", other, n)
+	}
+	if ts.TotalBytes() != n*8*block.SectorSize {
+		t.Fatalf("sampler saw %d bytes", ts.TotalBytes())
+	}
+}
+
+// TestThroughputSamplerIdleGap covers a long idle gap: every empty window in
+// the gap appears as an explicit zero sample, and a record landing exactly
+// on a window boundary opens the next window (no partial duplicate).
+func TestThroughputSamplerIdleGap(t *testing.T) {
+	eng := sim.New(1)
+	ts := NewThroughputSampler(eng, sim.Second)
+	eng.Schedule(500*sim.Millisecond, func() { ts.Record(3e6) })
+	// Exactly on the t=3s boundary: windows [0,1) [1,2) [2,3) close, the
+	// record belongs to [3,4).
+	eng.Schedule(3*sim.Second, func() { ts.Record(7e6) })
+	eng.Run()
+	series := ts.Series()
+	want := []float64{3, 0, 0} // closed windows; [3,4) has data but zero elapsed
+	if len(series) != len(want) {
+		t.Fatalf("series %v, want %v + nothing", series, want)
+	}
+	for i, v := range want {
+		if math.Abs(series[i]-v) > 1e-9 {
+			t.Fatalf("series[%d] = %v, want %v", i, series[i], v)
+		}
+	}
+	if ts.TotalBytes() != 10e6 {
+		t.Fatalf("total %d", ts.TotalBytes())
+	}
+}
+
+// TestThroughputSamplerPartialTrailingWindow pins the partial-window rate:
+// the trailing sample is normalised by elapsed time within the window, not
+// the full window length.
+func TestThroughputSamplerPartialTrailingWindow(t *testing.T) {
+	eng := sim.New(1)
+	ts := NewThroughputSampler(eng, sim.Second)
+	eng.Schedule(2200*sim.Millisecond, func() { ts.Record(5e6) })
+	eng.Schedule(2500*sim.Millisecond, func() { ts.Record(5e6) })
+	eng.Run()
+	series := ts.Series()
+	// Windows [0,1) and [1,2) are empty; the partial [2, 2.5] holds 10 MB
+	// over 0.5 s elapsed = 20 MB/s.
+	if len(series) != 3 {
+		t.Fatalf("series %v", series)
+	}
+	if series[0] != 0 || series[1] != 0 {
+		t.Fatalf("gap windows not zero: %v", series)
+	}
+	if math.Abs(series[2]-20) > 1e-9 {
+		t.Fatalf("partial window = %v MB/s, want 20", series[2])
+	}
+	// Series must not mutate sampler state: calling it again is identical.
+	again := ts.Series()
+	for i := range series {
+		if series[i] != again[i] {
+			t.Fatalf("Series not idempotent: %v vs %v", series, again)
+		}
+	}
 }

@@ -9,9 +9,10 @@ import (
 // windowed MB/s time series — the instrument behind the paper's Fig 3
 // CDFs of VMM- and VM-level I/O throughput.
 //
-// Attach with Attach (which chains any existing OnComplete hook) and stop
-// sampling by simply discarding the sampler; windows are closed lazily as
-// completions arrive, and Series flushes the trailing window.
+// Attach subscribes the sampler to the queue's multi-subscriber completion
+// hook, so it coexists with tracers and controllers listening on the same
+// queue; windows are closed lazily as completions arrive, and Series
+// flushes the trailing window.
 type ThroughputSampler struct {
 	eng    *sim.Engine
 	window sim.Duration
@@ -32,16 +33,10 @@ func NewThroughputSampler(eng *sim.Engine, window sim.Duration) *ThroughputSampl
 	return &ThroughputSampler{eng: eng, window: window, start: now, winStart: now}
 }
 
-// Attach subscribes the sampler to the queue's completions, preserving any
-// hook already installed.
+// Attach subscribes the sampler to the queue's completion hook. Other
+// subscribers (tracers, controllers) coexist without chaining.
 func (t *ThroughputSampler) Attach(q *block.Queue) {
-	prev := q.OnComplete
-	q.OnComplete = func(r *block.Request) {
-		if prev != nil {
-			prev(r)
-		}
-		t.Record(r.Bytes())
-	}
+	q.OnComplete(func(r *block.Request) { t.Record(r.Bytes()) })
 }
 
 // Record accounts bytes completed at the current simulation time.

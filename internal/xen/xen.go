@@ -16,6 +16,7 @@ import (
 	"adaptmr/internal/cpusim"
 	"adaptmr/internal/disk"
 	"adaptmr/internal/iosched"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/sim"
 )
 
@@ -41,6 +42,9 @@ type HostConfig struct {
 	VMExtentGap int64
 	// VCPUSpeed is each VM's CPU speed in core-equivalents.
 	VCPUSpeed float64
+	// Obs receives traces and metrics from the host's queues and disk.
+	// The zero value disables observation.
+	Obs obs.Sink
 }
 
 // DefaultHostConfig mirrors the paper testbed: Xen 3.4.2, one SATA disk,
@@ -68,6 +72,12 @@ type Host struct {
 	disk *disk.Disk
 	dom0 *block.Queue
 
+	// Per-level scheduler params: identical tunables but distinct shared
+	// counter sets, so Dom0 and guest elevator decisions aggregate
+	// separately and survive elevator switches.
+	dom0Sched  iosched.Params
+	guestSched iosched.Params
+
 	domains []*Domain
 	pair    iosched.Pair
 }
@@ -79,13 +89,31 @@ func NewHost(eng *sim.Engine, id int, numVMs int, cfg HostConfig) *Host {
 		panic("xen: host needs at least one VM")
 	}
 	h := &Host{Eng: eng, ID: id, cfg: cfg, pair: iosched.DefaultPair}
+	h.dom0Sched = cfg.Sched
+	h.dom0Sched.Counters = obs.NewSchedCounters(cfg.Obs.Metrics, "sched.dom0")
+	h.guestSched = cfg.Sched
+	h.guestSched.Counters = obs.NewSchedCounters(cfg.Obs.Metrics, "sched.vm")
 	h.disk = disk.New(eng, cfg.Disk)
-	h.dom0 = block.NewQueue(eng, iosched.MustNew(h.pair.VMM, cfg.Sched), h.disk, cfg.Dom0Depth)
+	h.dom0 = block.NewQueue(eng, iosched.MustNew(h.pair.VMM, h.dom0Sched), h.disk, cfg.Dom0Depth)
+	if cfg.Obs.Enabled() {
+		pid := cfg.Obs.HostPID(id)
+		if tr := cfg.Obs.Trace; tr != nil {
+			tr.NameProcess(pid, cfg.Obs.ProcName(obs.HostLabel(id)))
+			tr.NameThread(pid, obs.TIDDom0, "dom0 elevator")
+			tr.NameThread(pid, obs.TIDDisk, "disk")
+			tr.NameThread(pid, obs.TIDNet, "nic")
+		}
+		cfg.Obs.InstrumentQueue(h.dom0, pid, obs.TIDDom0, "dom0")
+		cfg.Obs.InstrumentDisk(h.disk, pid, obs.TIDDisk)
+	}
 	for i := 0; i < numVMs; i++ {
 		h.domains = append(h.domains, newDomain(h, i))
 	}
 	return h
 }
+
+// Obs returns the observability sink threaded through the host.
+func (h *Host) Obs() obs.Sink { return h.cfg.Obs }
 
 // Config returns the host configuration.
 func (h *Host) Config() HostConfig { return h.cfg }
@@ -123,9 +151,9 @@ func (h *Host) SetPair(p iosched.Pair, onDone func()) {
 			onDone()
 		}
 	}
-	h.dom0.SetElevator(iosched.MustNew(p.VMM, h.cfg.Sched), h.cfg.SwitchReinit, finish)
+	h.dom0.SetElevator(iosched.MustNew(p.VMM, h.dom0Sched), h.cfg.SwitchReinit, finish)
 	for _, d := range h.domains {
-		d.q.SetElevator(iosched.MustNew(p.VM, h.cfg.Sched), h.cfg.SwitchReinit, finish)
+		d.q.SetElevator(iosched.MustNew(p.VM, h.guestSched), h.cfg.SwitchReinit, finish)
 	}
 }
 
@@ -184,8 +212,17 @@ func newDomain(h *Host, index int) *Domain {
 	if d.extentStart+d.extentLen > h.cfg.Disk.Sectors {
 		panic("xen: VM extents exceed disk capacity")
 	}
-	d.q = block.NewQueue(h.Eng, iosched.MustNew(h.pair.VM, h.cfg.Sched), ring{d}, h.cfg.GuestDepth)
+	d.q = block.NewQueue(h.Eng, iosched.MustNew(h.pair.VM, h.guestSched), ring{d}, h.cfg.GuestDepth)
 	d.VCPU = cpusim.New(h.Eng, h.cfg.VCPUSpeed)
+	if h.cfg.Obs.Enabled() {
+		pid := h.cfg.Obs.HostPID(h.ID)
+		tid := obs.VMTID(index)
+		if tr := h.cfg.Obs.Trace; tr != nil {
+			tr.NameThread(pid, tid, fmt.Sprintf("vm%d elevator", index))
+			tr.NameThread(pid, obs.VMTaskTID(index), fmt.Sprintf("vm%d tasks", index))
+		}
+		h.cfg.Obs.InstrumentQueue(d.q, pid, tid, "vm")
+	}
 	return d
 }
 

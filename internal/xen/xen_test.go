@@ -91,7 +91,7 @@ func TestVMMStreamTagging(t *testing.T) {
 	eng := sim.New(1)
 	h := NewHost(eng, 0, 3, smallHostConfig())
 	var streams []block.StreamID
-	h.Dom0Queue().OnComplete = func(r *block.Request) { streams = append(streams, r.Stream) }
+	h.Dom0Queue().OnComplete(func(r *block.Request) { streams = append(streams, r.Stream) })
 	for i := 0; i < 3; i++ {
 		h.Domain(i).Submit(block.Read, 0, 8, true, 42, nil)
 	}
