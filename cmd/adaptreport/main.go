@@ -1,0 +1,291 @@
+// Command adaptreport analyzes instrumented simulation runs into
+// human-readable reports and gates performance regressions against a
+// committed baseline.
+//
+// Subcommands:
+//
+//	adaptreport run  [sim flags] [-format md|html|json] [-o report.md] [-bench-out BENCH.json]
+//	    Run one fully instrumented job and render the analysis report
+//	    (critical path with per-layer blame, phase breakdown, latency
+//	    quantiles, timeseries).
+//
+//	adaptreport gate [sim flags] [-baseline BENCH_baseline.json] [-tol 0.05]
+//	                 [-candidate BENCH_candidate.json] [-html report.html] [-update]
+//	    Run the same instrumented job, condense it to a bench summary and
+//	    compare against the committed baseline. Exits 1 when a gated
+//	    metric regressed beyond the tolerance. -update rewrites the
+//	    baseline instead of comparing.
+//
+//	adaptreport compare [-tol 0.05] base.json candidate.json
+//	    Compare two previously written bench summaries.
+//
+// Sim flags (run and gate): -bench, -pair, -hosts, -vms, -input, -seed,
+// -slowdown. All output is deterministic for a fixed configuration, which
+// is what makes byte-level baseline comparison possible.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"adaptmr"
+	"adaptmr/internal/cliutil"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "adaptreport:", err)
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: adaptreport <run|gate|compare> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "gate":
+		cmdGate(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+// simFlags binds the shared simulation flags on fs.
+type simFlags struct {
+	bench    *string
+	pairArg  *string
+	hosts    *int
+	vms      *int
+	inputMB  *int64
+	seed     *int64
+	slowdown *float64
+	points   *int
+}
+
+func bindSimFlags(fs *flag.FlagSet) *simFlags {
+	return &simFlags{
+		bench:    fs.String("bench", "sort", "workload: sort, wordcount, wordcount-nc"),
+		pairArg:  fs.String("pair", "cc", "scheduler pair (code or long form)"),
+		hosts:    fs.Int("hosts", 2, "physical nodes"),
+		vms:      fs.Int("vms", 2, "VMs per node"),
+		inputMB:  fs.Int64("input", 64, "input data per datanode VM, in MB"),
+		seed:     fs.Int64("seed", 1, "simulation seed"),
+		slowdown: fs.Float64("slowdown", 0, "slow host 0's disk by this factor (0 = off; for gate testing)"),
+		points:   fs.Int("timeseries-points", 0, "timeseries sample cap (0 = default 160)"),
+	}
+}
+
+// run executes one instrumented job per the sim flags and analyzes it.
+func (sf *simFlags) run() (*adaptmr.Report, error) {
+	cfg := adaptmr.DefaultClusterConfig()
+	cfg.Hosts = *sf.hosts
+	cfg.VMsPerHost = *sf.vms
+	cfg.Seed = *sf.seed
+	if *sf.slowdown > 0 {
+		cfg.HostDiskSlowdown = map[int]float64{0: *sf.slowdown}
+	}
+
+	var wl adaptmr.Workload
+	switch *sf.bench {
+	case "sort":
+		wl = adaptmr.SortBenchmark(*sf.inputMB << 20)
+	case "wordcount":
+		wl = adaptmr.WordCountBenchmark(*sf.inputMB << 20)
+	case "wordcount-nc", "wordcount-no-combiner":
+		wl = adaptmr.WordCountNoCombinerBenchmark(*sf.inputMB << 20)
+	default:
+		return nil, fmt.Errorf("unknown benchmark %q", *sf.bench)
+	}
+	pair, err := adaptmr.ParsePair(*sf.pairArg)
+	if err != nil {
+		return nil, err
+	}
+	return adaptmr.RunReport(cfg, wl.Job, pair, adaptmr.ReportOptions{
+		Workload:         *sf.bench,
+		InputMB:          *sf.inputMB,
+		TimeseriesPoints: *sf.points,
+	})
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("adaptreport run", flag.ExitOnError)
+	sf := bindSimFlags(fs)
+	format := fs.String("format", "md", "output format: md, html or json")
+	out := fs.String("o", "", "output path (default stdout)")
+	benchOut := fs.String("bench-out", "", "also write the run's bench summary JSON here")
+	prof := cliutil.BindProfileFlags(fs)
+	fs.Parse(args)
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+
+	rep, err := sf.run()
+	if err != nil {
+		fail(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "md", "markdown":
+		err = rep.WriteMarkdown(w)
+	case "html":
+		err = rep.WriteHTML(w)
+	case "json":
+		err = writeJSON(w, rep)
+	default:
+		err = fmt.Errorf("unknown format %q (want md, html or json)", *format)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *benchOut != "" {
+		if err := writeJSONFile(*benchOut, rep.Bench); err != nil {
+			fail(err)
+		}
+	}
+	if err := prof.Stop(); err != nil {
+		fail(err)
+	}
+}
+
+func cmdGate(args []string) {
+	fs := flag.NewFlagSet("adaptreport gate", flag.ExitOnError)
+	sf := bindSimFlags(fs)
+	baseline := fs.String("baseline", "BENCH_baseline.json", "committed baseline bench JSON")
+	tol := fs.Float64("tol", 0.05, "relative regression tolerance on gated metrics")
+	candidate := fs.String("candidate", "", "write the candidate bench JSON here (for CI artifacts)")
+	htmlOut := fs.String("html", "", "write the candidate's full HTML report here")
+	update := fs.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	prof := cliutil.BindProfileFlags(fs)
+	fs.Parse(args)
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+
+	rep, err := sf.run()
+	if err != nil {
+		fail(err)
+	}
+	if *candidate != "" {
+		if err := writeJSONFile(*candidate, rep.Bench); err != nil {
+			fail(err)
+		}
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := rep.WriteHTML(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *update {
+		if err := writeJSONFile(*baseline, rep.Bench); err != nil {
+			fail(err)
+		}
+		fmt.Printf("baseline updated: %s (makespan %.3fs)\n", *baseline, rep.Bench.MakespanS)
+		if err := prof.Stop(); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	base, err := readBench(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	cmp, err := adaptmr.CompareBenches(base, rep.Bench, *tol)
+	if err != nil {
+		fail(err)
+	}
+	if err := cmp.WriteText(os.Stdout); err != nil {
+		fail(err)
+	}
+	if err := prof.Stop(); err != nil {
+		fail(err)
+	}
+	if cmp.Regressed() {
+		os.Exit(1)
+	}
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("adaptreport compare", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.05, "relative regression tolerance on gated metrics")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fail(fmt.Errorf("compare needs exactly two bench JSON paths, got %d", fs.NArg()))
+	}
+	base, err := readBench(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	cand, err := readBench(fs.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	cmp, err := adaptmr.CompareBenches(base, cand, *tol)
+	if err != nil {
+		fail(err)
+	}
+	if err := cmp.WriteText(os.Stdout); err != nil {
+		fail(err)
+	}
+	if cmp.Regressed() {
+		os.Exit(1)
+	}
+}
+
+func readBench(path string) (adaptmr.Bench, error) {
+	var b adaptmr.Bench
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -12,8 +12,9 @@
 //	adaptsim -bench sort -trace trace.json -metrics metrics.csv
 //
 // -trace writes a Chrome trace-event JSON file (load it in Perfetto or
-// chrome://tracing); -metrics writes a metrics snapshot (CSV when the path
-// ends in .csv, JSON otherwise).
+// chrome://tracing); -metrics writes a metrics snapshot, with the format
+// picked by -metrics-format (json, csv, or auto by extension). -cpuprofile
+// and -memprofile write pprof self-profiles of the simulator.
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	"adaptmr"
+	"adaptmr/internal/cliutil"
 )
 
 func fail(err error) {
@@ -42,8 +44,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	phases := flag.Int("phases", 2, "phase scheme for plans and tuning (2 or 3)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
-	metricsPath := flag.String("metrics", "", "write a metrics snapshot (.csv for CSV, else JSON)")
+	metricsOut := cliutil.BindMetricsFlags(flag.CommandLine)
+	prof := cliutil.BindProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
 
 	cfg := adaptmr.DefaultClusterConfig()
 	cfg.Hosts = *hosts
@@ -56,7 +63,7 @@ func main() {
 		cfg = adaptmr.WithTracer(cfg, tracer)
 	}
 	var metrics *adaptmr.Metrics
-	if *metricsPath != "" {
+	if metricsOut.Enabled() {
 		metrics = adaptmr.NewMetrics()
 		cfg = adaptmr.WithMetrics(cfg, metrics)
 	}
@@ -133,10 +140,13 @@ func main() {
 		fmt.Printf("trace: %d events written to %s\n", tracer.Len(), *tracePath)
 	}
 	if metrics != nil {
-		if err := metrics.Snapshot().WriteFile(*metricsPath); err != nil {
+		if err := metricsOut.Write(metrics.Snapshot()); err != nil {
 			fail(err)
 		}
-		fmt.Printf("metrics written to %s\n", *metricsPath)
+		fmt.Printf("metrics written to %s\n", metricsOut.Path)
+	}
+	if err := prof.Stop(); err != nil {
+		fail(err)
 	}
 }
 

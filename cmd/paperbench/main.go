@@ -19,7 +19,13 @@ import (
 	"strings"
 
 	"adaptmr"
+	"adaptmr/internal/cliutil"
 )
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run the scaled-down configuration")
@@ -27,8 +33,13 @@ func main() {
 	out := flag.String("o", "", "also write the artefacts to this file")
 	csvDir := flag.String("csv", "", "directory to write per-artefact CSV data into")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file covering every simulated job")
-	metricsPath := flag.String("metrics", "", "write an aggregate metrics snapshot (.csv for CSV, else JSON)")
+	metricsOut := cliutil.BindMetricsFlags(flag.CommandLine)
+	prof := cliutil.BindProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
 
 	cfg := adaptmr.PaperExperiments()
 	if *quick {
@@ -41,7 +52,7 @@ func main() {
 		cfg.Cluster = adaptmr.WithTracer(cfg.Cluster, tracer)
 	}
 	var metrics *adaptmr.Metrics
-	if *metricsPath != "" {
+	if metricsOut.Enabled() {
 		metrics = adaptmr.NewMetrics()
 		cfg.Cluster = adaptmr.WithMetrics(cfg.Cluster, metrics)
 	}
@@ -85,10 +96,12 @@ func main() {
 		fmt.Printf("trace: %d events written to %s\n", tracer.Len(), *tracePath)
 	}
 	if metrics != nil {
-		if err := metrics.Snapshot().WriteFile(*metricsPath); err != nil {
-			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+		if err := metricsOut.Write(metrics.Snapshot()); err != nil {
+			fail(err)
 		}
-		fmt.Printf("metrics written to %s\n", *metricsPath)
+		fmt.Printf("metrics written to %s\n", metricsOut.Path)
+	}
+	if err := prof.Stop(); err != nil {
+		fail(err)
 	}
 }

@@ -1,0 +1,223 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// benchSchema versions the committed baseline format independently from
+// the full report schema.
+const benchSchema = "adaptmr-bench/v1"
+
+// Bench is the compact, committed-to-git summary of one run: the
+// configuration labels that identify the workload plus the handful of
+// scalar metrics the regression gate watches. It is small enough to diff
+// by eye in code review.
+type Bench struct {
+	Schema string `json:"schema"`
+
+	// Run configuration. Two benches are comparable only if all of these
+	// match — comparing a 2-host run against a 4-host baseline is a
+	// config error, not a regression.
+	Workload string `json:"workload"`
+	Hosts    int    `json:"hosts"`
+	VMs      int    `json:"vms"`
+	InputMB  int64  `json:"input_mb"`
+	Seed     int64  `json:"seed"`
+	Pair     string `json:"pair"`
+
+	// Watched metrics. Makespan and phase times gate on "lower is
+	// better"; the informational fields below them are reported in diffs
+	// but do not trip the gate.
+	MakespanS    float64            `json:"makespan_s"`
+	PhaseS       map[string]float64 `json:"phase_s"`
+	BlameS       map[string]float64 `json:"blame_s"`
+	SwitchStallS float64            `json:"switch_stall_s"`
+	Dom0MB       float64            `json:"dom0_mb"`
+	SimEvents    int64              `json:"sim_events"`
+}
+
+// benchFrom condenses a report into its gate summary.
+func benchFrom(rep *Report, opts Options) Bench {
+	b := Bench{
+		Schema:   benchSchema,
+		Workload: opts.Workload,
+		Hosts:    opts.Hosts,
+		VMs:      opts.VMs,
+		InputMB:  opts.InputMB,
+		Seed:     opts.Seed,
+		Pair:     opts.Pair,
+
+		MakespanS:    round6(rep.Job.MakespanS),
+		PhaseS:       map[string]float64{},
+		BlameS:       map[string]float64{},
+		SwitchStallS: round6(rep.Totals.SwitchStallS),
+		Dom0MB:       round6(rep.Totals.Dom0MB),
+		SimEvents:    rep.Totals.SimEvents,
+	}
+	for _, p := range rep.Phases {
+		b.PhaseS[p.Name] = round6(p.DurationS)
+	}
+	for layer, s := range rep.Critical.BlameS {
+		b.BlameS[layer] = round6(s)
+	}
+	return b
+}
+
+// Delta is one compared metric. Regressed means the candidate exceeded
+// the gate tolerance on a lower-is-better metric; Improved means it came
+// in under the baseline by more than the tolerance.
+type Delta struct {
+	Metric    string  `json:"metric"`
+	Base      float64 `json:"base"`
+	Candidate float64 `json:"candidate"`
+	// DeltaFrac is (candidate - base) / base, or 0 when base is 0.
+	DeltaFrac float64 `json:"delta_frac"`
+	Gated     bool    `json:"gated"`
+	Regressed bool    `json:"regressed"`
+	Improved  bool    `json:"improved"`
+}
+
+// Comparison is the result of gating a candidate bench against a
+// baseline.
+type Comparison struct {
+	TolFrac float64 `json:"tol_frac"`
+	Deltas  []Delta `json:"deltas"`
+}
+
+// Regressed reports whether any gated metric regressed.
+func (c Comparison) Regressed() bool {
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// absFloor is the absolute slack below which a gated metric never trips,
+// regardless of relative tolerance — 5ms of makespan noise on a tiny run
+// should not fail CI.
+const absFloor = 0.005
+
+// Compare gates cand against base with the given relative tolerance
+// (e.g. 0.05 = 5%). It errors if the two benches were produced by
+// different run configurations.
+func Compare(base, cand Bench, tol float64) (Comparison, error) {
+	if err := configMismatch(base, cand); err != nil {
+		return Comparison{}, err
+	}
+	if tol < 0 {
+		return Comparison{}, fmtErr("negative tolerance %v", tol)
+	}
+	c := Comparison{TolFrac: tol}
+
+	// Gated lower-is-better metrics: makespan, per-phase durations,
+	// switch stall.
+	c.add("makespan_s", base.MakespanS, cand.MakespanS, true, tol)
+	for _, name := range sortedKeys2(base.PhaseS, cand.PhaseS) {
+		c.add("phase."+name+"_s", base.PhaseS[name], cand.PhaseS[name], true, tol)
+	}
+	c.add("switch_stall_s", base.SwitchStallS, cand.SwitchStallS, true, tol)
+
+	// Informational metrics: reported, never gated.
+	for _, name := range sortedKeys2(base.BlameS, cand.BlameS) {
+		c.add("blame."+name+"_s", base.BlameS[name], cand.BlameS[name], false, tol)
+	}
+	c.add("dom0_mb", base.Dom0MB, cand.Dom0MB, false, tol)
+	c.add("sim_events", float64(base.SimEvents), float64(cand.SimEvents), false, tol)
+	return c, nil
+}
+
+func (c *Comparison) add(metric string, base, cand float64, gated bool, tol float64) {
+	d := Delta{Metric: metric, Base: base, Candidate: cand, Gated: gated}
+	if base != 0 {
+		d.DeltaFrac = round6((cand - base) / base)
+	}
+	if gated {
+		slack := base * tol
+		if slack < absFloor {
+			slack = absFloor
+		}
+		if cand > base+slack {
+			d.Regressed = true
+		} else if cand < base-slack {
+			d.Improved = true
+		}
+	}
+	c.Deltas = append(c.Deltas, d)
+}
+
+// configMismatch returns a descriptive error when the two benches come
+// from different run configurations (or schemas).
+func configMismatch(base, cand Bench) error {
+	var bad []string
+	chk := func(field string, a, b any) {
+		if a != b {
+			bad = append(bad, fmt.Sprintf("%s (base %v, candidate %v)", field, a, b))
+		}
+	}
+	chk("schema", base.Schema, cand.Schema)
+	chk("workload", base.Workload, cand.Workload)
+	chk("hosts", base.Hosts, cand.Hosts)
+	chk("vms", base.VMs, cand.VMs)
+	chk("input_mb", base.InputMB, cand.InputMB)
+	chk("seed", base.Seed, cand.Seed)
+	chk("pair", base.Pair, cand.Pair)
+	if len(bad) > 0 {
+		return fmtErr("bench config mismatch: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// WriteText renders the comparison as an aligned plain-text table with a
+// PASS/FAIL verdict line, suitable for CI logs.
+func (c Comparison) WriteText(w writer) error {
+	fmt.Fprintf(w, "%-22s %14s %14s %9s  %s\n", "metric", "base", "candidate", "delta", "verdict")
+	for _, d := range c.Deltas {
+		verdict := ""
+		switch {
+		case d.Regressed:
+			verdict = "REGRESSED"
+		case d.Improved:
+			verdict = "improved"
+		case !d.Gated:
+			verdict = "(info)"
+		default:
+			verdict = "ok"
+		}
+		fmt.Fprintf(w, "%-22s %14.6g %14.6g %8.2f%%  %s\n",
+			d.Metric, d.Base, d.Candidate, d.DeltaFrac*100, verdict)
+	}
+	if c.Regressed() {
+		fmt.Fprintf(w, "\nFAIL: regression beyond %.1f%% tolerance\n", c.TolFrac*100)
+	} else {
+		fmt.Fprintf(w, "\nPASS: within %.1f%% tolerance\n", c.TolFrac*100)
+	}
+	return nil
+}
+
+// writer is the subset of io.Writer used by the renderers (kept local so
+// renderer files need no io import for the interface alone).
+type writer interface{ Write(p []byte) (int, error) }
+
+// sortedKeys2 returns the union of both maps' keys, sorted.
+func sortedKeys2(a, b map[string]float64) []string {
+	seen := map[string]bool{}
+	var out []string
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,293 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptmr/internal/sim"
+)
+
+// CriticalPath is the job's backbone: one segment per runtime phase,
+// anchored on the task that finished that phase last (the task the phase
+// boundary waited for), with the segment's wall time partitioned across
+// the stack's layers.
+//
+// Segments partition the makespan exactly (phase windows are contiguous),
+// so Coverage is 1 whenever all three phase spans are present, and the
+// per-layer blame of each segment sums to the segment duration — the two
+// invariants the property tests pin.
+type CriticalPath struct {
+	Segments []CriticalSegment `json:"segments"`
+	// BlameS sums each layer's attributed seconds across segments.
+	BlameS map[string]float64 `json:"blame_s"`
+	// CoverageFrac is covered-time / makespan.
+	CoverageFrac float64 `json:"coverage_frac"`
+}
+
+// CriticalSegment is one phase window blamed on one host's stack.
+type CriticalSegment struct {
+	Phase     string             `json:"phase"`
+	Task      string             `json:"task"` // e.g. "reduce3"
+	Host      int                `json:"host"`
+	VM        int                `json:"vm"`
+	StartS    float64            `json:"start_s"`
+	EndS      float64            `json:"end_s"`
+	DurationS float64            `json:"duration_s"`
+	BlameS    map[string]float64 `json:"blame_s"`
+}
+
+// criticalPath walks the phase windows backward from job completion: each
+// phase's critical task is the one whose span ended last (ties broken by
+// lowest id for determinism), and the phase window is attributed to that
+// task's host with a priority-ordered interval partition.
+func criticalPath(m *model) CriticalPath {
+	cp := CriticalPath{BlameS: map[string]float64{}}
+	for _, layer := range Layers() {
+		cp.BlameS[layer] = 0
+	}
+	var covered sim.Duration
+	for pi, w := range m.phases {
+		if w.dur() <= 0 {
+			continue
+		}
+		kind := []taskKind{taskMap, taskShuffle, taskReduce}[pi]
+		crit, ok := criticalTask(m.tasks, kind)
+		if !ok {
+			continue
+		}
+		seg := CriticalSegment{
+			Phase:     phaseNames[pi],
+			Task:      fmt.Sprintf("%s%d", phaseNames[pi], crit.id),
+			Host:      crit.host,
+			VM:        crit.vm,
+			StartS:    w.start.Seconds(),
+			EndS:      w.end.Seconds(),
+			DurationS: w.dur().Seconds(),
+			BlameS:    blame(m, crit.host, w),
+		}
+		covered += w.dur()
+		for layer, s := range seg.BlameS {
+			cp.BlameS[layer] += s
+		}
+		cp.Segments = append(cp.Segments, seg)
+	}
+	if span := m.end.Sub(m.start); span > 0 {
+		cp.CoverageFrac = round6(float64(covered) / float64(span))
+	}
+	return cp
+}
+
+// criticalTask picks the task of the given kind with the latest end time
+// (lowest id on ties).
+func criticalTask(tasks []taskSpan, kind taskKind) (taskSpan, bool) {
+	var best taskSpan
+	found := false
+	for _, t := range tasks {
+		if t.kind != kind {
+			continue
+		}
+		if !found || t.end > best.end || (t.end == best.end && t.id < best.id) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// blame partitions the window's wall time across layers on the given host
+// by a priority sweep: every instant goes to the highest-priority layer
+// active at that instant (disk > elevator > xen > net > cpu), so the
+// per-layer times are disjoint and sum exactly to the window length.
+func blame(m *model, host int, w window) map[string]float64 {
+	layerIvals := map[string][]ival{
+		LayerDisk:     diskIvals(m, host),
+		LayerElevator: elevatorIvals(m, host),
+		LayerXen:      xenIvals(m, host),
+		LayerNet:      netIvals(m, host),
+	}
+	out := map[string]float64{}
+	remaining := []ival{{int64(w.start), int64(w.end)}}
+	for _, layer := range Layers() {
+		if layer == LayerCPU {
+			break
+		}
+		cover := merge(clip(layerIvals[layer], w))
+		took := intersect(remaining, cover)
+		out[layer] = totalDur(took).Seconds()
+		remaining = subtract(remaining, cover)
+	}
+	out[LayerCPU] = totalDur(remaining).Seconds()
+	return out
+}
+
+func diskIvals(m *model, host int) []ival {
+	out := make([]ival, 0, len(m.disks[host]))
+	for _, d := range m.disks[host] {
+		out = append(out, ival{int64(d.start), int64(d.end)})
+	}
+	return out
+}
+
+// elevatorIvals are the queue-residence windows (issue → dispatch) of
+// every request on the host's guest and Dom0 elevators, plus the
+// switch-drain stalls that block submissions.
+func elevatorIvals(m *model, host int) []ival {
+	var out []ival
+	for _, r := range m.ioReqs {
+		if r.host != host || r.wait <= 0 {
+			continue
+		}
+		out = append(out, ival{int64(r.issued), int64(r.issued.Add(r.wait))})
+	}
+	for _, s := range m.switches {
+		if s.host != host {
+			continue
+		}
+		out = append(out, ival{int64(s.start), int64(s.end)})
+	}
+	return out
+}
+
+// xenIvals are the guest requests' post-dispatch residence (ring hop +
+// Dom0 stack); everything already explained by disk service or Dom0
+// queueing is stripped by the priority sweep, leaving forwarding residue.
+func xenIvals(m *model, host int) []ival {
+	var out []ival
+	for _, r := range m.ioReqs {
+		if r.host != host || r.level != "vm" {
+			continue
+		}
+		s := r.issued.Add(r.wait)
+		if r.done > s {
+			out = append(out, ival{int64(s), int64(r.done)})
+		}
+	}
+	return out
+}
+
+func netIvals(m *model, host int) []ival {
+	var out []ival
+	for _, f := range m.flows {
+		if f.src != host && f.dst != host {
+			continue
+		}
+		out = append(out, ival{int64(f.start), int64(f.end)})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Interval algebra over [start, end) nanosecond pairs.
+// ---------------------------------------------------------------------------
+
+type ival struct{ s, e int64 }
+
+// clip restricts intervals to the window, dropping empties.
+func clip(ivs []ival, w window) []ival {
+	lo, hi := int64(w.start), int64(w.end)
+	out := make([]ival, 0, len(ivs))
+	for _, iv := range ivs {
+		s, e := iv.s, iv.e
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if e > s {
+			out = append(out, ival{s, e})
+		}
+	}
+	return out
+}
+
+// merge sorts and coalesces overlapping intervals.
+func merge(ivs []ival) []ival {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(a, b int) bool {
+		if ivs[a].s != ivs[b].s {
+			return ivs[a].s < ivs[b].s
+		}
+		return ivs[a].e < ivs[b].e
+	})
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.s <= last.e {
+			if iv.e > last.e {
+				last.e = iv.e
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// intersect returns a ∩ b; both inputs must be merged (sorted, disjoint).
+func intersect(a, b []ival) []ival {
+	var out []ival
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		s := maxI(a[i].s, b[j].s)
+		e := minI(a[i].e, b[j].e)
+		if e > s {
+			out = append(out, ival{s, e})
+		}
+		if a[i].e < b[j].e {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// subtract returns a \ b; both inputs must be merged.
+func subtract(a, b []ival) []ival {
+	var out []ival
+	j := 0
+	for _, iv := range a {
+		s := iv.s
+		for j < len(b) && b[j].e <= s {
+			j++
+		}
+		k := j
+		for k < len(b) && b[k].s < iv.e {
+			if b[k].s > s {
+				out = append(out, ival{s, b[k].s})
+			}
+			if b[k].e > s {
+				s = b[k].e
+			}
+			k++
+		}
+		if s < iv.e {
+			out = append(out, ival{s, iv.e})
+		}
+	}
+	return out
+}
+
+func totalDur(ivs []ival) sim.Duration {
+	var d int64
+	for _, iv := range ivs {
+		d += iv.e - iv.s
+	}
+	return sim.Duration(d)
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

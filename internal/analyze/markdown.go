@@ -1,0 +1,161 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteMarkdown renders the report as a GitHub-flavoured Markdown
+// document. All iteration is over sorted keys, so the output for a fixed
+// seed is byte-identical across runs.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	mw := &errWriter{w: w}
+
+	mw.printf("# adaptmr run report\n\n")
+	mw.printf("Job **%s** — makespan **%.3f s** (%d maps, %d reduces)\n\n",
+		r.Job.Name, r.Job.MakespanS, r.Job.Maps, r.Job.Reduces)
+	mw.printf("Config: workload=%s hosts=%d vms=%d input=%dMB seed=%d pair=%s\n\n",
+		r.Bench.Workload, r.Bench.Hosts, r.Bench.VMs, r.Bench.InputMB, r.Bench.Seed, r.Bench.Pair)
+
+	// Critical path.
+	mw.printf("## Critical path\n\n")
+	mw.printf("Coverage: %.1f%% of makespan\n\n", r.Critical.CoverageFrac*100)
+	mw.printf("| phase | critical task | host | vm | window (s) | dur (s) |")
+	for _, layer := range Layers() {
+		mw.printf(" %s (s) |", layer)
+	}
+	mw.printf("\n|---|---|---|---|---|---|")
+	for range Layers() {
+		mw.printf("---|")
+	}
+	mw.printf("\n")
+	for _, seg := range r.Critical.Segments {
+		mw.printf("| %s | %s | %d | %d | %.3f–%.3f | %.3f |",
+			seg.Phase, seg.Task, seg.Host, seg.VM, seg.StartS, seg.EndS, seg.DurationS)
+		for _, layer := range Layers() {
+			mw.printf(" %.3f |", seg.BlameS[layer])
+		}
+		mw.printf("\n")
+	}
+	mw.printf("| **total** | | | | | %.3f |", sumSegDur(r.Critical.Segments))
+	for _, layer := range Layers() {
+		mw.printf(" %.3f |", r.Critical.BlameS[layer])
+	}
+	mw.printf("\n\n")
+
+	// Phase breakdown.
+	mw.printf("## Phase breakdown\n\n")
+	mw.printf("| phase | dur (s) | level | reqs | read MB | written MB | avg wait ms | p50 ms | p95 ms | p99 ms |\n")
+	mw.printf("|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, p := range r.Phases {
+		for _, level := range sortedLevelKeys(p.IO) {
+			lio := p.IO[level]
+			mw.printf("| %s | %.3f | %s | %d | %.2f | %.2f | %.3f | %.3f | %.3f | %.3f |\n",
+				p.Name, p.DurationS, level, lio.Requests, lio.ReadMB, lio.WrittenMB,
+				lio.AvgWaitMs, lio.P50Ms, lio.P95Ms, lio.P99Ms)
+		}
+	}
+	mw.printf("\n")
+	mw.printf("| phase | disk reqs | busy %% | avg seek (sectors) | disk read MB | disk written MB | switches | stall s | backlog | net MB |\n")
+	mw.printf("|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, p := range r.Phases {
+		mw.printf("| %s | %d | %.1f | %.0f | %.2f | %.2f | %d | %.4f | %d | %.2f |\n",
+			p.Name, p.Disk.Requests, p.Disk.BusyFrac*100, p.Disk.SeekAvgSectors,
+			p.Disk.ReadMB, p.Disk.WrittenMB,
+			p.Switches.Count, p.Switches.StallS, p.Switches.Backlog, p.NetMB)
+	}
+	mw.printf("\n")
+
+	// Whole-run latency.
+	if len(r.Latency) > 0 {
+		mw.printf("## Whole-run latency\n\n")
+		mw.printf("| level | count | p50 ms | p95 ms | p99 ms |\n|---|---|---|---|---|\n")
+		for _, level := range sortedLatencyKeys(r.Latency) {
+			q := r.Latency[level]
+			mw.printf("| %s | %d | %.3f | %.3f | %.3f |\n", level, q.Count, q.P50Ms, q.P95Ms, q.P99Ms)
+		}
+		mw.printf("\n")
+	}
+
+	// Totals.
+	mw.printf("## Totals\n\n")
+	t := r.Totals
+	mw.printf("| metric | value |\n|---|---|\n")
+	mw.printf("| sim events | %d |\n", t.SimEvents)
+	mw.printf("| vm requests | %d (%.2f MB) |\n", t.VMRequests, t.VMMB)
+	mw.printf("| dom0 requests | %d (%.2f MB) |\n", t.Dom0Requests, t.Dom0MB)
+	mw.printf("| merged (vm / dom0) | %d / %d |\n", t.MergedVM, t.MergedDom0)
+	mw.printf("| net flows | %d (%.2f MB) |\n", t.NetFlows, t.NetMB)
+	mw.printf("| elevator switches | %d (stall %.4f s, backlog %d) |\n", t.Switches, t.SwitchStallS, t.SwitchBacklog)
+	mw.printf("| peak depth (vm / dom0) | %.0f / %.0f |\n", t.PeakDepthVM, t.PeakDepthDom0)
+	mw.printf("\n")
+
+	// Timeseries summary (full series lives in JSON/HTML outputs).
+	if ts := r.Timeseries; ts != nil && ts.Samples > 0 {
+		mw.printf("## Timeseries\n\n")
+		mw.printf("%d samples at %.1f s interval from t=%.1f s. ", ts.Samples, ts.IntervalS, ts.StartS)
+		mw.printf("Peak dom0 depth %d, peak vm depth %d, peak disk busy %.0f%%.\n",
+			maxI32(ts.Depth["dom0"]), maxI32(ts.Depth["vm"]), maxF(ts.DiskBusyFrac)*100)
+	}
+	return mw.err
+}
+
+func sumSegDur(segs []CriticalSegment) float64 {
+	var s float64
+	for _, seg := range segs {
+		s += seg.DurationS
+	}
+	return s
+}
+
+func sortedLevelKeys(m map[string]LevelIO) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedLatencyKeys(m map[string]LatencyQuantiles) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func maxI32(v []int32) int32 {
+	var m int32
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxF(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// errWriter latches the first write error so renderers can stay linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,193 @@
+package analyze
+
+import (
+	"strconv"
+	"strings"
+
+	"adaptmr/internal/obs"
+	"adaptmr/internal/sim"
+)
+
+// model is the structured view of one traced run, decoded from the
+// normalized event stream using the obs trace-layout conventions (one
+// process per host, fixed thread ids per component).
+type model struct {
+	jobName       string
+	start, end    sim.Time
+	maps, reduces int
+
+	// phase windows in order map, shuffle, reduce; a missing phase span
+	// leaves a zero window (degenerate phases are skipped downstream).
+	phases [3]window
+
+	tasks    []taskSpan
+	ioReqs   []ioReq
+	disks    map[int][]diskSpan // per host, in recording (= start) order
+	flows    []flowSpan
+	switches []switchSpan
+}
+
+type window struct{ start, end sim.Time }
+
+func (w window) dur() sim.Duration { return w.end.Sub(w.start) }
+
+type taskKind uint8
+
+const (
+	taskMap taskKind = iota
+	taskShuffle
+	taskReduce
+)
+
+var phaseNames = [3]string{"map", "shuffle", "reduce"}
+
+type taskSpan struct {
+	kind       taskKind
+	id         int
+	host, vm   int
+	start, end sim.Time
+	bytesIn    int64
+}
+
+type ioReq struct {
+	host   int
+	level  string // "vm" or "dom0"
+	op     string // "read" or "write"
+	issued sim.Time
+	wait   sim.Duration // elevator residence (issued → dispatched)
+	done   sim.Time
+	bytes  int64
+}
+
+type diskSpan struct {
+	host            int
+	start, end      sim.Time
+	sector, sectors int64
+	op              string
+}
+
+type flowSpan struct {
+	src, dst   int
+	start, end sim.Time
+	bytes      int64
+}
+
+type switchSpan struct {
+	host       int
+	dom0       bool
+	start, end sim.Time
+	stall      sim.Duration
+	backlog    int64
+}
+
+// parseModel decodes the tracer's event stream into the run model,
+// requiring exactly one job span.
+func parseModel(tr *obs.Tracer, pidBase int64) (*model, error) {
+	if tr == nil {
+		return nil, fmtErr("no tracer attached")
+	}
+	m := &model{disks: map[int][]diskSpan{}}
+	clusterPID := pidBase + 1
+	hostOf := func(pid int64) int { return int(pid - pidBase - 2) }
+	jobs := 0
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.KindMetadata {
+			continue
+		}
+		switch {
+		case ev.Cat == "mapred" && ev.PID == clusterPID:
+			switch {
+			case strings.HasPrefix(ev.Name, "job:"):
+				jobs++
+				m.jobName = strings.TrimPrefix(ev.Name, "job:")
+				m.start, m.end = ev.Start, ev.End
+				m.maps = int(ev.ArgInt("maps"))
+				m.reduces = int(ev.ArgInt("reduces"))
+			case ev.Name == "Ph1-map":
+				m.phases[0] = window{ev.Start, ev.End}
+			case ev.Name == "Ph2-shuffle":
+				m.phases[1] = window{ev.Start, ev.End}
+			case ev.Name == "Ph3-reduce":
+				m.phases[2] = window{ev.Start, ev.End}
+			}
+		case ev.Cat == "mapred":
+			if ev.Kind != obs.KindSpan {
+				continue
+			}
+			kind, id, ok := parseTaskName(ev.Name)
+			if !ok {
+				continue
+			}
+			m.tasks = append(m.tasks, taskSpan{
+				kind: kind, id: id,
+				host: hostOf(ev.PID), vm: int((ev.TID - 11) / 2),
+				start: ev.Start, end: ev.End,
+				bytesIn: ev.ArgInt("bytes_in"),
+			})
+		case ev.Cat == "io.vm" || ev.Cat == "io.dom0":
+			if ev.Kind != obs.KindSpan {
+				continue // merge instants
+			}
+			m.ioReqs = append(m.ioReqs, ioReq{
+				host:   hostOf(ev.PID),
+				level:  strings.TrimPrefix(ev.Cat, "io."),
+				op:     ev.Name,
+				issued: ev.Start,
+				wait:   sim.Duration(ev.ArgFloat("wait_ms") * float64(sim.Millisecond)),
+				done:   ev.End,
+				bytes:  ev.ArgInt("sectors") * 512,
+			})
+		case ev.Cat == "disk":
+			h := hostOf(ev.PID)
+			m.disks[h] = append(m.disks[h], diskSpan{
+				host: h, start: ev.Start, end: ev.End,
+				sector: ev.ArgInt("sector"), sectors: ev.ArgInt("sectors"),
+				op: ev.Name,
+			})
+		case ev.Cat == "net":
+			m.flows = append(m.flows, flowSpan{
+				src: int(ev.ArgInt("src")), dst: int(ev.ArgInt("dst")),
+				start: ev.Start, end: ev.End,
+				bytes: ev.ArgInt("bytes"),
+			})
+		case ev.Cat == "switch":
+			m.switches = append(m.switches, switchSpan{
+				host: hostOf(ev.PID), dom0: ev.TID == 1,
+				start: ev.Start, end: ev.End,
+				stall:   sim.Duration(ev.ArgFloat("stall_ms") * float64(sim.Millisecond)),
+				backlog: ev.ArgInt("backlog"),
+			})
+		}
+	}
+	if jobs == 0 {
+		return nil, fmtErr("trace contains no completed job span")
+	}
+	if jobs > 1 {
+		return nil, fmtErr("trace contains %d job spans; analyze exactly one run", jobs)
+	}
+	if m.end <= m.start {
+		return nil, fmtErr("job span has non-positive makespan")
+	}
+	return m, nil
+}
+
+// parseTaskName decodes "map12", "shuffle3", "reduce0" task span names.
+func parseTaskName(name string) (taskKind, int, bool) {
+	for _, p := range []struct {
+		kind   taskKind
+		prefix string
+	}{
+		{taskMap, "map"}, {taskShuffle, "shuffle"}, {taskReduce, "reduce"},
+	} {
+		rest, ok := strings.CutPrefix(name, p.prefix)
+		if !ok || rest == "" {
+			continue
+		}
+		id, err := strconv.Atoi(rest)
+		if err != nil {
+			continue
+		}
+		return p.kind, id, true
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,204 @@
+package analyze
+
+import (
+	"sort"
+
+	"adaptmr/internal/obs"
+	"adaptmr/internal/sim"
+)
+
+// PhaseStats is the per-phase breakdown table row set: the paper's phase
+// decomposition (Ph1 map / Ph2 shuffle / Ph3 reduce) with each phase's
+// I/O volume, seek behaviour, latency quantiles and switch stalls.
+type PhaseStats struct {
+	Name      string  `json:"name"`
+	StartS    float64 `json:"start_s"`
+	EndS      float64 `json:"end_s"`
+	DurationS float64 `json:"duration_s"`
+
+	// IO breaks request traffic down per level ("vm", "dom0") for
+	// requests completing inside the phase window.
+	IO map[string]LevelIO `json:"io"`
+
+	Disk     DiskStats   `json:"disk"`
+	Switches SwitchStats `json:"switches"`
+
+	// NetMB is the volume of network flows completing in the phase.
+	NetMB float64 `json:"net_mb"`
+}
+
+// LevelIO summarises one elevator level's traffic within a phase.
+type LevelIO struct {
+	Requests  int64   `json:"requests"`
+	ReadMB    float64 `json:"read_mb"`
+	WrittenMB float64 `json:"written_mb"`
+	AvgWaitMs float64 `json:"avg_wait_ms"`
+	// Latency quantiles are interpolated from a histogram with the
+	// standard obs.LatencyEdgesMs layout built over the phase's
+	// request completions.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// DiskStats summarises physical disk behaviour within a phase.
+type DiskStats struct {
+	Requests int64 `json:"requests"`
+	// BusyFrac is serviced time over phase wall time, averaged across
+	// hosts.
+	BusyFrac float64 `json:"busy_frac"`
+	// SeekAvgSectors is the mean head repositioning distance between
+	// consecutive services (per host, from the previous request's end).
+	SeekAvgSectors float64 `json:"seek_avg_sectors"`
+	ReadMB         float64 `json:"read_mb"`
+	WrittenMB      float64 `json:"written_mb"`
+}
+
+// SwitchStats summarises elevator switches overlapping a phase.
+type SwitchStats struct {
+	Count int `json:"count"`
+	// StallS is the switch drain/stall time clipped to the phase.
+	StallS float64 `json:"stall_s"`
+	// Backlog counts requests held back by switches completing in the
+	// phase.
+	Backlog int64 `json:"backlog"`
+}
+
+const mb = 1 << 20
+
+// phaseBreakdown computes one PhaseStats per non-degenerate phase window.
+func phaseBreakdown(m *model) []PhaseStats {
+	hosts := hostList(m)
+	var out []PhaseStats
+	for pi, w := range m.phases {
+		if w.dur() <= 0 {
+			continue
+		}
+		ps := PhaseStats{
+			Name:      phaseNames[pi],
+			StartS:    w.start.Seconds(),
+			EndS:      w.end.Seconds(),
+			DurationS: w.dur().Seconds(),
+			IO:        map[string]LevelIO{},
+		}
+
+		// Per-level request traffic: membership by completion time.
+		reg := obs.NewRegistry()
+		for _, level := range []string{"vm", "dom0"} {
+			var (
+				reqs      int64
+				readB     int64
+				writtenB  int64
+				waitTotal sim.Duration
+			)
+			h := reg.Histogram("lat."+level, obs.LatencyEdgesMs())
+			for _, r := range m.ioReqs {
+				if r.level != level || !inWindow(r.done, w) {
+					continue
+				}
+				reqs++
+				if r.op == "read" {
+					readB += r.bytes
+				} else {
+					writtenB += r.bytes
+				}
+				waitTotal += r.wait
+				h.Observe(r.done.Sub(r.issued).Millis())
+			}
+			lio := LevelIO{
+				Requests:  reqs,
+				ReadMB:    round6(float64(readB) / mb),
+				WrittenMB: round6(float64(writtenB) / mb),
+				P50Ms:     round6(h.Quantile(0.50)),
+				P95Ms:     round6(h.Quantile(0.95)),
+				P99Ms:     round6(h.Quantile(0.99)),
+			}
+			if reqs > 0 {
+				lio.AvgWaitMs = round6(waitTotal.Millis() / float64(reqs))
+			}
+			ps.IO[level] = lio
+		}
+
+		// Physical disk behaviour.
+		var (
+			dReqs            int64
+			dReadB, dWriteB  int64
+			busy             sim.Duration
+			seekSum, seekCnt int64
+		)
+		for _, host := range hosts {
+			spans := m.disks[host]
+			for i, d := range spans {
+				if !inWindow(d.end, w) {
+					continue
+				}
+				dReqs++
+				if d.op == "read" {
+					dReadB += d.sectors * 512
+				} else {
+					dWriteB += d.sectors * 512
+				}
+				if i > 0 {
+					prev := spans[i-1]
+					dist := d.sector - (prev.sector + prev.sectors)
+					if dist < 0 {
+						dist = -dist
+					}
+					seekSum += dist
+					seekCnt++
+				}
+			}
+			busy += totalDur(merge(clip(diskIvals(m, host), w)))
+		}
+		ps.Disk = DiskStats{
+			Requests:  dReqs,
+			ReadMB:    round6(float64(dReadB) / mb),
+			WrittenMB: round6(float64(dWriteB) / mb),
+		}
+		if len(hosts) > 0 {
+			ps.Disk.BusyFrac = round6(float64(busy) / (float64(w.dur()) * float64(len(hosts))))
+		}
+		if seekCnt > 0 {
+			ps.Disk.SeekAvgSectors = round6(float64(seekSum) / float64(seekCnt))
+		}
+
+		// Elevator switches overlapping the phase.
+		for _, s := range m.switches {
+			if s.end <= w.start || s.start >= w.end {
+				continue
+			}
+			ps.Switches.Count++
+			clipped := clip([]ival{{int64(s.start), int64(s.end)}}, w)
+			ps.Switches.StallS += totalDur(clipped).Seconds()
+			if inWindow(s.end, w) {
+				ps.Switches.Backlog += s.backlog
+			}
+		}
+		ps.Switches.StallS = round6(ps.Switches.StallS)
+
+		// Network volume completing in the phase.
+		var netB int64
+		for _, f := range m.flows {
+			if inWindow(f.end, w) {
+				netB += f.bytes
+			}
+		}
+		ps.NetMB = round6(float64(netB) / mb)
+
+		out = append(out, ps)
+	}
+	return out
+}
+
+// inWindow reports t ∈ (start, end] — completion-time membership, so an
+// event exactly on a phase boundary belongs to the phase it finished.
+func inWindow(t sim.Time, w window) bool { return t > w.start && t <= w.end }
+
+func hostList(m *model) []int {
+	hosts := make([]int, 0, len(m.disks))
+	for h := range m.disks {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	return hosts
+}

@@ -1,0 +1,205 @@
+package analyze
+
+import (
+	"sort"
+
+	"adaptmr/internal/block"
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/disk"
+	"adaptmr/internal/sim"
+)
+
+// Sampler records fixed-interval timeseries live during a run, driven by
+// the block.Queue lifecycle hooks (OnEnqueue / OnMerge / OnDispatch /
+// OnComplete) and disk.Disk.OnService — no trace post-processing, no
+// polling events. Attach it before the job starts, then hand it to Build.
+//
+// A merged child is counted as resolved at merge time (it leaves the
+// elevator by absorption, not by dispatch).
+type Sampler struct {
+	depth map[string][]tsDelta // waiting in elevator, per level
+	outst map[string][]tsDelta // issued but not completed, per level
+	bytes map[string][]tsval   // completed bytes, per level
+	busy  [][]ival             // disk service spans, per attached disk
+}
+
+type tsDelta struct {
+	t sim.Time
+	d int32
+}
+
+type tsval struct {
+	t sim.Time
+	v int64
+}
+
+// NewSampler returns an empty sampler.
+func NewSampler() *Sampler {
+	return &Sampler{
+		depth: map[string][]tsDelta{},
+		outst: map[string][]tsDelta{},
+		bytes: map[string][]tsval{},
+	}
+}
+
+// AttachQueue subscribes to one queue's lifecycle hooks under the given
+// level label ("vm" queues aggregate together, as do "dom0").
+func (s *Sampler) AttachQueue(q *block.Queue, level string) {
+	q.OnEnqueue(func(r *block.Request) {
+		s.depth[level] = append(s.depth[level], tsDelta{r.Issued, +1})
+		s.outst[level] = append(s.outst[level], tsDelta{r.Issued, +1})
+	})
+	q.OnMerge(func(parent, child *block.Request) {
+		s.depth[level] = append(s.depth[level], tsDelta{child.Issued, -1})
+		s.outst[level] = append(s.outst[level], tsDelta{child.Issued, -1})
+	})
+	q.OnDispatch(func(r *block.Request) {
+		s.depth[level] = append(s.depth[level], tsDelta{r.Dispatched, -1})
+	})
+	q.OnComplete(func(r *block.Request) {
+		s.outst[level] = append(s.outst[level], tsDelta{r.Completed, -1})
+		s.bytes[level] = append(s.bytes[level], tsval{r.Completed, r.Bytes()})
+	})
+}
+
+// AttachDisk chains onto the disk's OnService observer and records busy
+// spans.
+func (s *Sampler) AttachDisk(d *disk.Disk) {
+	overhead := d.Config().Overhead
+	prev := d.OnService
+	s.busy = append(s.busy, nil)
+	di := len(s.busy) - 1
+	d.OnService = func(r *block.Request, pos, xfer sim.Duration) {
+		if prev != nil {
+			prev(r, pos, xfer)
+		}
+		start := r.Dispatched
+		s.busy[di] = append(s.busy[di], ival{int64(start), int64(start.Add(pos + xfer + overhead))})
+	}
+}
+
+// AttachCluster wires the sampler to every Dom0 queue, guest queue and
+// physical disk of the cluster.
+func (s *Sampler) AttachCluster(cl *cluster.Cluster) {
+	for _, h := range cl.Hosts {
+		s.AttachQueue(h.Dom0Queue(), "dom0")
+		s.AttachDisk(h.Disk())
+		for _, d := range h.Domains() {
+			s.AttachQueue(d.Queue(), "vm")
+		}
+	}
+}
+
+// Timeseries is the finalized fixed-interval view. Sample i covers the
+// bucket [StartS + i·IntervalS, StartS + (i+1)·IntervalS): depth and
+// outstanding are sampled at the bucket's end boundary, throughput and
+// disk busy are averaged over the bucket.
+type Timeseries struct {
+	StartS    float64 `json:"start_s"`
+	IntervalS float64 `json:"interval_s"`
+	Samples   int     `json:"samples"`
+
+	// Depth is the number of requests waiting in elevators per level at
+	// each bucket boundary.
+	Depth map[string][]int32 `json:"depth"`
+	// Outstanding is issued-but-incomplete requests per level.
+	Outstanding map[string][]int32 `json:"outstanding"`
+	// ThroughputMBps is completed volume per level averaged per bucket.
+	ThroughputMBps map[string][]float64 `json:"throughput_mbps"`
+	// DiskBusyFrac is the mean busy fraction across attached disks.
+	DiskBusyFrac []float64 `json:"disk_busy_frac"`
+}
+
+// Finalize buckets the recorded raw deltas into at most maxPoints
+// fixed-interval samples spanning [start, end].
+func (s *Sampler) Finalize(start, end sim.Time, maxPoints int) Timeseries {
+	span := end.Sub(start)
+	if span <= 0 || maxPoints <= 0 {
+		return Timeseries{Depth: map[string][]int32{}, Outstanding: map[string][]int32{}, ThroughputMBps: map[string][]float64{}}
+	}
+	// Pick the smallest multiple of 100ms that keeps n <= maxPoints.
+	base := 100 * sim.Millisecond
+	interval := base
+	for int(span/interval)+1 > maxPoints {
+		interval *= 2
+	}
+	n := int(span/interval) + 1
+
+	ts := Timeseries{
+		StartS:         start.Seconds(),
+		IntervalS:      interval.Seconds(),
+		Samples:        n,
+		Depth:          map[string][]int32{},
+		Outstanding:    map[string][]int32{},
+		ThroughputMBps: map[string][]float64{},
+		DiskBusyFrac:   make([]float64, n),
+	}
+	for level, deltas := range s.depth {
+		ts.Depth[level] = boundarySamples(deltas, start, interval, n)
+	}
+	for level, deltas := range s.outst {
+		ts.Outstanding[level] = boundarySamples(deltas, start, interval, n)
+	}
+	for level, vals := range s.bytes {
+		tput := make([]float64, n)
+		for _, v := range vals {
+			b := bucketOf(v.t, start, interval, n)
+			tput[b] += float64(v.v)
+		}
+		for i := range tput {
+			tput[i] = round6(tput[i] / mb / interval.Seconds())
+		}
+		ts.ThroughputMBps[level] = tput
+	}
+	if len(s.busy) > 0 {
+		w := window{start, start.Add(sim.Duration(n) * interval)}
+		for _, spans := range s.busy {
+			// Merge per disk so concurrent service on different hosts is
+			// not coalesced away, and clip to the sampled span so partial
+			// overlaps contribute proportionally.
+			for _, iv := range merge(clip(append([]ival(nil), spans...), w)) {
+				lo, hi := bucketOf(sim.Time(iv.s), start, interval, n), bucketOf(sim.Time(iv.e-1), start, interval, n)
+				for b := lo; b <= hi; b++ {
+					bs := int64(start.Add(sim.Duration(b) * interval))
+					be := bs + int64(interval)
+					ts.DiskBusyFrac[b] += float64(minI(iv.e, be)-maxI(iv.s, bs)) / float64(interval)
+				}
+			}
+		}
+		for i := range ts.DiskBusyFrac {
+			ts.DiskBusyFrac[i] = round6(ts.DiskBusyFrac[i] / float64(len(s.busy)))
+		}
+	}
+	return ts
+}
+
+// boundarySamples integrates ±1 deltas and samples the running value at
+// the end boundary of each bucket.
+func boundarySamples(deltas []tsDelta, start sim.Time, interval sim.Duration, n int) []int32 {
+	ds := append([]tsDelta(nil), deltas...)
+	sort.SliceStable(ds, func(a, b int) bool { return ds[a].t < ds[b].t })
+	out := make([]int32, n)
+	var cur int32
+	di := 0
+	for i := 0; i < n; i++ {
+		boundary := start.Add(sim.Duration(i+1) * interval)
+		for di < len(ds) && ds[di].t <= boundary {
+			cur += ds[di].d
+			di++
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+// bucketOf maps a timestamp to its bucket index, clamped to [0, n).
+func bucketOf(t sim.Time, start sim.Time, interval sim.Duration, n int) int {
+	if t <= start {
+		return 0
+	}
+	b := int(t.Sub(start) / interval)
+	if b >= n {
+		b = n - 1
+	}
+	return b
+}

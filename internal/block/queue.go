@@ -61,6 +61,10 @@ type SwitchInfo struct {
 	// Stall is Done - Start: the full drain + re-init window during which
 	// new submissions were held back.
 	Stall sim.Duration
+	// Backlog is how many requests arrived during the drain window and
+	// were held back until the new elevator took over — the per-switch
+	// collateral the paper's switch-cost measurements aggregate.
+	Backlog int
 }
 
 // Queue binds an elevator to a device, mirroring a Linux request queue.
@@ -221,11 +225,12 @@ func (q *Queue) maybeFinishSwitch() {
 			q.addToElevator(r)
 		}
 		info := SwitchInfo{
-			From:  q.switchFrom,
-			To:    q.elv.Name(),
-			Start: q.switchStart,
-			Done:  now,
-			Stall: now.Sub(q.switchStart),
+			From:    q.switchFrom,
+			To:      q.elv.Name(),
+			Start:   q.switchStart,
+			Done:    now,
+			Stall:   now.Sub(q.switchStart),
+			Backlog: len(backlog),
 		}
 		done := q.switchDone
 		q.switchDone = nil

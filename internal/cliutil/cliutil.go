@@ -1,0 +1,124 @@
+// Package cliutil holds the flag helpers shared by the adaptmr command
+// line tools: metrics snapshot output with an explicit format selector,
+// and pprof self-profiling.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"adaptmr/internal/obs"
+)
+
+// MetricsOut binds the shared -metrics / -metrics-format flag pair. The
+// explicit format wins over the path extension; "auto" (the default)
+// keeps the historical behaviour of .csv → CSV, everything else → JSON.
+type MetricsOut struct {
+	Path   string
+	Format string
+}
+
+// BindMetricsFlags registers -metrics and -metrics-format on the given
+// flag set (use flag.CommandLine for the default set).
+func BindMetricsFlags(fs *flag.FlagSet) *MetricsOut {
+	m := &MetricsOut{}
+	fs.StringVar(&m.Path, "metrics", "", "write a metrics snapshot to this path")
+	fs.StringVar(&m.Format, "metrics-format", "auto",
+		"metrics snapshot format: json, csv, or auto (by extension)")
+	return m
+}
+
+// Enabled reports whether a metrics path was requested.
+func (m *MetricsOut) Enabled() bool { return m.Path != "" }
+
+// Write stores the snapshot at the configured path in the configured
+// format.
+func (m *MetricsOut) Write(s *obs.Snapshot) error {
+	format := strings.ToLower(m.Format)
+	if format == "auto" || format == "" {
+		if strings.EqualFold(filepath.Ext(m.Path), ".csv") {
+			format = "csv"
+		} else {
+			format = "json"
+		}
+	}
+	f, err := os.Create(m.Path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "json":
+		err = s.WriteJSON(f)
+	case "csv":
+		err = s.WriteCSV(f)
+	default:
+		err = fmt.Errorf("cliutil: unknown metrics format %q (want json, csv or auto)", m.Format)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Profiler binds -cpuprofile / -memprofile self-profiling flags.
+type Profiler struct {
+	cpuPath string
+	memPath string
+	cpu     *os.File
+}
+
+// BindProfileFlags registers -cpuprofile and -memprofile on the given
+// flag set (use flag.CommandLine for the default set).
+func BindProfileFlags(fs *flag.FlagSet) *Profiler {
+	p := &Profiler{}
+	fs.StringVar(&p.cpuPath, "cpuprofile", "", "write a pprof CPU profile to this path")
+	fs.StringVar(&p.memPath, "memprofile", "", "write a pprof heap profile to this path at exit")
+	return p
+}
+
+// Start begins CPU profiling when requested. Call Stop before exiting.
+func (p *Profiler) Start() error {
+	if p.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpu = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile when requested.
+func (p *Profiler) Stop() error {
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return err
+		}
+		p.cpu = nil
+	}
+	if p.memPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.memPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialise up-to-date allocation stats
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -119,6 +119,13 @@ type Job struct {
 	// ioMarkR/ioMarkW checkpoint the cluster-wide Dom0 byte counters at
 	// the last phase boundary, so per-phase I/O volumes can be attributed.
 	ioMarkR, ioMarkW int64
+
+	// metricsSnap memoises the completion-time metrics snapshot so
+	// repeated Result() calls return the same *obs.Snapshot instead of
+	// re-snapshotting the cluster registry — which would both pick up
+	// unrelated later activity and invite counter double-counting when
+	// each copy is absorbed into an aggregate.
+	metricsSnap *obs.Snapshot
 }
 
 // NewJob lays out a job on the cluster: places the HDFS input, creates one
@@ -207,9 +214,12 @@ func (j *Job) closePhase(p Phase, start, end sim.Time) {
 	dr, dw := r-j.ioMarkR, w-j.ioMarkW
 	j.ioMarkR, j.ioMarkW = r, w
 	if m := s.Metrics; m != nil {
+		// Volumes are totals: they fold additively when per-evaluation
+		// snapshots are aggregated (and when several jobs run on one
+		// cluster registry back to back).
 		name := map[Phase]string{PhaseMap: "map", PhaseShuffle: "shuffle", PhaseReduce: "reduce"}[p]
-		m.Gauge("phase." + name + ".read_bytes").Set(float64(dr))
-		m.Gauge("phase." + name + ".written_bytes").Set(float64(dw))
+		m.GaugeWith("phase."+name+".read_bytes", obs.MergeSum).Add(float64(dr))
+		m.GaugeWith("phase."+name+".written_bytes", obs.MergeSum).Add(float64(dw))
 	}
 	if tr := s.Trace; tr != nil {
 		tr.Span(s.ClusterPID(), obs.TIDJob, "mapred", p.String(), start, end,
@@ -242,7 +252,10 @@ func (j *Job) Result() Result {
 	if window := j.tShuffleDone.Sub(j.tFirstMap); window > 0 {
 		res.NonConcurrentShufflePct = 100 * float64(j.tShuffleDone.Sub(j.tMapsDone)) / float64(window)
 	}
-	res.Metrics = j.cl.Obs().Metrics.Snapshot()
+	if j.metricsSnap == nil {
+		j.metricsSnap = j.cl.Obs().Metrics.Snapshot()
+	}
+	res.Metrics = j.metricsSnap
 	return res
 }
 

@@ -1,0 +1,84 @@
+package obs
+
+import "testing"
+
+func TestGaugeMergePolicies(t *testing.T) {
+	src := NewRegistry()
+	src.GaugeWith("sum", MergeSum).Set(5)
+	src.GaugeWith("max", MergeMax).Set(7)
+	src.Gauge("last").Set(3)
+
+	dst := NewRegistry()
+	dst.GaugeWith("sum", MergeSum).Set(10)
+	dst.GaugeWith("max", MergeMax).Set(9)
+	dst.Gauge("last").Set(100)
+
+	dst.Absorb(src.Snapshot())
+	s := dst.Snapshot()
+	if got := s.Gauges["sum"]; got != 15 {
+		t.Fatalf("sum gauge = %v, want 15", got)
+	}
+	if got := s.Gauges["max"]; got != 9 {
+		t.Fatalf("max gauge = %v, want 9 (existing larger)", got)
+	}
+	if got := s.Gauges["last"]; got != 3 {
+		t.Fatalf("last gauge = %v, want 3 (overwrite)", got)
+	}
+
+	// A second source whose max exceeds the destination's must win.
+	src2 := NewRegistry()
+	src2.GaugeWith("max", MergeMax).Set(42)
+	dst.Absorb(src2.Snapshot())
+	if got := dst.Snapshot().Gauges["max"]; got != 42 {
+		t.Fatalf("max gauge after second absorb = %v, want 42", got)
+	}
+}
+
+func TestGaugeMergeCarriedInSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeWith("stall", MergeSum).Set(1)
+	r.GaugeWith("peak", MergeMax).Set(2)
+	r.Gauge("plain").Set(3)
+	s := r.Snapshot()
+	if s.GaugeMerges["stall"] != "sum" || s.GaugeMerges["peak"] != "max" {
+		t.Fatalf("gauge_merges = %v", s.GaugeMerges)
+	}
+	if _, ok := s.GaugeMerges["plain"]; ok {
+		t.Fatal("default-policy gauges should not appear in gauge_merges")
+	}
+
+	// Absorbing into a fresh registry must adopt the carried policies.
+	dst := NewRegistry()
+	dst.Absorb(s)
+	s2 := NewRegistry()
+	s2.GaugeWith("stall", MergeSum).Set(10)
+	dst.Absorb(s2.Snapshot())
+	if got := dst.Snapshot().Gauges["stall"]; got != 11 {
+		t.Fatalf("stall after adopt+absorb = %v, want 11", got)
+	}
+}
+
+func TestAbsorbSameSnapshotTwiceIsIdempotent(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("c").Add(5)
+	src.GaugeWith("sum", MergeSum).Set(2)
+	snap := src.Snapshot()
+
+	dst := NewRegistry()
+	dst.Absorb(snap)
+	dst.Absorb(snap) // same pointer: must be a no-op
+	s := dst.Snapshot()
+	if got := s.Counters["c"]; got != 5 {
+		t.Fatalf("counter after double absorb = %v, want 5", got)
+	}
+	if got := s.Gauges["sum"]; got != 2 {
+		t.Fatalf("sum gauge after double absorb = %v, want 2", got)
+	}
+
+	// A fresh snapshot of the same registry is a different pointer and
+	// absorbs normally.
+	dst.Absorb(src.Snapshot())
+	if got := dst.Snapshot().Counters["c"]; got != 10 {
+		t.Fatalf("counter after distinct snapshots = %v, want 10", got)
+	}
+}

@@ -31,12 +31,33 @@ func (s Sink) InstrumentQueue(q *block.Queue, pid, tid int64, level string) {
 		mergedC = m.Counter("io." + level + ".merged")
 		lat     *Histogram
 		swCount = m.Counter("switch.count")
-		swStall = m.Gauge("switch.stall_ms")
+		// Stall accumulates across switches and runs, so it folds as a
+		// sum when per-evaluation snapshots are absorbed.
+		swStall   = m.GaugeWith("switch.stall_ms", MergeSum)
+		swBacklog = m.Counter("switch.backlog")
+		// peakDepth is the high-water mark of this queue's waiting
+		// requests; across queues sharing the level (every VM elevator)
+		// the gauge keeps the per-queue maximum.
+		peakDepth = m.GaugeWith("io."+level+".peak_depth", MergeMax)
 	)
 	if m != nil {
 		lat = m.Histogram("io."+level+".latency_ms", LatencyEdgesMs())
 	}
 	cat := "io." + level
+	if m != nil {
+		// Waiting-request depth of this queue, driven by the enqueue /
+		// merge / dispatch lifecycle hooks (merged children leave the
+		// queue through their parent, not through dispatch).
+		var depth int64
+		q.OnEnqueue(func(*block.Request) {
+			depth++
+			if float64(depth) > peakDepth.Value() {
+				peakDepth.Set(float64(depth))
+			}
+		})
+		q.OnDispatch(func(*block.Request) { depth-- })
+		q.OnMerge(func(parent, child *block.Request) { depth-- })
+	}
 	q.OnMerge(func(parent, child *block.Request) {
 		mergedC.Inc()
 		if tr != nil {
@@ -61,9 +82,12 @@ func (s Sink) InstrumentQueue(q *block.Queue, pid, tid int64, level string) {
 	q.OnSwitched(func(info block.SwitchInfo) {
 		swCount.Inc()
 		swStall.Add(info.Stall.Millis())
+		swBacklog.Add(int64(info.Backlog))
 		if tr != nil {
 			tr.Span(pid, tid, "switch", info.From+"→"+info.To,
-				info.Start, info.Done, F("stall_ms", info.Stall.Millis()))
+				info.Start, info.Done,
+				F("stall_ms", info.Stall.Millis()),
+				I("backlog", int64(info.Backlog)))
 		}
 	})
 }

@@ -32,8 +32,51 @@ func (c *Counter) Value() int64 {
 	return c.n
 }
 
-// Gauge is a last-value-wins float64. Nil gauges discard updates.
-type Gauge struct{ v float64 }
+// GaugeMerge selects how a gauge folds across snapshots in
+// Registry.Absorb. It is fixed when the gauge is created (like histogram
+// edges) and travels with snapshots, so aggregation is deliberate per
+// gauge kind rather than an accidental last-write-wins.
+type GaugeMerge uint8
+
+const (
+	// MergeLast overwrites with the absorbed value — point-in-time
+	// readings where the most recent run's value is the meaningful one
+	// (e.g. mapred.duration_s).
+	MergeLast GaugeMerge = iota
+	// MergeSum adds the absorbed value — accumulated totals that span
+	// runs (e.g. switch.stall_ms, per-phase I/O volumes).
+	MergeSum
+	// MergeMax keeps the larger value — high-water marks (e.g. peak
+	// queue depth).
+	MergeMax
+)
+
+func (m GaugeMerge) String() string {
+	switch m {
+	case MergeSum:
+		return "sum"
+	case MergeMax:
+		return "max"
+	}
+	return "last"
+}
+
+func gaugeMergeFromString(s string) GaugeMerge {
+	switch s {
+	case "sum":
+		return MergeSum
+	case "max":
+		return MergeMax
+	}
+	return MergeLast
+}
+
+// Gauge is a settable float64 with a merge policy applied when snapshots
+// are absorbed (last-write-wins by default). Nil gauges discard updates.
+type Gauge struct {
+	v     float64
+	merge GaugeMerge
+}
 
 // Set stores v.
 func (g *Gauge) Set(v float64) {
@@ -139,6 +182,10 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// absorbed guards against folding the same snapshot in twice, which
+	// would double-count every counter and histogram (see Absorb).
+	absorbed map[*Snapshot]bool
 }
 
 // NewRegistry returns an empty registry.
@@ -167,14 +214,21 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Gauge returns the gauge registered under name, creating it if needed.
-func (r *Registry) Gauge(name string) *Gauge {
+// Gauge returns the gauge registered under name, creating it with the
+// default MergeLast policy if needed.
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeWith(name, MergeLast) }
+
+// GaugeWith returns the gauge registered under name, creating it with the
+// given merge policy if needed. Like histogram edges, the policy is fixed
+// at creation; a later call with a different policy returns the existing
+// gauge unchanged.
+func (r *Registry) GaugeWith(name string, merge GaugeMerge) *Gauge {
 	if r == nil {
 		return nil
 	}
 	g, ok := r.gauges[name]
 	if !ok {
-		g = &Gauge{}
+		g = &Gauge{merge: merge}
 		r.gauges[name] = g
 	}
 	return g
@@ -220,6 +274,12 @@ type Snapshot struct {
 	Counters   map[string]int64        `json:"counters"`
 	Gauges     map[string]float64      `json:"gauges"`
 	Histograms map[string]HistSnapshot `json:"histograms"`
+
+	// GaugeMerges records the non-default merge policies ("sum", "max")
+	// of the snapshotted gauges, so Absorb applies the right fold.
+	// Omitted when every gauge is last-write-wins, keeping older
+	// snapshot files readable and byte-compatible.
+	GaugeMerges map[string]string `json:"gauge_merges,omitempty"`
 }
 
 // Snapshot copies the current instrument values.
@@ -237,6 +297,12 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.v
+		if g.merge != MergeLast {
+			if s.GaugeMerges == nil {
+				s.GaugeMerges = make(map[string]string)
+			}
+			s.GaugeMerges[name] = g.merge.String()
+		}
 	}
 	for name, h := range r.hists {
 		edges, counts := h.Buckets()
@@ -246,18 +312,44 @@ func (r *Registry) Snapshot() *Snapshot {
 }
 
 // Absorb folds a snapshot back into the registry: counters add, gauges
-// overwrite, histograms with matching edges merge bucket-wise (mismatched
-// edges are skipped). The Runner uses this to aggregate per-evaluation
-// registries into a caller-supplied one.
+// merge per their recorded policy (MergeLast overwrites, MergeSum adds,
+// MergeMax keeps the maximum — see GaugeMerge), and histograms with
+// matching edges merge bucket-wise (mismatched edges are skipped). The
+// Runner uses this to aggregate per-evaluation registries into a
+// caller-supplied one.
+//
+// Absorbing the same *Snapshot into the same registry more than once is a
+// no-op after the first time: a snapshot is a cumulative copy, so folding
+// it in twice would double-count every counter and histogram. Distinct
+// snapshots of the same source registry are still the caller's
+// responsibility to take as deltas or absorb once.
 func (r *Registry) Absorb(s *Snapshot) {
 	if r == nil || s == nil {
 		return
 	}
+	if r.absorbed[s] {
+		return
+	}
+	if r.absorbed == nil {
+		r.absorbed = make(map[*Snapshot]bool)
+	}
+	r.absorbed[s] = true
 	for name, v := range s.Counters {
 		r.Counter(name).Add(v)
 	}
 	for name, v := range s.Gauges {
-		r.Gauge(name).Set(v)
+		merge := gaugeMergeFromString(s.GaugeMerges[name])
+		g := r.GaugeWith(name, merge)
+		switch merge {
+		case MergeSum:
+			g.Add(v)
+		case MergeMax:
+			if g != nil && v > g.v {
+				g.v = v
+			}
+		default:
+			g.Set(v)
+		}
 	}
 	for name, hs := range s.Histograms {
 		if len(hs.Edges) == 0 {

@@ -1,0 +1,70 @@
+package adaptmr
+
+import (
+	"adaptmr/internal/analyze"
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/mapred"
+)
+
+// Report is the full analysis artefact of one traced run: critical path
+// with per-layer blame, per-phase breakdown tables, whole-run latency
+// quantiles, totals and fixed-interval timeseries. It marshals to
+// deterministic JSON and renders via WriteMarkdown / WriteHTML.
+type Report = analyze.Report
+
+// Bench is the compact committed-to-git run summary the regression gate
+// compares (configuration labels + watched scalar metrics).
+type Bench = analyze.Bench
+
+// Comparison is the outcome of gating a candidate Bench against a
+// baseline; Regressed() reports whether any gated metric tripped.
+type Comparison = analyze.Comparison
+
+// ReportOptions labels and parameterises RunReport.
+type ReportOptions struct {
+	// Workload names the benchmark (e.g. "sort") in the report's bench
+	// summary; InputMB is the per-datanode input volume label.
+	Workload string
+	InputMB  int64
+
+	// TimeseriesPoints caps the fixed-interval sample count (default
+	// 160).
+	TimeseriesPoints int
+}
+
+// RunReport executes one job under a single scheduler pair on a fresh,
+// fully instrumented cluster (tracer + metrics + live timeseries
+// sampler) and analyzes the run into a Report. The input cfg's Obs sink
+// is replaced; the run is deterministic for a fixed cfg/job/pair, so the
+// report is byte-identical across invocations.
+func RunReport(cfg ClusterConfig, job JobConfig, pair Pair, opts ReportOptions) (*Report, error) {
+	tracer := NewTracer()
+	metrics := NewMetrics()
+	cfg.Obs.Trace = tracer
+	cfg.Obs.Metrics = metrics
+	cfg.Obs.PIDBase = 0
+
+	cl := cluster.New(cfg)
+	smp := analyze.NewSampler()
+	smp.AttachCluster(cl)
+	cl.InstallPair(pair)
+	res := mapred.Run(cl, job)
+
+	return analyze.Build(tracer, res.Metrics, smp, analyze.Options{
+		PIDBase:          0,
+		Workload:         opts.Workload,
+		Hosts:            cfg.Hosts,
+		VMs:              cfg.VMsPerHost,
+		InputMB:          opts.InputMB,
+		Seed:             cfg.Seed,
+		Pair:             pair.Code(),
+		TimeseriesPoints: opts.TimeseriesPoints,
+	})
+}
+
+// CompareBenches gates a candidate bench against a baseline with the
+// given relative tolerance (0.05 = 5%). It errors when the two benches
+// come from different run configurations.
+func CompareBenches(base, cand Bench, tol float64) (Comparison, error) {
+	return analyze.Compare(base, cand, tol)
+}
