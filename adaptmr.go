@@ -6,21 +6,27 @@
 // plus the paper's contribution, a meta-scheduler that adaptively switches
 // the (VMM, VM) disk-scheduler pair at phase boundaries of a single job.
 //
-// The package exposes a small facade over the internal engine:
+// The package exposes a small facade over the internal engine. Entry
+// points take functional options (WithTracer, WithMetrics,
+// WithParallelism, WithEvalCache) and return errors instead of panicking:
 //
 //	cfg := adaptmr.DefaultClusterConfig()
 //	job := adaptmr.SortBenchmark(512 << 20).Job
-//	res := adaptmr.RunJob(cfg, job, adaptmr.MustParsePair("cfq,cfq"))
+//	pair, err := adaptmr.ParsePair("cfq,cfq")
+//	res, err := adaptmr.Run(cfg, job, pair)
 //	fmt.Println(res.Duration)
 //
-//	tuner := adaptmr.NewTuner(cfg, job)
-//	out := tuner.Tune()
+//	tuner := adaptmr.NewTuner(cfg, job, adaptmr.WithParallelism(8))
+//	out, err := tuner.Tune()
 //	fmt.Println(out.Plan, out.ImprovementOverDefault())
 //
-// All simulations are deterministic for a given configuration and seed.
+// All simulations are deterministic for a given configuration and seed —
+// including under parallel evaluation: results, traces and metrics are
+// byte-identical at every parallelism setting.
 package adaptmr
 
 import (
+	"fmt"
 	"io"
 
 	"adaptmr/internal/cluster"
@@ -97,12 +103,90 @@ func SortBenchmark(inputPerVM int64) Workload { return workloads.Sort(inputPerVM
 // BenchmarkSuite returns the paper's three benchmarks.
 func BenchmarkSuite(inputPerVM int64) []Workload { return workloads.Suite(inputPerVM) }
 
-// RunJob executes one job under a single scheduler pair on a fresh
-// deterministic cluster and returns its result.
-func RunJob(cfg ClusterConfig, job JobConfig, pair Pair) JobResult {
+// ---------------------------------------------------------------------------
+// Options (facade API v2)
+// ---------------------------------------------------------------------------
+
+// Option configures an entry point (Run, NewTuner, TuneChain, ...). The
+// zero set of options reproduces the default behaviour: no observation,
+// GOMAXPROCS evaluation workers, no on-disk cache.
+type Option func(*options)
+
+type options struct {
+	tracer       *obs.Tracer
+	metrics      *obs.Registry
+	parallelism  int
+	evalCacheDir string
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// apply copies the observation options onto a cluster config.
+func (o options) apply(cfg ClusterConfig) ClusterConfig {
+	if o.tracer != nil {
+		cfg.Obs.Trace = o.tracer
+	}
+	if o.metrics != nil {
+		cfg.Obs.Metrics = o.metrics
+	}
+	return cfg
+}
+
+// WithTracer records every simulated layer's events into t (export with
+// t.WriteFile / t.WriteJSON; the format loads in Perfetto).
+func WithTracer(t *Tracer) Option { return func(o *options) { o.tracer = t } }
+
+// WithMetrics aggregates counters/gauges/histograms into m.
+func WithMetrics(m *Metrics) Option { return func(o *options) { o.metrics = m } }
+
+// WithParallelism sets the evaluation worker count for tuners and chain
+// tuning. n <= 0 (the default) means GOMAXPROCS. Output is byte-identical
+// at every setting.
+func WithParallelism(n int) Option { return func(o *options) { o.parallelism = n } }
+
+// WithEvalCache enables the on-disk content-addressed evaluation cache
+// rooted at dir: repeated evaluations of the same (cluster, job, plan)
+// triple are answered from disk instead of re-simulated. The cache is
+// bypassed while a tracer or metrics registry is attached, because cached
+// results cannot replay their observations.
+func WithEvalCache(dir string) Option { return func(o *options) { o.evalCacheDir = dir } }
+
+// Run executes one job under a single scheduler pair on a fresh
+// deterministic cluster and returns its result. WithTracer/WithMetrics
+// attach observation; WithParallelism and WithEvalCache are accepted but
+// have no effect on a single direct run.
+func Run(cfg ClusterConfig, job JobConfig, pair Pair, opts ...Option) (JobResult, error) {
+	o := buildOptions(opts)
+	cfg = o.apply(cfg)
 	cl := cluster.New(cfg)
 	cl.InstallPair(pair)
-	return mapred.Run(cl, job)
+	j := mapred.NewJob(cl, job)
+	j.Start(nil)
+	cl.Eng.Run()
+	if !j.Done() {
+		return JobResult{}, fmt.Errorf("adaptmr: job %q did not complete (simulation drained early)", job.Name)
+	}
+	return j.Result(), nil
+}
+
+// RunJob executes one job under a single scheduler pair.
+//
+// Deprecated: use Run, which reports failures as errors instead of
+// panicking and accepts functional options.
+func RunJob(cfg ClusterConfig, job JobConfig, pair Pair) JobResult {
+	res, err := Run(cfg, job, pair)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // ---------------------------------------------------------------------------
@@ -131,14 +215,18 @@ func NewMetrics() *Metrics { return obs.NewRegistry() }
 // JobResult.Metrics and RunResult.Metrics carry one per executed job.
 type MetricsSnapshot = obs.Snapshot
 
-// WithTracer returns a copy of cfg that records trace events into t.
-func WithTracer(cfg ClusterConfig, t *Tracer) ClusterConfig {
+// WithTracerConfig returns a copy of cfg that records trace events into t.
+//
+// Deprecated: pass WithTracer(t) as an Option to Run/NewTuner instead.
+func WithTracerConfig(cfg ClusterConfig, t *Tracer) ClusterConfig {
 	cfg.Obs.Trace = t
 	return cfg
 }
 
-// WithMetrics returns a copy of cfg that records metrics into m.
-func WithMetrics(cfg ClusterConfig, m *Metrics) ClusterConfig {
+// WithMetricsConfig returns a copy of cfg that records metrics into m.
+//
+// Deprecated: pass WithMetrics(m) as an Option to Run/NewTuner instead.
+func WithMetricsConfig(cfg ClusterConfig, m *Metrics) ClusterConfig {
 	cfg.Obs.Metrics = m
 	return cfg
 }
@@ -165,17 +253,38 @@ func NewPlan(scheme Scheme, pairs ...Pair) Plan { return core.NewPlan(scheme, pa
 // TuningResult is the meta-scheduler's outcome.
 type TuningResult = core.HeuristicResult
 
+// Profile is one pair's profiled per-phase durations.
+type Profile = core.Profile
+
 // Tuner runs the paper's adaptive meta-scheduler for one job on one
-// testbed configuration.
+// testbed configuration. Its evaluations execute on a worker pool
+// (WithParallelism) with single-flight memoisation, and may be served
+// from an on-disk cache (WithEvalCache); results are identical to a
+// serial, uncached run.
 type Tuner struct {
-	runner *core.Runner
-	scheme Scheme
-	pairs  []Pair
+	runner  *core.Runner
+	scheme  Scheme
+	pairs   []Pair
+	initErr error
 }
 
 // NewTuner creates a tuner over all 16 pairs with the two-phase scheme.
-func NewTuner(cfg ClusterConfig, job JobConfig) *Tuner {
-	return &Tuner{runner: core.NewRunner(cfg, job), scheme: core.TwoPhases}
+// Options: WithTracer, WithMetrics, WithParallelism, WithEvalCache.
+func NewTuner(cfg ClusterConfig, job JobConfig, opts ...Option) *Tuner {
+	o := buildOptions(opts)
+	cfg = o.apply(cfg)
+	r := core.NewRunner(cfg, job)
+	r.Parallelism = o.parallelism
+	t := &Tuner{runner: r, scheme: core.TwoPhases}
+	if o.evalCacheDir != "" {
+		cache, err := core.OpenEvalCache(o.evalCacheDir)
+		if err != nil {
+			t.initErr = err
+		} else {
+			r.DiskCache = cache
+		}
+	}
+	return t
 }
 
 // WithScheme selects the phase scheme.
@@ -186,6 +295,8 @@ func (t *Tuner) WithCandidates(pairs []Pair) *Tuner { t.pairs = pairs; return t 
 
 // WithTracer records every evaluation into tr, each under its own trace
 // process group labelled with the evaluated plan.
+//
+// Deprecated: pass WithTracer(tr) as an Option to NewTuner instead.
 func (t *Tuner) WithTracer(tr *Tracer) *Tuner {
 	t.runner.ClusterConfig.Obs.Trace = tr
 	return t
@@ -194,6 +305,8 @@ func (t *Tuner) WithTracer(tr *Tracer) *Tuner {
 // WithMetrics aggregates every evaluation's metrics into m; per-candidate
 // snapshots additionally land on each RunResult (and on
 // TuningResult.Profiles via their embedded job results).
+//
+// Deprecated: pass WithMetrics(m) as an Option to NewTuner instead.
 func (t *Tuner) WithMetrics(m *Metrics) *Tuner {
 	t.runner.ClusterConfig.Obs.Metrics = m
 	return t
@@ -202,24 +315,48 @@ func (t *Tuner) WithMetrics(m *Metrics) *Tuner {
 // Tune profiles the candidates and runs the heuristic (Algorithm 1),
 // returning the chosen plan alongside the default and best-single
 // reference runs.
-func (t *Tuner) Tune() TuningResult {
+func (t *Tuner) Tune() (TuningResult, error) {
+	if t.initErr != nil {
+		return TuningResult{}, t.initErr
+	}
 	return core.Heuristic(t.runner, t.scheme, t.pairs)
 }
 
 // RunPlan executes the job under an explicit plan (switching pairs at
 // phase boundaries, switch costs included).
-func (t *Tuner) RunPlan(p Plan) core.RunResult {
+func (t *Tuner) RunPlan(p Plan) (core.RunResult, error) {
+	if t.initErr != nil {
+		return core.RunResult{}, t.initErr
+	}
 	return t.runner.Run(p)
 }
 
 // BruteForce exhaustively evaluates every plan (S^P job executions,
-// memoised) and returns the optimum — feasible here because the testbed is
-// simulated.
-func (t *Tuner) BruteForce() core.RunResult {
+// memoised, batched onto the worker pool) and returns the optimum —
+// feasible here because the testbed is simulated.
+func (t *Tuner) BruteForce() (core.RunResult, error) {
+	if t.initErr != nil {
+		return core.RunResult{}, t.initErr
+	}
 	return core.BruteForce(t.runner, t.scheme, t.pairs)
 }
 
-// Evaluations reports how many distinct job executions the tuner has run.
+// Profile runs the job once per candidate pair with no switching and
+// returns per-phase durations — the meta-scheduler's profiling stage.
+// The runs are independent and execute on the worker pool.
+func (t *Tuner) Profile() ([]Profile, error) {
+	if t.initErr != nil {
+		return nil, t.initErr
+	}
+	pairs := t.pairs
+	if len(pairs) == 0 {
+		pairs = iosched.AllPairs()
+	}
+	return t.runner.ProfilePairs(pairs)
+}
+
+// Evaluations reports how many distinct job executions the tuner has run
+// (disk-cache hits excluded).
 func (t *Tuner) Evaluations() int { return t.runner.Evaluations }
 
 // ---------------------------------------------------------------------------
@@ -237,8 +374,9 @@ func DefaultFineGrained() *FineGrained { return core.DefaultFineGrained() }
 
 // RunFineGrained executes a job under the reactive controller, returning
 // the job result and the number of switch commands issued.
-func RunFineGrained(cfg ClusterConfig, job JobConfig, fg *FineGrained) (JobResult, int) {
-	return core.RunFineGrained(cfg, job, fg)
+func RunFineGrained(cfg ClusterConfig, job JobConfig, fg *FineGrained, opts ...Option) (JobResult, int, error) {
+	o := buildOptions(opts)
+	return core.RunFineGrained(o.apply(cfg), job, fg)
 }
 
 // ChainResult is a chained (Pig-style) multi-job execution.
@@ -250,14 +388,17 @@ type ChainTuning = core.ChainTuning
 // RunChain executes MapReduce stages back to back on one cluster, applying
 // one phase plan per stage; later stages read the data volume the previous
 // stage produced.
-func RunChain(cfg ClusterConfig, stages []JobConfig, plans []Plan) ChainResult {
-	return core.RunChain(cfg, stages, plans)
+func RunChain(cfg ClusterConfig, stages []JobConfig, plans []Plan, opts ...Option) (ChainResult, error) {
+	o := buildOptions(opts)
+	return core.RunChain(o.apply(cfg), stages, plans)
 }
 
 // TuneChain tunes each stage with the two-phase heuristic and compares the
-// composed chain against the all-default execution.
-func TuneChain(cfg ClusterConfig, stages []JobConfig) ChainTuning {
-	return core.TuneChain(cfg, stages)
+// composed chain against the all-default execution. WithParallelism sets
+// each stage's evaluation worker count.
+func TuneChain(cfg ClusterConfig, stages []JobConfig, opts ...Option) (ChainTuning, error) {
+	o := buildOptions(opts)
+	return core.TuneChain(o.apply(cfg), stages, o.parallelism)
 }
 
 // Predictor estimates plan times from profiles plus a switch-cost model

@@ -35,9 +35,18 @@ func TestPairFacade(t *testing.T) {
 }
 
 func TestRunJobFacade(t *testing.T) {
+	// Deprecated panic-on-failure wrapper still works…
 	res := adaptmr.RunJob(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair)
 	if res.Duration <= 0 || res.NumMaps == 0 {
 		t.Fatalf("result %+v", res)
+	}
+	// …and matches the v2 error-returning entry point exactly.
+	res2, err := adaptmr.Run(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res2.Duration != res.Duration || res2.NumMaps != res.NumMaps {
+		t.Fatalf("Run and RunJob disagree: %+v vs %+v", res2, res)
 	}
 }
 
@@ -62,7 +71,10 @@ func TestTunerFacade(t *testing.T) {
 			adaptmr.MustParsePair("ad"),
 			adaptmr.MustParsePair("nc"),
 		})
-	out := tuner.Tune()
+	out, err := tuner.Tune()
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
 	if out.Duration <= 0 {
 		t.Fatal("no result")
 	}
@@ -74,12 +86,42 @@ func TestTunerFacade(t *testing.T) {
 	}
 	// Explicit plans and brute force are exposed too.
 	plan := adaptmr.NewPlan(adaptmr.TwoPhases, adaptmr.MustParsePair("ad"), adaptmr.DefaultPair)
-	if tuner.RunPlan(plan).Duration <= 0 {
+	pr, err := tuner.RunPlan(plan)
+	if err != nil {
+		t.Fatalf("RunPlan: %v", err)
+	}
+	if pr.Duration <= 0 {
 		t.Fatal("RunPlan")
 	}
-	bf := tuner.BruteForce()
+	bf, err := tuner.BruteForce()
+	if err != nil {
+		t.Fatalf("BruteForce: %v", err)
+	}
 	if bf.Duration > out.Duration {
 		t.Fatal("brute force worse than heuristic")
+	}
+}
+
+func TestTunerOptionsFacade(t *testing.T) {
+	job := adaptmr.SortBenchmark(96 << 20).Job
+	serial, err := adaptmr.NewTuner(quickCluster(), job, adaptmr.WithParallelism(1)).
+		WithCandidates([]adaptmr.Pair{adaptmr.DefaultPair, adaptmr.MustParsePair("ad")}).
+		Tune()
+	if err != nil {
+		t.Fatalf("serial Tune: %v", err)
+	}
+	par, err := adaptmr.NewTuner(quickCluster(), job, adaptmr.WithParallelism(4)).
+		WithCandidates([]adaptmr.Pair{adaptmr.DefaultPair, adaptmr.MustParsePair("ad")}).
+		Tune()
+	if err != nil {
+		t.Fatalf("parallel Tune: %v", err)
+	}
+	if serial.Plan.String() != par.Plan.String() || serial.Duration != par.Duration {
+		t.Fatalf("parallelism changed the tuning outcome: %v/%v vs %v/%v",
+			serial.Plan, serial.Duration, par.Plan, par.Duration)
+	}
+	if serial.Evaluations != par.Evaluations {
+		t.Fatalf("evaluation counts differ: %d vs %d", serial.Evaluations, par.Evaluations)
 	}
 }
 

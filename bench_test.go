@@ -18,6 +18,15 @@ import (
 
 func quickCfg() experiments.Config { return experiments.Quick() }
 
+// must unwraps (value, error) pairs inside benchmark bodies; a failed
+// simulation is a harness bug, so aborting the bench run is correct.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // BenchmarkFig1SysbenchPairs regenerates Fig 1: sysbench elapsed time per
 // pair at consolidation 1, 2 and 3 VMs.
 func BenchmarkFig1SysbenchPairs(b *testing.B) {
@@ -94,7 +103,7 @@ func BenchmarkFig5SwitchCost(b *testing.B) {
 // BenchmarkFig6PhaseProfile regenerates Fig 6: per-phase pair scores.
 func BenchmarkFig6PhaseProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig6(quickCfg())
+		r := must(experiments.Fig6(quickCfg()))
 		diff := 0.0
 		if r.BestFor(0).Pair != r.BestFor(1).Pair {
 			diff = 1.0
@@ -107,7 +116,7 @@ func BenchmarkFig6PhaseProfile(b *testing.B) {
 // the three workloads.
 func BenchmarkFig7aWorkloads(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig7a(quickCfg())
+		r := must(experiments.Fig7a(quickCfg()))
 		for _, row := range r.Rows {
 			if row.Scenario == "sort" {
 				b.ReportMetric(100*row.ImprovementOverDefault(), "sortVsDef%")
@@ -119,7 +128,7 @@ func BenchmarkFig7aWorkloads(b *testing.B) {
 // BenchmarkFig7bConsolidation regenerates Fig 7b.
 func BenchmarkFig7bConsolidation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig7b(quickCfg())
+		r := must(experiments.Fig7b(quickCfg()))
 		tr := r.ImprovementTrend()
 		b.ReportMetric(100*tr[len(tr)-1], "densest%")
 	}
@@ -128,7 +137,7 @@ func BenchmarkFig7bConsolidation(b *testing.B) {
 // BenchmarkFig7cDataSize regenerates Fig 7c.
 func BenchmarkFig7cDataSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig7c(quickCfg())
+		r := must(experiments.Fig7c(quickCfg()))
 		tr := r.ImprovementTrend()
 		b.ReportMetric(100*tr[len(tr)-1], "biggest%")
 	}
@@ -137,7 +146,7 @@ func BenchmarkFig7cDataSize(b *testing.B) {
 // BenchmarkFig7dScale regenerates Fig 7d.
 func BenchmarkFig7dScale(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig7d(quickCfg())
+		r := must(experiments.Fig7d(quickCfg()))
 		tr := r.ImprovementTrend()
 		b.ReportMetric(100*tr[len(tr)-1], "largest%")
 	}
@@ -146,7 +155,7 @@ func BenchmarkFig7dScale(b *testing.B) {
 // BenchmarkFig8Phases regenerates Fig 8: phase durations per benchmark.
 func BenchmarkFig8Phases(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig8(quickCfg())
+		r := must(experiments.Fig8(quickCfg()))
 		_ = r.Render()
 	}
 }
@@ -164,13 +173,13 @@ func quickTuner(mutate func(*adaptmr.ClusterConfig)) adaptmr.TuningResult {
 		mutate(&cfg)
 	}
 	job := adaptmr.SortBenchmark(96 << 20).Job
-	return adaptmr.NewTuner(cfg, job).WithCandidates([]adaptmr.Pair{
+	return must(adaptmr.NewTuner(cfg, job).WithCandidates([]adaptmr.Pair{
 		adaptmr.DefaultPair,
 		adaptmr.MustParsePair("ad"),
 		adaptmr.MustParsePair("ac"),
 		adaptmr.MustParsePair("dd"),
 		adaptmr.MustParsePair("nc"),
-	}).Tune()
+	}).Tune())
 }
 
 // BenchmarkAblationAnticipationOff disables AS anticipation: AS degrades
@@ -219,8 +228,8 @@ func BenchmarkAblationThreePhases(b *testing.B) {
 		adaptmr.MustParsePair("dd"),
 	}
 	for i := 0; i < b.N; i++ {
-		two := adaptmr.NewTuner(cfg, job).WithScheme(adaptmr.TwoPhases).WithCandidates(cands).Tune()
-		three := adaptmr.NewTuner(cfg, job).WithScheme(adaptmr.ThreePhases).WithCandidates(cands).Tune()
+		two := must(adaptmr.NewTuner(cfg, job).WithScheme(adaptmr.TwoPhases).WithCandidates(cands).Tune())
+		three := must(adaptmr.NewTuner(cfg, job).WithScheme(adaptmr.ThreePhases).WithCandidates(cands).Tune())
 		b.ReportMetric(two.Duration.Seconds(), "twoPhase_s")
 		b.ReportMetric(three.Duration.Seconds(), "threePhase_s")
 	}
@@ -241,9 +250,9 @@ func BenchmarkHeuristicVsBruteForce(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		tuner := adaptmr.NewTuner(cfg, job).WithCandidates(cands)
-		h := tuner.Tune()
+		h := must(tuner.Tune())
 		heurEvals := tuner.Evaluations()
-		bf := tuner.BruteForce()
+		bf := must(tuner.BruteForce())
 		b.ReportMetric(100*(h.Duration.Seconds()-bf.Duration.Seconds())/bf.Duration.Seconds(), "optGap%")
 		b.ReportMetric(float64(heurEvals), "heurEvals")
 	}
@@ -274,7 +283,10 @@ func BenchmarkFineGrainedController(b *testing.B) {
 	job := adaptmr.SortBenchmark(96 << 20).Job
 	for i := 0; i < b.N; i++ {
 		static := adaptmr.RunJob(cfg, job, adaptmr.DefaultPair)
-		reactive, switches := adaptmr.RunFineGrained(cfg, job, nil)
+		reactive, switches, err := adaptmr.RunFineGrained(cfg, job, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(static.Duration.Seconds(), "static_s")
 		b.ReportMetric(reactive.Duration.Seconds(), "reactive_s")
 		b.ReportMetric(float64(switches), "switches")
@@ -292,7 +304,7 @@ func BenchmarkChainTuning(b *testing.B) {
 		adaptmr.SortBenchmark(96 << 20).Job,
 	}
 	for i := 0; i < b.N; i++ {
-		out := adaptmr.TuneChain(cfg, stages)
+		out := must(adaptmr.TuneChain(cfg, stages))
 		b.ReportMetric(100*out.ImprovementOverDefault(), "vsDef%")
 		b.ReportMetric(float64(out.Evaluations), "evals")
 	}
@@ -311,11 +323,11 @@ func BenchmarkPredictorAccuracy(b *testing.B) {
 			adaptmr.MustParsePair("ad"),
 			adaptmr.MustParsePair("dd"),
 		})
-		out := tuner.Tune()
+		out := must(tuner.Tune())
 		p := adaptmr.NewPredictor(out.Profiles, nil)
 		plan := adaptmr.NewPlan(adaptmr.TwoPhases, adaptmr.MustParsePair("ad"), adaptmr.DefaultPair)
 		predicted := p.Predict(plan).Seconds()
-		measured := tuner.RunPlan(plan).Duration.Seconds()
+		measured := must(tuner.RunPlan(plan)).Duration.Seconds()
 		b.ReportMetric(100*(predicted-measured)/measured, "err%")
 	}
 }

@@ -11,10 +11,13 @@
 //
 //	adaptreport gate [sim flags] [-baseline BENCH_baseline.json] [-tol 0.05]
 //	                 [-candidate BENCH_candidate.json] [-html report.html] [-update]
+//	                 [-parallel N] [-sweep-out sweep.json]
 //	    Run the same instrumented job, condense it to a bench summary and
 //	    compare against the committed baseline. Exits 1 when a gated
 //	    metric regressed beyond the tolerance. -update rewrites the
-//	    baseline instead of comparing.
+//	    baseline instead of comparing. -sweep-out additionally times the
+//	    16-pair profile sweep serial vs -parallel workers, verifies the
+//	    outputs are identical, and writes the speedup record as JSON.
 //
 //	adaptreport compare [-tol 0.05] base.json candidate.json
 //	    Compare two previously written bench summaries.
@@ -25,11 +28,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"adaptmr"
 	"adaptmr/internal/cliutil"
@@ -86,8 +92,8 @@ func bindSimFlags(fs *flag.FlagSet) *simFlags {
 	}
 }
 
-// run executes one instrumented job per the sim flags and analyzes it.
-func (sf *simFlags) run() (*adaptmr.Report, error) {
+// setup resolves the sim flags into a cluster config, workload and pair.
+func (sf *simFlags) setup() (adaptmr.ClusterConfig, adaptmr.Workload, adaptmr.Pair, error) {
 	cfg := adaptmr.DefaultClusterConfig()
 	cfg.Hosts = *sf.hosts
 	cfg.VMsPerHost = *sf.vms
@@ -105,9 +111,18 @@ func (sf *simFlags) run() (*adaptmr.Report, error) {
 	case "wordcount-nc", "wordcount-no-combiner":
 		wl = adaptmr.WordCountNoCombinerBenchmark(*sf.inputMB << 20)
 	default:
-		return nil, fmt.Errorf("unknown benchmark %q", *sf.bench)
+		return cfg, wl, adaptmr.Pair{}, fmt.Errorf("unknown benchmark %q", *sf.bench)
 	}
 	pair, err := adaptmr.ParsePair(*sf.pairArg)
+	if err != nil {
+		return cfg, wl, adaptmr.Pair{}, err
+	}
+	return cfg, wl, pair, nil
+}
+
+// run executes one instrumented job per the sim flags and analyzes it.
+func (sf *simFlags) run() (*adaptmr.Report, error) {
+	cfg, wl, pair, err := sf.setup()
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +190,9 @@ func cmdGate(args []string) {
 	candidate := fs.String("candidate", "", "write the candidate bench JSON here (for CI artifacts)")
 	htmlOut := fs.String("html", "", "write the candidate's full HTML report here")
 	update := fs.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	parallel := cliutil.BindParallelFlag(fs)
+	sweepOut := fs.String("sweep-out", "",
+		"also run the 16-pair profile sweep serial and with -parallel workers, verify identical output, and write the timing JSON here")
 	prof := cliutil.BindProfileFlags(fs)
 	fs.Parse(args)
 	if err := prof.Start(); err != nil {
@@ -184,6 +202,11 @@ func cmdGate(args []string) {
 	rep, err := sf.run()
 	if err != nil {
 		fail(err)
+	}
+	if *sweepOut != "" {
+		if err := writeSweep(sf, *parallel, *sweepOut); err != nil {
+			fail(err)
+		}
 	}
 	if *candidate != "" {
 		if err := writeJSONFile(*candidate, rep.Bench); err != nil {
@@ -258,6 +281,82 @@ func cmdCompare(args []string) {
 	if cmp.Regressed() {
 		os.Exit(1)
 	}
+}
+
+// sweepRecord is the JSON artifact produced by gate -sweep-out: the
+// serial vs parallel timing of the 16-pair profile sweep plus the
+// byte-identity verdict.
+type sweepRecord struct {
+	Bench           string  `json:"bench"`
+	Pairs           int     `json:"pairs"`
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Evaluations     int     `json:"evaluations"`
+	Identical       bool    `json:"identical"`
+}
+
+// writeSweep runs the full 16-pair profile sweep twice — serial and with
+// the requested worker count — verifies the profiles are byte-identical
+// and the evaluation count unchanged, and records the wall-clock speedup.
+func writeSweep(sf *simFlags, parallel int, path string) error {
+	cfg, wl, _, err := sf.setup()
+	if err != nil {
+		return err
+	}
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	profile := func(n int) ([]adaptmr.Profile, int, float64, error) {
+		tuner := adaptmr.NewTuner(cfg, wl.Job, adaptmr.WithParallelism(n))
+		start := time.Now()
+		profs, err := tuner.Profile()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return profs, tuner.Evaluations(), time.Since(start).Seconds(), nil
+	}
+
+	serial, serialEvals, serialSecs, err := profile(1)
+	if err != nil {
+		return err
+	}
+	par, parEvals, parSecs, err := profile(workers)
+	if err != nil {
+		return err
+	}
+
+	serialJSON, err := json.Marshal(serial)
+	if err != nil {
+		return err
+	}
+	parJSON, err := json.Marshal(par)
+	if err != nil {
+		return err
+	}
+	identical := bytes.Equal(serialJSON, parJSON) && serialEvals == parEvals
+	rec := sweepRecord{
+		Bench:           *sf.bench,
+		Pairs:           len(serial),
+		Workers:         workers,
+		SerialSeconds:   serialSecs,
+		ParallelSeconds: parSecs,
+		Speedup:         serialSecs / parSecs,
+		Evaluations:     parEvals,
+		Identical:       identical,
+	}
+	if err := writeJSONFile(path, rec); err != nil {
+		return err
+	}
+	fmt.Printf("sweep: %d pairs, serial %.2fs, %d workers %.2fs (%.2fx), identical=%v -> %s\n",
+		rec.Pairs, rec.SerialSeconds, rec.Workers, rec.ParallelSeconds, rec.Speedup, rec.Identical, path)
+	if !identical {
+		return fmt.Errorf("parallel profile sweep diverged from serial output")
+	}
+	return nil
 }
 
 func readBench(path string) (adaptmr.Bench, error) {

@@ -15,6 +15,10 @@
 // chrome://tracing); -metrics writes a metrics snapshot, with the format
 // picked by -metrics-format (json, csv, or auto by extension). -cpuprofile
 // and -memprofile write pprof self-profiles of the simulator.
+//
+// -parallel N fans the tuner's independent evaluations across N workers
+// (0 = GOMAXPROCS) with byte-identical output; -evalcache DIR answers
+// repeated evaluations from an on-disk content-addressed cache.
 package main
 
 import (
@@ -45,6 +49,8 @@ func main() {
 	phases := flag.Int("phases", 2, "phase scheme for plans and tuning (2 or 3)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
 	metricsOut := cliutil.BindMetricsFlags(flag.CommandLine)
+	parallel := cliutil.BindParallelFlag(flag.CommandLine)
+	evalCache := cliutil.BindEvalCacheFlag(flag.CommandLine)
 	prof := cliutil.BindProfileFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -57,15 +63,20 @@ func main() {
 	cfg.VMsPerHost = *vms
 	cfg.Seed = *seed
 
+	var opts []adaptmr.Option
 	var tracer *adaptmr.Tracer
 	if *tracePath != "" {
 		tracer = adaptmr.NewTracer()
-		cfg = adaptmr.WithTracer(cfg, tracer)
+		opts = append(opts, adaptmr.WithTracer(tracer))
 	}
 	var metrics *adaptmr.Metrics
 	if metricsOut.Enabled() {
 		metrics = adaptmr.NewMetrics()
-		cfg = adaptmr.WithMetrics(cfg, metrics)
+		opts = append(opts, adaptmr.WithMetrics(metrics))
+	}
+	opts = append(opts, adaptmr.WithParallelism(*parallel))
+	if *evalCache != "" {
+		opts = append(opts, adaptmr.WithEvalCache(*evalCache))
 	}
 
 	var wl adaptmr.Workload
@@ -89,14 +100,20 @@ func main() {
 
 	switch {
 	case *reactive:
-		res, switches := adaptmr.RunFineGrained(cfg, wl.Job, nil)
+		res, switches, err := adaptmr.RunFineGrained(cfg, wl.Job, nil, opts...)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("reactive controller on %s: %.1fs (%d switch commands)\n",
 			wl.Job.Name, res.Duration.Seconds(), switches)
 		printPhases(res)
 
 	case *adaptive:
-		tuner := adaptmr.NewTuner(cfg, wl.Job).WithScheme(scheme)
-		res := tuner.Tune()
+		tuner := adaptmr.NewTuner(cfg, wl.Job, opts...).WithScheme(scheme)
+		res, err := tuner.Tune()
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("workload        %s (%s disk operations)\n", wl.Job.Name, wl.Class)
 		fmt.Printf("default  %-40s %8.1fs\n", res.Default.Plan, res.Default.Duration.Seconds())
 		fmt.Printf("best-1   %-40s %8.1fs\n", res.BestSingle.Plan, res.BestSingle.Duration.Seconds())
@@ -117,8 +134,11 @@ func main() {
 			}
 			pairs = append(pairs, p)
 		}
-		tuner := adaptmr.NewTuner(cfg, wl.Job).WithScheme(scheme)
-		res := tuner.RunPlan(adaptmr.NewPlan(scheme, pairs...))
+		tuner := adaptmr.NewTuner(cfg, wl.Job, opts...).WithScheme(scheme)
+		res, err := tuner.RunPlan(adaptmr.NewPlan(scheme, pairs...))
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("plan %s: %.1fs (switch stall %.1fs)\n",
 			res.Plan, res.Duration.Seconds(), res.SwitchStall.Seconds())
 		printPhases(res.Job)
@@ -128,7 +148,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		res := adaptmr.RunJob(cfg, wl.Job, p)
+		res, err := adaptmr.Run(cfg, wl.Job, p, opts...)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("pair %s on %s: %.1fs\n", p, wl.Job.Name, res.Duration.Seconds())
 		printPhases(res)
 	}

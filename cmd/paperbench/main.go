@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	paperbench [-quick] [-only fig2,table1] [-o out.txt] [-trace t.json] [-metrics m.csv]
+//	paperbench [-quick] [-only fig2,table1] [-o out.txt] [-trace t.json] [-metrics m.csv] [-parallel N]
 //
 // With -quick a scaled-down testbed is used (2×2 cluster, smaller inputs,
 // 6 candidate pairs); without it the full paper configuration runs (4×4
 // cluster, 512 MB per datanode, all 16 pairs), which takes tens of minutes.
+// -parallel N fans the independent sweep cells and tuner evaluations
+// across N workers (0 = GOMAXPROCS) with byte-identical artefacts; when
+// -trace or -metrics is set the direct sweeps fall back to serial so the
+// shared sinks record in the historical order.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-artefact CSV data into")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file covering every simulated job")
 	metricsOut := cliutil.BindMetricsFlags(flag.CommandLine)
+	parallel := cliutil.BindParallelFlag(flag.CommandLine)
 	prof := cliutil.BindProfileFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -45,16 +50,17 @@ func main() {
 	if *quick {
 		cfg = adaptmr.QuickExperiments()
 	}
+	cfg.Parallelism = *parallel
 
 	var tracer *adaptmr.Tracer
 	if *tracePath != "" {
 		tracer = adaptmr.NewTracer()
-		cfg.Cluster = adaptmr.WithTracer(cfg.Cluster, tracer)
+		cfg.Cluster.Obs.Trace = tracer
 	}
 	var metrics *adaptmr.Metrics
 	if metricsOut.Enabled() {
 		metrics = adaptmr.NewMetrics()
-		cfg.Cluster = adaptmr.WithMetrics(cfg.Cluster, metrics)
+		cfg.Cluster.Obs.Metrics = metrics
 	}
 
 	var w io.Writer = os.Stdout

@@ -9,10 +9,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 
 	"adaptmr"
 )
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptive_sort:", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	brute := flag.Bool("brute", false, "also run the 16^P brute-force search")
@@ -27,10 +35,13 @@ func main() {
 
 	cfg := adaptmr.DefaultClusterConfig()
 	job := adaptmr.SortBenchmark(*inputMB << 20).Job
-	tuner := adaptmr.NewTuner(cfg, job).WithScheme(scheme)
+	// WithParallelism(0) fans the tuner's independent evaluations across
+	// GOMAXPROCS workers; the output is byte-identical to a serial run.
+	tuner := adaptmr.NewTuner(cfg, job, adaptmr.WithParallelism(0)).WithScheme(scheme)
 
 	fmt.Printf("tuning sort (%d MB/node) on 4x4 with %v...\n\n", *inputMB, scheme)
-	out := tuner.Tune()
+	out, err := tuner.Tune()
+	check(err)
 
 	// Show the profiling table the heuristic ranked (the paper's Fig 6).
 	fmt.Println("per-phase profile (seconds):")
@@ -66,8 +77,9 @@ func main() {
 		100*out.ImprovementOverDefault(), 100*out.ImprovementOverBestSingle(), out.Evaluations)
 
 	if *brute {
-		fmt.Println("\nbrute force over every plan (memoised, may take minutes)...")
-		bf := tuner.BruteForce()
+		fmt.Println("\nbrute force over every plan (memoised, pooled, may take minutes)...")
+		bf, err := tuner.BruteForce()
+		check(err)
 		fmt.Printf("optimum    %-44s %7.1f s\n", bf.Plan, bf.Duration.Seconds())
 		gap := 100 * (out.Duration.Seconds() - bf.Duration.Seconds()) / bf.Duration.Seconds()
 		fmt.Printf("heuristic is within %.1f%% of the optimum\n", gap)

@@ -7,9 +7,17 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"adaptmr"
 )
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "consolidation_study:", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	fmt.Println("Part 1: raw disk interference (sysbench-like concurrent writers)")
@@ -22,7 +30,8 @@ func main() {
 		// A write-heavy job stands in for the sysbench probe at the
 		// cluster API level.
 		job := adaptmr.SortBenchmark(128 << 20).Job
-		res := adaptmr.RunJob(cfg, job, adaptmr.DefaultPair)
+		res, err := adaptmr.Run(cfg, job, adaptmr.DefaultPair)
+		check(err)
 		if vms == 1 {
 			base = res.Duration.Seconds()
 		}
@@ -35,7 +44,8 @@ func main() {
 		cfg := adaptmr.DefaultClusterConfig()
 		cfg.VMsPerHost = vms
 		job := adaptmr.SortBenchmark(512 << 20).Job
-		out := adaptmr.NewTuner(cfg, job).Tune()
+		out, err := adaptmr.NewTuner(cfg, job).Tune()
+		check(err)
 		fmt.Printf("  %d VMs/host: default %6.1fs  best-1 %6.1fs  adaptive %6.1fs  (%.1f%% / %.1f%%)  %s\n",
 			vms, out.Default.Duration.Seconds(), out.BestSingle.Duration.Seconds(),
 			out.Duration.Seconds(),

@@ -12,9 +12,17 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"adaptmr"
 )
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "custom_workload:", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	job := adaptmr.DefaultJobConfig()
@@ -40,20 +48,24 @@ func main() {
 	}
 	var rows []row
 	for _, p := range []string{"cc", "ad", "ac", "dd", "nc"} {
-		pair := adaptmr.MustParsePair(p)
-		res := adaptmr.RunJob(cfg, job, pair)
+		pair, err := adaptmr.ParsePair(p)
+		check(err)
+		res, err := adaptmr.Run(cfg, job, pair)
+		check(err)
 		rows = append(rows, row{pair, res.Duration.Seconds()})
 		fmt.Printf("  %-26s %6.1f s\n", pair, res.Duration.Seconds())
 	}
 
 	// Then: the adaptive plan.
-	out := adaptmr.NewTuner(cfg, job).Tune()
+	out, err := adaptmr.NewTuner(cfg, job).Tune()
+	check(err)
 	fmt.Printf("\nadaptive %s: %.1f s (%.1f%% vs default, %.1f%% vs best single)\n",
 		out.Plan, out.Duration.Seconds(),
 		100*out.ImprovementOverDefault(), 100*out.ImprovementOverBestSingle())
 
 	// Phase structure explains the choice.
-	def := adaptmr.RunJob(cfg, job, adaptmr.DefaultPair)
+	def, err := adaptmr.Run(cfg, job, adaptmr.DefaultPair)
+	check(err)
 	fmt.Printf("\nphase structure under the default pair: map %.1fs | shuffle tail %.1fs | reduce %.1fs\n",
 		def.MapsDoneAt.Sub(def.Start).Seconds(),
 		def.ShuffleDoneAt.Sub(def.MapsDoneAt).Seconds(),

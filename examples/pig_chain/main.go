@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"adaptmr"
 )
@@ -39,7 +40,11 @@ func main() {
 	stages := []adaptmr.JobConfig{extract, join, aggregate}
 
 	fmt.Println("tuning a 3-stage chain on 4x4 (each stage: 2-phase heuristic)...")
-	out := adaptmr.TuneChain(cfg, stages)
+	out, err := adaptmr.TuneChain(cfg, stages)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pig_chain:", err)
+		os.Exit(1)
+	}
 
 	fmt.Println("\nper-stage plans:")
 	for i, p := range out.Plans {

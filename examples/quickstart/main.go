@@ -7,9 +7,17 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"adaptmr"
 )
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	cfg := adaptmr.DefaultClusterConfig() // 4 hosts × 4 VMs, 1 SATA disk each
@@ -18,15 +26,18 @@ func main() {
 	fmt.Println("sort, 512 MB per datanode, 4 hosts x 4 VMs")
 	fmt.Println()
 
-	def := adaptmr.RunJob(cfg, job, adaptmr.DefaultPair)
+	def, err := adaptmr.Run(cfg, job, adaptmr.DefaultPair)
+	check(err)
 	fmt.Printf("%-26s %6.1f s  (map %5.1f | shuffle tail %4.1f | reduce %5.1f)\n",
 		adaptmr.DefaultPair, def.Duration.Seconds(),
 		def.MapsDoneAt.Sub(def.Start).Seconds(),
 		def.ShuffleDoneAt.Sub(def.MapsDoneAt).Seconds(),
 		def.Done.Sub(def.ShuffleDoneAt).Seconds())
 
-	best := adaptmr.MustParsePair("(anticipatory, deadline)")
-	res := adaptmr.RunJob(cfg, job, best)
+	best, err := adaptmr.ParsePair("(anticipatory, deadline)")
+	check(err)
+	res, err := adaptmr.Run(cfg, job, best)
+	check(err)
 	fmt.Printf("%-26s %6.1f s  (map %5.1f | shuffle tail %4.1f | reduce %5.1f)\n",
 		best, res.Duration.Seconds(),
 		res.MapsDoneAt.Sub(res.Start).Seconds(),

@@ -14,22 +14,33 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"adaptmr"
 )
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reactive_controller:", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	cfg := adaptmr.DefaultClusterConfig()
 	job := adaptmr.SortBenchmark(512 << 20).Job
 
-	static := adaptmr.RunJob(cfg, job, adaptmr.DefaultPair)
+	static, err := adaptmr.Run(cfg, job, adaptmr.DefaultPair)
+	check(err)
 	fmt.Printf("static default   %7.1f s\n", static.Duration.Seconds())
 
-	tuned := adaptmr.NewTuner(cfg, job).Tune()
+	tuned, err := adaptmr.NewTuner(cfg, job).Tune()
+	check(err)
 	fmt.Printf("meta-scheduler   %7.1f s  %s (offline: %d profiling/search executions)\n",
 		tuned.Duration.Seconds(), tuned.Plan, tuned.Evaluations)
 
-	reactive, switches := adaptmr.RunFineGrained(cfg, job, nil)
+	reactive, switches, err := adaptmr.RunFineGrained(cfg, job, nil)
+	check(err)
 	fmt.Printf("reactive         %7.1f s  (%d online switch commands, zero offline runs)\n",
 		reactive.Duration.Seconds(), switches)
 

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	"adaptmr/internal/guestio"
@@ -26,7 +27,8 @@ func main() {
 	for _, c := range strings.Split(*states, ",") {
 		p, err := iosched.ParsePair(strings.TrimSpace(c))
 		if err != nil {
-			panic(err)
+			fmt.Fprintln(os.Stderr, "switch_cost_map:", err)
+			os.Exit(1)
 		}
 		pairs = append(pairs, p)
 	}

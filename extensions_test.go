@@ -7,7 +7,10 @@ import (
 )
 
 func TestFineGrainedFacade(t *testing.T) {
-	res, switches := adaptmr.RunFineGrained(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, nil)
+	res, switches, err := adaptmr.RunFineGrained(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, nil)
+	if err != nil {
+		t.Fatalf("RunFineGrained: %v", err)
+	}
 	if res.Duration <= 0 {
 		t.Fatal("no result")
 	}
@@ -25,7 +28,10 @@ func TestChainFacade(t *testing.T) {
 		adaptmr.UniformPlan(adaptmr.TwoPhases, adaptmr.DefaultPair),
 		adaptmr.UniformPlan(adaptmr.TwoPhases, adaptmr.MustParsePair("ad")),
 	}
-	res := adaptmr.RunChain(quickCluster(), stages, plans)
+	res, err := adaptmr.RunChain(quickCluster(), stages, plans)
+	if err != nil {
+		t.Fatalf("RunChain: %v", err)
+	}
 	if len(res.Stages) != 2 || res.Duration <= 0 {
 		t.Fatalf("chain result %+v", res)
 	}
@@ -36,7 +42,10 @@ func TestPredictorFacade(t *testing.T) {
 	tuner := adaptmr.NewTuner(quickCluster(), job).WithCandidates([]adaptmr.Pair{
 		adaptmr.DefaultPair, adaptmr.MustParsePair("ad"),
 	})
-	out := tuner.Tune()
+	out, err := tuner.Tune()
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
 	p := adaptmr.NewPredictor(out.Profiles, nil)
 	plan := adaptmr.UniformPlan(adaptmr.TwoPhases, adaptmr.DefaultPair)
 	if p.Predict(plan) != out.Default.Duration {

@@ -1,6 +1,7 @@
 // Package cliutil holds the flag helpers shared by the adaptmr command
 // line tools: metrics snapshot output with an explicit format selector,
-// and pprof self-profiling.
+// pprof self-profiling, the evaluation-pool worker count, and the on-disk
+// evaluation cache location.
 package cliutil
 
 import (
@@ -64,6 +65,23 @@ func (m *MetricsOut) Write(s *obs.Snapshot) error {
 		return err
 	}
 	return f.Close()
+}
+
+// BindParallelFlag registers the shared -parallel flag: the worker count
+// for independent simulation evaluations. 0 (the default) means
+// GOMAXPROCS; 1 forces serial execution. Outputs are byte-identical at
+// every setting.
+func BindParallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0,
+		"evaluation worker count (0 = GOMAXPROCS, 1 = serial); output is identical at every setting")
+}
+
+// BindEvalCacheFlag registers the shared -evalcache flag: a directory for
+// the content-addressed on-disk evaluation cache. Empty (the default)
+// disables caching.
+func BindEvalCacheFlag(fs *flag.FlagSet) *string {
+	return fs.String("evalcache", "",
+		"directory for the on-disk evaluation cache (empty = disabled; ignored while -trace/-metrics are set)")
 }
 
 // Profiler binds -cpuprofile / -memprofile self-profiling flags.

@@ -47,12 +47,12 @@ func deriveChainInputs(cc cluster.Config, stages []mapred.Config) []mapred.Confi
 // RunChain executes the stages sequentially on one cluster, applying each
 // stage's plan (switch commands at stage entry and at each stage's
 // maps-done boundary, suppressed when the pair does not change).
-func RunChain(cc cluster.Config, stages []mapred.Config, plans []Plan) ChainResult {
+func RunChain(cc cluster.Config, stages []mapred.Config, plans []Plan) (ChainResult, error) {
 	if len(stages) == 0 {
-		panic("core: empty chain")
+		return ChainResult{}, fmt.Errorf("core: empty chain")
 	}
 	if len(plans) != len(stages) {
-		panic(fmt.Sprintf("core: %d plans for %d stages", len(plans), len(stages)))
+		return ChainResult{}, fmt.Errorf("core: %d plans for %d stages", len(plans), len(stages))
 	}
 	cl := cluster.New(cc)
 	stages = deriveChainInputs(cc, stages)
@@ -91,10 +91,11 @@ func RunChain(cc cluster.Config, stages []mapred.Config, plans []Plan) ChainResu
 	runStage(0)
 	cl.Eng.Run()
 	if len(res.Stages) != len(stages) {
-		panic("core: chain did not complete")
+		return ChainResult{}, fmt.Errorf("core: chain completed %d of %d stages (simulation drained early)",
+			len(res.Stages), len(stages))
 	}
 	res.Duration = res.Stages[len(res.Stages)-1].Result.Done.Sub(start)
-	return res
+	return res, nil
 }
 
 // ChainTuning is the outcome of TuneChain.
@@ -119,21 +120,31 @@ func (c ChainTuning) ImprovementOverDefault() float64 {
 // TuneChain tunes every stage independently with the two-phase heuristic
 // (each stage profiled at its derived input volume on a fresh cluster),
 // then executes the whole chain under the composed plans and under the
-// default pair for comparison.
-func TuneChain(cc cluster.Config, stages []mapred.Config) ChainTuning {
+// default pair for comparison. parallelism sets each stage runner's
+// evaluation worker count (<= 0 means GOMAXPROCS).
+func TuneChain(cc cluster.Config, stages []mapred.Config, parallelism int) (ChainTuning, error) {
 	derived := deriveChainInputs(cc, stages)
 	var out ChainTuning
 	for _, st := range derived {
 		r := NewRunner(cc, st)
-		h := Heuristic(r, TwoPhases, nil)
+		r.Parallelism = parallelism
+		h, err := Heuristic(r, TwoPhases, nil)
+		if err != nil {
+			return ChainTuning{}, err
+		}
 		out.Plans = append(out.Plans, h.Plan)
 		out.Evaluations += h.Evaluations
 	}
-	out.Tuned = RunChain(cc, stages, out.Plans)
+	var err error
+	if out.Tuned, err = RunChain(cc, stages, out.Plans); err != nil {
+		return ChainTuning{}, err
+	}
 	defPlans := make([]Plan, len(stages))
 	for i := range defPlans {
 		defPlans[i] = Uniform(TwoPhases, iosched.DefaultPair)
 	}
-	out.Default = RunChain(cc, stages, defPlans)
-	return out
+	if out.Default, err = RunChain(cc, stages, defPlans); err != nil {
+		return ChainTuning{}, err
+	}
+	return out, nil
 }

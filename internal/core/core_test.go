@@ -91,14 +91,32 @@ func testRunner() *Runner {
 	return NewRunner(cfg, workloads.Sort(96<<20).Job)
 }
 
+func mustRun(t *testing.T, r *Runner, p Plan) RunResult {
+	t.Helper()
+	res, err := r.Run(p)
+	if err != nil {
+		t.Fatalf("Run(%v): %v", p, err)
+	}
+	return res
+}
+
+func mustHeuristic(t *testing.T, r *Runner, scheme Scheme, cands []iosched.Pair) HeuristicResult {
+	t.Helper()
+	h, err := Heuristic(r, scheme, cands)
+	if err != nil {
+		t.Fatalf("Heuristic: %v", err)
+	}
+	return h
+}
+
 func TestRunnerMemoisation(t *testing.T) {
 	r := testRunner()
 	plan := Uniform(TwoPhases, cc)
-	a := r.Run(plan)
+	a := mustRun(t, r, plan)
 	if r.Evaluations != 1 {
 		t.Fatalf("evaluations = %d", r.Evaluations)
 	}
-	b := r.Run(plan)
+	b := mustRun(t, r, plan)
 	if r.Evaluations != 1 {
 		t.Fatal("memoisation miss for identical plan")
 	}
@@ -106,15 +124,15 @@ func TestRunnerMemoisation(t *testing.T) {
 		t.Fatal("memoised result differs")
 	}
 	// Equivalent three-phase plan shares the cache entry.
-	c := r.Run(Uniform(ThreePhases, cc))
+	c := mustRun(t, r, Uniform(ThreePhases, cc))
 	if r.Evaluations != 1 || c.Duration != a.Duration {
 		t.Fatal("equivalent plan not memoised")
 	}
 }
 
 func TestRunnerDeterminism(t *testing.T) {
-	a := testRunner().Run(Uniform(TwoPhases, ad))
-	b := testRunner().Run(Uniform(TwoPhases, ad))
+	a := mustRun(t, testRunner(), Uniform(TwoPhases, ad))
+	b := mustRun(t, testRunner(), Uniform(TwoPhases, ad))
 	if a.Duration != b.Duration {
 		t.Fatalf("nondeterministic: %v vs %v", a.Duration, b.Duration)
 	}
@@ -122,8 +140,8 @@ func TestRunnerDeterminism(t *testing.T) {
 
 func TestSwitchingPlanPaysStall(t *testing.T) {
 	r := testRunner()
-	uniform := r.Run(Uniform(TwoPhases, cc))
-	switching := r.Run(NewPlan(TwoPhases, cc, dd))
+	uniform := mustRun(t, r, Uniform(TwoPhases, cc))
+	switching := mustRun(t, r, NewPlan(TwoPhases, cc, dd))
 	if uniform.SwitchStall != 0 {
 		t.Fatalf("uniform plan stalled %v", uniform.SwitchStall)
 	}
@@ -135,7 +153,10 @@ func TestSwitchingPlanPaysStall(t *testing.T) {
 func TestProfilePairsShape(t *testing.T) {
 	r := testRunner()
 	pairs := []iosched.Pair{cc, ad, nc}
-	profs := r.ProfilePairs(pairs)
+	profs, err := r.ProfilePairs(pairs)
+	if err != nil {
+		t.Fatalf("ProfilePairs: %v", err)
+	}
 	if len(profs) != 3 {
 		t.Fatalf("profiles = %d", len(profs))
 	}
@@ -164,7 +185,7 @@ func TestProfilePairsShape(t *testing.T) {
 
 func TestHeuristicNeverWorseThanBestSingle(t *testing.T) {
 	r := testRunner()
-	h := Heuristic(r, TwoPhases, []iosched.Pair{cc, ad, dd, nc})
+	h := mustHeuristic(t, r, TwoPhases, []iosched.Pair{cc, ad, dd, nc})
 	if h.Duration > h.BestSingle.Duration {
 		t.Fatalf("adaptive %v worse than best single %v", h.Duration, h.BestSingle.Duration)
 	}
@@ -185,8 +206,11 @@ func TestHeuristicNeverWorseThanBestSingle(t *testing.T) {
 func TestHeuristicMatchesBruteForceOnSmallSet(t *testing.T) {
 	r := testRunner()
 	cands := []iosched.Pair{cc, ad, nc}
-	h := Heuristic(r, TwoPhases, cands)
-	bf := BruteForce(r, TwoPhases, cands)
+	h := mustHeuristic(t, r, TwoPhases, cands)
+	bf, err := BruteForce(r, TwoPhases, cands)
+	if err != nil {
+		t.Fatalf("BruteForce: %v", err)
+	}
 	// The heuristic is greedy: it need not be optimal, but on this small
 	// set it must be within 10% of the optimum.
 	if float64(h.Duration) > 1.10*float64(bf.Duration) {
@@ -199,7 +223,7 @@ func TestHeuristicMatchesBruteForceOnSmallSet(t *testing.T) {
 
 func TestHeuristicDefaultCandidates(t *testing.T) {
 	r := testRunner()
-	h := Heuristic(r, TwoPhases, nil)
+	h := mustHeuristic(t, r, TwoPhases, nil)
 	if len(h.Profiles) != 16 {
 		t.Fatalf("profiles = %d, want all pairs", len(h.Profiles))
 	}
@@ -208,7 +232,9 @@ func TestHeuristicDefaultCandidates(t *testing.T) {
 func TestBruteForceEvaluatesAllPlans(t *testing.T) {
 	r := testRunner()
 	cands := []iosched.Pair{cc, ad}
-	BruteForce(r, TwoPhases, cands)
+	if _, err := BruteForce(r, TwoPhases, cands); err != nil {
+		t.Fatalf("BruteForce: %v", err)
+	}
 	// 2^2 = 4 plans, but [cc,cc],[ad,ad],[cc,ad],[ad,cc]: all distinct keys.
 	if r.Evaluations != 4 {
 		t.Fatalf("evaluations = %d, want 4", r.Evaluations)

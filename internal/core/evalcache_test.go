@@ -1,0 +1,144 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/obs"
+	"adaptmr/internal/workloads"
+)
+
+func cacheRunner(t *testing.T, dir string) *Runner {
+	t.Helper()
+	cache, err := OpenEvalCache(dir)
+	if err != nil {
+		t.Fatalf("OpenEvalCache: %v", err)
+	}
+	r := testRunner()
+	r.DiskCache = cache
+	return r
+}
+
+func TestEvalCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan(TwoPhases, ad, cc)
+
+	// Cold cache: the evaluation simulates and populates the cache.
+	r1 := cacheRunner(t, dir)
+	a := mustRun(t, r1, plan)
+	if r1.Evaluations != 1 {
+		t.Fatalf("cold run evaluations = %d, want 1", r1.Evaluations)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir empty after Put (err %v)", err)
+	}
+
+	// Warm cache, fresh runner: the result is served from disk, no
+	// simulation and no Evaluations increment.
+	r2 := cacheRunner(t, dir)
+	b := mustRun(t, r2, plan)
+	if r2.Evaluations != 0 {
+		t.Fatalf("warm run evaluations = %d, want 0 (disk hit)", r2.Evaluations)
+	}
+	if a.Duration != b.Duration || a.SwitchStall != b.SwitchStall {
+		t.Fatalf("cached result differs: %v/%v vs %v/%v",
+			a.Duration, a.SwitchStall, b.Duration, b.SwitchStall)
+	}
+	if a.Job.NumMaps != b.Job.NumMaps || a.Job.Duration != b.Job.Duration {
+		t.Fatalf("cached job result differs: %+v vs %+v", a.Job, b.Job)
+	}
+
+	// A different plan under the same runner is a miss.
+	r3 := cacheRunner(t, dir)
+	mustRun(t, r3, Uniform(TwoPhases, dd))
+	if r3.Evaluations != 1 {
+		t.Fatalf("distinct plan evaluations = %d, want 1 (miss)", r3.Evaluations)
+	}
+}
+
+func TestEvalCacheKeyedByConfig(t *testing.T) {
+	dir := t.TempDir()
+	plan := Uniform(TwoPhases, cc)
+	mustRun(t, cacheRunner(t, dir), plan)
+
+	// Same plan, different cluster: must not hit the old entry.
+	cache, err := OpenEvalCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Hosts = 2
+	cfg.VMsPerHost = 3 // differs from testRunner's 2×2
+	r := NewRunner(cfg, workloads.Sort(96<<20).Job)
+	r.DiskCache = cache
+	mustRun(t, r, plan)
+	if r.Evaluations != 1 {
+		t.Fatalf("config change hit a stale cache entry (evaluations %d)", r.Evaluations)
+	}
+}
+
+func TestEvalCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	plan := Uniform(TwoPhases, cc)
+	mustRun(t, cacheRunner(t, dir), plan)
+
+	// Corrupt every stored entry; the next lookup must fall back to a
+	// clean simulation rather than erroring or returning junk.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := cacheRunner(t, dir)
+	res := mustRun(t, r, plan)
+	if r.Evaluations != 1 {
+		t.Fatalf("corrupt entry served as a hit (evaluations %d)", r.Evaluations)
+	}
+	if res.Duration <= 0 {
+		t.Fatal("re-simulated result empty")
+	}
+}
+
+func TestEvalCacheIgnoredWhileObserved(t *testing.T) {
+	dir := t.TempDir()
+	plan := Uniform(TwoPhases, cc)
+	mustRun(t, cacheRunner(t, dir), plan) // populate
+
+	// With a tracer attached the cache must be bypassed: a cached result
+	// cannot replay its trace events.
+	cache, err := OpenEvalCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRunner()
+	r.DiskCache = cache
+	r.ClusterConfig.Obs.Trace = obs.NewTracer()
+	mustRun(t, r, plan)
+	if r.Evaluations != 1 {
+		t.Fatalf("observed run used the disk cache (evaluations %d)", r.Evaluations)
+	}
+	if r.ClusterConfig.Obs.Trace.Len() == 0 {
+		t.Fatal("observed run recorded no trace events")
+	}
+}
+
+func TestOpenEvalCacheValidation(t *testing.T) {
+	if _, err := OpenEvalCache(""); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+	// A nil cache is a silent no-op on both paths.
+	var nilCache *EvalCache
+	if _, ok := nilCache.Get(cluster.DefaultConfig(), workloads.Sort(1<<20).Job, Uniform(TwoPhases, cc)); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	if err := nilCache.Put(cluster.DefaultConfig(), workloads.Sort(1<<20).Job, Uniform(TwoPhases, cc), RunResult{}); err != nil {
+		t.Fatalf("nil cache Put errored: %v", err)
+	}
+}

@@ -23,7 +23,10 @@ func smallCC() cluster.Config {
 
 func TestFineGrainedRunsAndSwitches(t *testing.T) {
 	fg := DefaultFineGrained()
-	res, switches := RunFineGrained(smallCC(), workloads.Sort(128<<20).Job, fg)
+	res, switches, err := RunFineGrained(smallCC(), workloads.Sort(128<<20).Job, fg)
+	if err != nil {
+		t.Fatalf("RunFineGrained: %v", err)
+	}
 	if res.Duration <= 0 {
 		t.Fatal("job failed under the controller")
 	}
@@ -39,8 +42,14 @@ func TestFineGrainedDwellLimitsSwitches(t *testing.T) {
 	eager.MinDwell = 1 * sim.Second
 	lazy := DefaultFineGrained()
 	lazy.MinDwell = 1000 * sim.Second
-	_, eagerSw := RunFineGrained(smallCC(), workloads.Sort(128<<20).Job, eager)
-	_, lazySw := RunFineGrained(smallCC(), workloads.Sort(128<<20).Job, lazy)
+	_, eagerSw, err := RunFineGrained(smallCC(), workloads.Sort(128<<20).Job, eager)
+	if err != nil {
+		t.Fatalf("eager: %v", err)
+	}
+	_, lazySw, err := RunFineGrained(smallCC(), workloads.Sort(128<<20).Job, lazy)
+	if err != nil {
+		t.Fatalf("lazy: %v", err)
+	}
 	if lazySw > eagerSw {
 		t.Fatalf("dwell limit increased switches: %d > %d", lazySw, eagerSw)
 	}
@@ -53,8 +62,11 @@ func TestFineGrainedDwellLimitsSwitches(t *testing.T) {
 
 func TestFineGrainedCompetitiveWithStatic(t *testing.T) {
 	job := workloads.Sort(128 << 20).Job
-	static := NewRunner(smallCC(), job).Run(Uniform(TwoPhases, iosched.DefaultPair))
-	reactive, _ := RunFineGrained(smallCC(), job, nil)
+	static := mustRun(t, NewRunner(smallCC(), job), Uniform(TwoPhases, iosched.DefaultPair))
+	reactive, _, err := RunFineGrained(smallCC(), job, nil)
+	if err != nil {
+		t.Fatalf("RunFineGrained: %v", err)
+	}
 	// The controller pays switch costs; it must stay within 15% of the
 	// static default on a small job (and typically beats it at scale).
 	if float64(reactive.Duration) > 1.15*float64(static.Duration) {
@@ -92,7 +104,10 @@ func TestRunChainSequential(t *testing.T) {
 		Uniform(TwoPhases, iosched.DefaultPair),
 		Uniform(TwoPhases, iosched.DefaultPair),
 	}
-	res := RunChain(smallCC(), stages, plans)
+	res, err := RunChain(smallCC(), stages, plans)
+	if err != nil {
+		t.Fatalf("RunChain: %v", err)
+	}
 	if len(res.Stages) != 2 {
 		t.Fatalf("stages completed: %d", len(res.Stages))
 	}
@@ -120,12 +135,16 @@ func TestChainDerivesInputs(t *testing.T) {
 }
 
 func TestChainPlanArityChecked(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for plan/stage mismatch")
-		}
-	}()
-	RunChain(smallCC(), chainStages(), []Plan{Uniform(TwoPhases, iosched.DefaultPair)})
+	_, err := RunChain(smallCC(), chainStages(), []Plan{Uniform(TwoPhases, iosched.DefaultPair)})
+	if err == nil {
+		t.Fatal("no error for plan/stage mismatch")
+	}
+}
+
+func TestChainEmptyRejected(t *testing.T) {
+	if _, err := RunChain(smallCC(), nil, nil); err == nil {
+		t.Fatal("no error for empty chain")
+	}
 }
 
 func TestChainSwitchesBetweenStages(t *testing.T) {
@@ -135,7 +154,10 @@ func TestChainSwitchesBetweenStages(t *testing.T) {
 		Uniform(TwoPhases, iosched.DefaultPair),
 		Uniform(TwoPhases, ad),
 	}
-	res := RunChain(smallCC(), stages, plans)
+	res, err := RunChain(smallCC(), stages, plans)
+	if err != nil {
+		t.Fatalf("RunChain: %v", err)
+	}
 	if len(res.Stages) != 2 {
 		t.Fatal("chain incomplete")
 	}
@@ -151,7 +173,10 @@ func TestTuneChain(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chain tuning runs many jobs")
 	}
-	out := TuneChain(smallCC(), chainStages())
+	out, err := TuneChain(smallCC(), chainStages(), 0)
+	if err != nil {
+		t.Fatalf("TuneChain: %v", err)
+	}
 	if len(out.Plans) != 2 {
 		t.Fatalf("plans %d", len(out.Plans))
 	}
@@ -214,19 +239,29 @@ func TestPredictorBestPlan(t *testing.T) {
 func TestPredictorAgainstSimulation(t *testing.T) {
 	r := testRunner()
 	cands := []iosched.Pair{cc, ad, nc}
-	profiles := r.ProfilePairs(cands)
+	profiles, err := r.ProfilePairs(cands)
+	if err != nil {
+		t.Fatalf("ProfilePairs: %v", err)
+	}
 	p := NewPredictor(profiles, nil)
 	// On uniform plans the prediction is exact by construction.
 	for _, pair := range cands {
 		plan := Uniform(TwoPhases, pair)
-		err := p.PredictError(r, plan)
-		if err < -1e-9 || err > 1e-9 {
-			t.Fatalf("uniform prediction error %.4f for %v", err, pair)
+		e, err := p.PredictError(r, plan)
+		if err != nil {
+			t.Fatalf("PredictError: %v", err)
+		}
+		if e < -1e-9 || e > 1e-9 {
+			t.Fatalf("uniform prediction error %.4f for %v", e, pair)
 		}
 	}
 	// On a switching plan the additive model must stay within 25%.
 	plan := NewPlan(TwoPhases, ad, cc)
-	if e := p.PredictError(r, plan); e < -0.25 || e > 0.25 {
+	e, err := p.PredictError(r, plan)
+	if err != nil {
+		t.Fatalf("PredictError: %v", err)
+	}
+	if e < -0.25 || e > 0.25 {
 		t.Fatalf("switching prediction error %.2f", e)
 	}
 }
@@ -258,10 +293,10 @@ func TestMatrixCost(t *testing.T) {
 
 func TestSlowHostStretchesJob(t *testing.T) {
 	job := workloads.Sort(96 << 20).Job
-	even := NewRunner(smallCC(), job).Run(Uniform(TwoPhases, iosched.DefaultPair))
+	even := mustRun(t, NewRunner(smallCC(), job), Uniform(TwoPhases, iosched.DefaultPair))
 	cfg := smallCC()
 	cfg.HostDiskSlowdown = map[int]float64{1: 2.0}
-	skew := NewRunner(cfg, job).Run(Uniform(TwoPhases, iosched.DefaultPair))
+	skew := mustRun(t, NewRunner(cfg, job), Uniform(TwoPhases, iosched.DefaultPair))
 	if skew.Duration <= even.Duration {
 		t.Fatalf("slow host did not stretch the job: %v vs %v", skew.Duration, even.Duration)
 	}
@@ -271,7 +306,7 @@ func TestHeuristicStillSafeOnSkewedCluster(t *testing.T) {
 	cfg := smallCC()
 	cfg.HostDiskSlowdown = map[int]float64{0: 2.5}
 	r := NewRunner(cfg, workloads.Sort(96<<20).Job)
-	h := Heuristic(r, TwoPhases, []iosched.Pair{cc, ad, nc})
+	h := mustHeuristic(t, r, TwoPhases, []iosched.Pair{cc, ad, nc})
 	// The paper warns the synchronised-phase assumption degrades with slow
 	// nodes; the fallback guarantee must still hold.
 	if h.Duration > h.BestSingle.Duration {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"adaptmr/internal/block"
 	"adaptmr/internal/cluster"
 	"adaptmr/internal/iosched"
@@ -147,7 +149,7 @@ func (fg *FineGrained) evaluate(cl *cluster.Cluster, hostID int, mon *hostMonito
 
 // RunFineGrained executes a job under the reactive controller on a fresh
 // cluster and returns the result plus the number of switches issued.
-func RunFineGrained(cc cluster.Config, job mapred.Config, fg *FineGrained) (mapred.Result, int) {
+func RunFineGrained(cc cluster.Config, job mapred.Config, fg *FineGrained) (mapred.Result, int, error) {
 	if fg == nil {
 		fg = DefaultFineGrained()
 	}
@@ -157,7 +159,8 @@ func RunFineGrained(cc cluster.Config, job mapred.Config, fg *FineGrained) (mapr
 	j.Start(func(*mapred.Job) { detach() })
 	cl.Eng.Run()
 	if !j.Done() {
-		panic("core: fine-grained run did not complete")
+		return mapred.Result{}, fg.Switches,
+			fmt.Errorf("core: fine-grained run of job %q did not complete (simulation drained early)", job.Name)
 	}
-	return j.Result(), fg.Switches
+	return j.Result(), fg.Switches, nil
 }

@@ -59,20 +59,28 @@ func (h HeuristicResult) ImprovementOverBestSingle() float64 {
 // descent over the ranked list). The chosen pair becomes part of the
 // prefix; if it equals the previous phase's choice the switch command is
 // suppressed.
-func Heuristic(r *Runner, scheme Scheme, candidates []iosched.Pair) HeuristicResult {
+func Heuristic(r *Runner, scheme Scheme, candidates []iosched.Pair) (HeuristicResult, error) {
 	if len(candidates) == 0 {
 		candidates = iosched.AllPairs()
 	}
 	startEvals := r.Evaluations
-	profiles := r.ProfilePairs(candidates)
+	profiles, err := r.ProfilePairs(candidates)
+	if err != nil {
+		return HeuristicResult{}, err
+	}
 
 	res := HeuristicResult{Profiles: profiles}
 	if def, ok := ProfileFor(profiles, iosched.DefaultPair); ok {
-		res.Default = r.Run(Uniform(scheme, def.Pair))
+		res.Default, err = r.Run(Uniform(scheme, def.Pair))
 	} else {
-		res.Default = r.Run(Uniform(scheme, iosched.DefaultPair))
+		res.Default, err = r.Run(Uniform(scheme, iosched.DefaultPair))
 	}
-	res.BestSingle = r.Run(Uniform(scheme, BestSingle(profiles).Pair))
+	if err != nil {
+		return HeuristicResult{}, err
+	}
+	if res.BestSingle, err = r.Run(Uniform(scheme, BestSingle(profiles).Pair)); err != nil {
+		return HeuristicResult{}, err
+	}
 
 	P := scheme.Phases()
 	prefix := make([]iosched.Pair, 0, P)
@@ -82,18 +90,27 @@ func Heuristic(r *Runner, scheme Scheme, candidates []iosched.Pair) HeuristicRes
 		suffixBest := bestJointSuffix(profiles, scheme, i+1)
 
 		dec := Decision{Phase: i, Ranked: ranked}
-		eval := func(candidate iosched.Pair) sim.Duration {
+		eval := func(candidate iosched.Pair) (sim.Duration, error) {
 			plan := composePlan(scheme, prefix, candidate, suffixBest)
-			t := r.Run(plan).Duration
-			dec.BestTimes = append(dec.BestTimes, t)
-			return t
+			rr, err := r.Run(plan)
+			if err != nil {
+				return 0, err
+			}
+			dec.BestTimes = append(dec.BestTimes, rr.Duration)
+			return rr.Duration, nil
 		}
 
 		j := 0
-		cur := eval(ranked[j])
+		cur, err := eval(ranked[j])
+		if err != nil {
+			return HeuristicResult{}, err
+		}
 		dec.Tried = 1
 		for j+1 < len(ranked) {
-			next := eval(ranked[j+1])
+			next, err := eval(ranked[j+1])
+			if err != nil {
+				return HeuristicResult{}, err
+			}
 			dec.Tried++
 			if next >= cur {
 				break
@@ -107,14 +124,18 @@ func Heuristic(r *Runner, scheme Scheme, candidates []iosched.Pair) HeuristicRes
 	}
 
 	res.Plan = Plan{Scheme: scheme, Pairs: prefix}
-	res.Duration = r.Run(res.Plan).Duration
+	final, err := r.Run(res.Plan)
+	if err != nil {
+		return HeuristicResult{}, err
+	}
+	res.Duration = final.Duration
 	if res.BestSingle.Duration < res.Duration {
 		res.Plan = res.BestSingle.Plan
 		res.Duration = res.BestSingle.Duration
 		res.FellBack = true
 	}
 	res.Evaluations = r.Evaluations - startEvals
-	return res
+	return res, nil
 }
 
 // rankForPhase orders candidates by their profiled duration of scheme
@@ -169,25 +190,22 @@ func composePlan(scheme Scheme, prefix []iosched.Pair, candidate iosched.Pair, s
 // BruteForce evaluates every possible assignment (S^P executions, memoised)
 // and returns the optimum. It exists to validate the heuristic's solution
 // quality in tests and ablation benches; the paper argues it is impractical
-// on real hardware.
-func BruteForce(r *Runner, scheme Scheme, candidates []iosched.Pair) RunResult {
+// on real hardware. All S^P plans are independent, so the whole sweep is
+// submitted to the worker pool in one batch; ties keep the first plan in
+// mixed-radix enumeration order, exactly as the serial loop did.
+func BruteForce(r *Runner, scheme Scheme, candidates []iosched.Pair) (RunResult, error) {
 	if len(candidates) == 0 {
 		candidates = iosched.AllPairs()
 	}
 	P := scheme.Phases()
 	idx := make([]int, P)
-	var best RunResult
-	first := true
+	var plans []Plan
 	for {
 		pairs := make([]iosched.Pair, P)
 		for i, k := range idx {
 			pairs[i] = candidates[k]
 		}
-		res := r.Run(Plan{Scheme: scheme, Pairs: pairs})
-		if first || res.Duration < best.Duration {
-			best = res
-			first = false
-		}
+		plans = append(plans, Plan{Scheme: scheme, Pairs: pairs})
 		// Increment the mixed-radix counter.
 		i := 0
 		for ; i < P; i++ {
@@ -201,5 +219,15 @@ func BruteForce(r *Runner, scheme Scheme, candidates []iosched.Pair) RunResult {
 			break
 		}
 	}
-	return best
+	results, err := r.RunAll(plans)
+	if err != nil {
+		return RunResult{}, err
+	}
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.Duration < best.Duration {
+			best = res
+		}
+	}
+	return best, nil
 }

@@ -99,11 +99,15 @@ func (p *Predictor) BestPlan(scheme Scheme) (Plan, sim.Duration) {
 
 // PredictError runs the plan and returns (predicted − simulated) /
 // simulated, the predictor's relative error on that plan.
-func (p *Predictor) PredictError(r *Runner, plan Plan) float64 {
-	sim := r.Run(plan).Duration
-	if sim <= 0 {
-		return 0
+func (p *Predictor) PredictError(r *Runner, plan Plan) (float64, error) {
+	rr, err := r.Run(plan)
+	if err != nil {
+		return 0, err
+	}
+	measured := rr.Duration
+	if measured <= 0 {
+		return 0, nil
 	}
 	pred := p.Predict(plan)
-	return float64(pred-sim) / float64(sim)
+	return float64(pred-measured) / float64(measured), nil
 }

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
+
 	"adaptmr/internal/cluster"
 	"adaptmr/internal/iosched"
 	"adaptmr/internal/mapred"
@@ -12,47 +16,236 @@ import (
 // clusters. Every evaluation is a full simulated execution — exactly how
 // the paper's heuristic measures Hadoop_time — and results are memoised by
 // plan, since identical plans on identical clusters are reproducible.
+//
+// Independent evaluations are embarrassingly parallel (each runs on its
+// own freshly built cluster and simulation engine), so RunAll fans a batch
+// of plans out across a worker pool while keeping every observable output
+// byte-identical to a serial run:
+//
+//   - the memo cache is single-flight per plan key, so duplicate plans
+//     simulate exactly once regardless of worker interleaving;
+//   - evaluation indices (which drive Evaluations, trace PID bases and
+//     run labels) are allocated in submission order, which equals serial
+//     execution order;
+//   - each evaluation records into a private tracer/metrics registry, and
+//     the pool folds them into the caller's shared sinks strictly in
+//     index order (obs.Tracer.Absorb renumbers async ids), so the merged
+//     trace, metrics and report bytes match a 1-worker run.
 type Runner struct {
 	// ClusterConfig builds each evaluation's testbed.
 	ClusterConfig cluster.Config
 	// Job is the workload under tuning.
 	Job mapred.Config
 
-	// Evaluations counts actual (non-memoised) job executions.
+	// Parallelism is the evaluation worker count for batched calls
+	// (RunAll, ProfilePairs, BruteForce). <= 0 means runtime.GOMAXPROCS.
+	Parallelism int
+
+	// DiskCache, when non-nil, is consulted before simulating and updated
+	// after each evaluation — but only while no tracer/metrics sink is
+	// attached, because a cached result cannot replay its trace events.
+	// Disk-cache hits do not count as Evaluations.
+	DiskCache *EvalCache
+
+	// Evaluations counts actual (non-memoised, non-disk-cached) job
+	// executions. It is mutated under the runner's lock while a batch is
+	// in flight and is safe to read once the triggering call returns.
 	Evaluations int
 
-	cache map[string]RunResult
+	mu       sync.Mutex
+	memo     map[string]*evalEntry // single-flight, keyed by Plan.Key()
+	pending  map[int]*evalEntry    // finished evaluations awaiting fold
+	foldNext int                   // next evaluation index to fold
+}
+
+// evalEntry is one single-flight evaluation slot. Whoever creates the
+// entry owns its execution; everyone else waits on done.
+type evalEntry struct {
+	plan  Plan // first plan submitted under this key (labels the run)
+	idx   int  // evaluation index; -1 when satisfied from the disk cache
+	done  chan struct{}
+	res   RunResult
+	err   error
+	trace *obs.Tracer // private tracer awaiting its ordered fold
 }
 
 // NewRunner creates a runner for the job on the given testbed.
 func NewRunner(cc cluster.Config, job mapred.Config) *Runner {
-	return &Runner{ClusterConfig: cc, Job: job, cache: make(map[string]RunResult)}
+	return &Runner{
+		ClusterConfig: cc,
+		Job:           job,
+		memo:          make(map[string]*evalEntry),
+		pending:       make(map[int]*evalEntry),
+	}
 }
 
-// Run executes the job under the plan (memoised).
-func (r *Runner) Run(plan Plan) RunResult {
-	if r.cache == nil {
-		r.cache = make(map[string]RunResult)
+// workers returns the effective worker count for a batch of n runnable
+// evaluations.
+func (r *Runner) workers(n int) int {
+	p := r.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
 	}
-	if res, ok := r.cache[plan.Key()]; ok {
-		return res
+	if p > n {
+		p = n
 	}
-	res := r.runOnce(plan)
-	r.cache[plan.Key()] = res
-	return res
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
-func (r *Runner) runOnce(plan Plan) RunResult {
-	r.Evaluations++
+// Run executes the job under the plan (memoised). It is RunAll of a
+// single-plan batch.
+func (r *Runner) Run(plan Plan) (RunResult, error) {
+	out, err := r.RunAll([]Plan{plan})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return out[0], nil
+}
+
+// RunAll evaluates every plan, fanning non-memoised evaluations across the
+// worker pool, and returns results in submission order. Duplicate plans
+// (and plans equivalent under Plan.Key) simulate once. The first error in
+// submission order is returned; successfully evaluated plans still fold
+// their observations.
+func (r *Runner) RunAll(plans []Plan) ([]RunResult, error) {
+	entries := make([]*evalEntry, len(plans))
+	var toRun []*evalEntry
+
+	r.mu.Lock()
+	if r.memo == nil {
+		r.memo = make(map[string]*evalEntry)
+	}
+	if r.pending == nil {
+		r.pending = make(map[int]*evalEntry)
+	}
+	diskCache := r.DiskCache
+	if r.ClusterConfig.Obs.Enabled() {
+		diskCache = nil // cached results cannot replay traces or metrics
+	}
+	for i, plan := range plans {
+		key := plan.Key()
+		if e, ok := r.memo[key]; ok {
+			entries[i] = e
+			continue
+		}
+		e := &evalEntry{plan: plan, idx: -1, done: make(chan struct{})}
+		if diskCache != nil {
+			if res, ok := diskCache.Get(r.ClusterConfig, r.Job, plan); ok {
+				e.res = res
+				close(e.done)
+				r.memo[key] = e
+				entries[i] = e
+				continue
+			}
+		}
+		e.idx = r.Evaluations
+		r.Evaluations++
+		r.memo[key] = e
+		entries[i] = e
+		toRun = append(toRun, e)
+	}
+	r.mu.Unlock()
+
+	if n := r.workers(len(toRun)); n <= 1 {
+		for _, e := range toRun {
+			r.execute(e, diskCache)
+		}
+	} else {
+		work := make(chan *evalEntry)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for w := 0; w < n; w++ {
+			go func() {
+				defer wg.Done()
+				for e := range work {
+					r.execute(e, diskCache)
+				}
+			}()
+		}
+		for _, e := range toRun {
+			work <- e
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	out := make([]RunResult, len(plans))
+	var firstErr error
+	for i, e := range entries {
+		<-e.done
+		if e.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: plan %s: %w", plans[i], e.err)
+		}
+		out[i] = e.res
+	}
+	return out, firstErr
+}
+
+// execute runs one evaluation and hands it to the ordered fold. Folding
+// drains pending entries strictly in evaluation-index order, so shared
+// tracer/metrics sinks absorb observations exactly as a serial run would
+// have produced them.
+func (r *Runner) execute(e *evalEntry, diskCache *EvalCache) {
+	res, trace, err := r.runOnce(e.plan, e.idx)
+
+	r.mu.Lock()
+	e.res, e.trace, e.err = res, trace, err
+	r.pending[e.idx] = e
+	for {
+		f, ok := r.pending[r.foldNext]
+		if !ok {
+			break
+		}
+		delete(r.pending, r.foldNext)
+		r.foldNext++
+		r.fold(f, diskCache)
+	}
+	r.mu.Unlock()
+}
+
+// fold absorbs one finished evaluation into the shared sinks (in index
+// order — the caller guarantees it) and releases its waiters. Called with
+// r.mu held.
+func (r *Runner) fold(f *evalEntry, diskCache *EvalCache) {
+	if f.err == nil {
+		base := r.ClusterConfig.Obs
+		if base.Trace != nil {
+			base.Trace.Absorb(f.trace)
+		}
+		if base.Metrics != nil {
+			base.Metrics.Absorb(f.res.Metrics)
+		}
+		if diskCache != nil {
+			// Best effort: a failed write only costs a future re-simulation.
+			_ = diskCache.Put(r.ClusterConfig, r.Job, f.plan, f.res)
+		}
+	}
+	f.trace = nil
+	close(f.done)
+}
+
+// runOnce executes the job under the plan on a fresh cluster. idx is the
+// evaluation's submission-order index; when observation is enabled it
+// selects the trace PID block exactly as the serial runner did, and the
+// evaluation records into a private tracer/registry for the ordered fold.
+func (r *Runner) runOnce(plan Plan, idx int) (RunResult, *obs.Tracer, error) {
 	cc := r.ClusterConfig
 	base := cc.Obs
+	var priv *obs.Tracer
 	if base.Enabled() {
-		// Each evaluation gets its own slice of trace-process ids and a
-		// private registry; the private snapshot is folded back into the
-		// caller's registry below, so per-candidate and aggregate views
-		// both exist.
-		cc.Obs.PIDBase = base.PIDBase + int64(r.Evaluations-1)*1000
+		// Each evaluation gets its own slice of trace-process ids and
+		// private sinks; the fold merges them back into the caller's
+		// tracer/registry in evaluation order, so per-candidate and
+		// aggregate views both exist and the bytes match a serial run.
+		cc.Obs.PIDBase = base.PIDBase + int64(idx)*1000
 		cc.Obs.RunLabel = plan.String()
+		if base.Trace != nil {
+			priv = obs.NewTracer()
+			cc.Obs.Trace = priv
+		}
 		if base.Metrics != nil {
 			cc.Obs.Metrics = obs.NewRegistry()
 		}
@@ -78,12 +271,12 @@ func (r *Runner) runOnce(plan Plan) RunResult {
 	job.Start(nil)
 	cl.Eng.Run()
 	if !job.Done() {
-		panic("core: job did not complete")
+		return RunResult{Plan: plan}, priv,
+			fmt.Errorf("job %q did not complete (simulation drained early)", r.Job.Name)
 	}
 	res := job.Result()
-	base.Metrics.Absorb(res.Metrics)
 	stall := totalStall(cl) - baseStall
-	return RunResult{Plan: plan, Duration: res.Duration, Job: res, SwitchStall: stall, Metrics: res.Metrics}
+	return RunResult{Plan: plan, Duration: res.Duration, Job: res, SwitchStall: stall, Metrics: res.Metrics}, priv, nil
 }
 
 // totalStall sums switch stall time across every queue in the cluster.
@@ -100,11 +293,20 @@ func totalStall(cl *cluster.Cluster) sim.Duration {
 
 // ProfilePairs runs the job once per pair with no switching and returns
 // per-phase durations — the profiling stage of the meta-scheduler and the
-// data behind Fig 6 and Fig 8.
-func (r *Runner) ProfilePairs(pairs []iosched.Pair) []Profile {
+// data behind Fig 6 and Fig 8. The profiling runs are independent, so they
+// execute on the worker pool.
+func (r *Runner) ProfilePairs(pairs []iosched.Pair) ([]Profile, error) {
+	plans := make([]Plan, len(pairs))
+	for i, p := range pairs {
+		plans[i] = Uniform(ThreePhases, p)
+	}
+	results, err := r.RunAll(plans)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Profile, 0, len(pairs))
-	for _, p := range pairs {
-		res := r.Run(Uniform(ThreePhases, p))
+	for i, p := range pairs {
+		res := results[i]
 		out = append(out, Profile{
 			Pair:  p,
 			Total: res.Duration,
@@ -116,7 +318,7 @@ func (r *Runner) ProfilePairs(pairs []iosched.Pair) []Profile {
 			Result: res.Job,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // BestSingle returns the profile with the lowest total time.

@@ -55,30 +55,40 @@ func (r Fig7Result) Render() string {
 	return b.String()
 }
 
-// adaptiveRow runs the meta-scheduler for one scenario.
-func adaptiveRow(cfg Config, scenario string, job mapred.Config) AdaptiveRow {
+// adaptiveRow runs the meta-scheduler for one scenario. The heuristic's
+// own evaluations (profiling and greedy search) run on the evaluation
+// pool with the configured parallelism.
+func adaptiveRow(cfg Config, scenario string, job mapred.Config) (AdaptiveRow, error) {
 	r := core.NewRunner(cfg.Cluster, job)
-	h := core.Heuristic(r, core.TwoPhases, cfg.Pairs)
+	r.Parallelism = cfg.Parallelism
+	h, err := core.Heuristic(r, core.TwoPhases, cfg.Pairs)
+	if err != nil {
+		return AdaptiveRow{}, fmt.Errorf("experiments: scenario %s: %w", scenario, err)
+	}
 	return AdaptiveRow{
 		Scenario: scenario,
 		Default:  h.Default.Duration.Seconds(),
 		BestOne:  h.BestSingle.Duration.Seconds(),
 		Adaptive: h.Duration.Seconds(),
 		Plan:     h.Plan,
-	}
+	}, nil
 }
 
 // Fig7a compares the three workloads at the default testbed (paper Fig 7a).
-func Fig7a(cfg Config) Fig7Result {
+func Fig7a(cfg Config) (Fig7Result, error) {
 	res := Fig7Result{Title: "Fig 7a: adaptive meta-scheduler across workloads"}
 	for _, bm := range workloads.Suite(cfg.InputPerVM) {
-		res.Rows = append(res.Rows, adaptiveRow(cfg, bm.Job.Name, bm.Job))
+		row, err := adaptiveRow(cfg, bm.Job.Name, bm.Job)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		res.Rows = append(res.Rows, row)
 	}
-	return res
+	return res, nil
 }
 
 // Fig7b varies VM consolidation (2, 4, 6 VMs per host) on sort.
-func Fig7b(cfg Config) Fig7Result {
+func Fig7b(cfg Config) (Fig7Result, error) {
 	res := Fig7Result{Title: "Fig 7b: adaptive meta-scheduler vs VM consolidation (sort)"}
 	degrees := []int{2, 4, 6}
 	if cfg.Quick {
@@ -87,28 +97,34 @@ func Fig7b(cfg Config) Fig7Result {
 	for _, vms := range degrees {
 		c := cfg
 		c.Cluster.VMsPerHost = vms
-		res.Rows = append(res.Rows,
-			adaptiveRow(c, fmt.Sprintf("%d VMs/host", vms), workloads.Sort(cfg.InputPerVM).Job))
+		row, err := adaptiveRow(c, fmt.Sprintf("%d VMs/host", vms), workloads.Sort(cfg.InputPerVM).Job)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		res.Rows = append(res.Rows, row)
 	}
-	return res
+	return res, nil
 }
 
 // Fig7c varies the per-datanode data size on sort.
-func Fig7c(cfg Config) Fig7Result {
+func Fig7c(cfg Config) (Fig7Result, error) {
 	res := Fig7Result{Title: "Fig 7c: adaptive meta-scheduler vs data size (sort)"}
 	sizes := []int64{256 << 20, 512 << 20, 1 << 30, 2 << 30}
 	if cfg.Quick {
 		sizes = []int64{64 << 20, 128 << 20}
 	}
 	for _, sz := range sizes {
-		res.Rows = append(res.Rows,
-			adaptiveRow(cfg, fmt.Sprintf("%d MB/node", sz>>20), workloads.Sort(sz).Job))
+		row, err := adaptiveRow(cfg, fmt.Sprintf("%d MB/node", sz>>20), workloads.Sort(sz).Job)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		res.Rows = append(res.Rows, row)
 	}
-	return res
+	return res, nil
 }
 
 // Fig7d varies the physical cluster scale (3..6 hosts, 4 VMs each) on sort.
-func Fig7d(cfg Config) Fig7Result {
+func Fig7d(cfg Config) (Fig7Result, error) {
 	res := Fig7Result{Title: "Fig 7d: adaptive meta-scheduler vs cluster scale (sort)"}
 	scales := []int{3, 4, 5, 6}
 	if cfg.Quick {
@@ -117,10 +133,13 @@ func Fig7d(cfg Config) Fig7Result {
 	for _, hosts := range scales {
 		c := cfg
 		c.Cluster.Hosts = hosts
-		res.Rows = append(res.Rows,
-			adaptiveRow(c, fmt.Sprintf("%d nodes", hosts), workloads.Sort(cfg.InputPerVM).Job))
+		row, err := adaptiveRow(c, fmt.Sprintf("%d nodes", hosts), workloads.Sort(cfg.InputPerVM).Job)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		res.Rows = append(res.Rows, row)
 	}
-	return res
+	return res, nil
 }
 
 // ImprovementTrend returns the vs-default improvements in row order, used

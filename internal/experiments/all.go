@@ -11,28 +11,30 @@ import (
 // Renderable is any experiment result.
 type Renderable interface{ Render() string }
 
-// Entry names one experiment of the suite.
+// Entry names one experiment of the suite. Run returns the rendered
+// result or the error that prevented it (e.g. a drained simulation in a
+// Runner-based experiment).
 type Entry struct {
 	ID  string
-	Run func(Config) Renderable
+	Run func(Config) (Renderable, error)
 }
 
 // Suite lists every paper artefact in order of appearance.
 func Suite() []Entry {
 	return []Entry{
-		{"fig1", func(c Config) Renderable { return Fig1(c) }},
-		{"fig2", func(c Config) Renderable { return Fig2(c) }},
-		{"table1", func(c Config) Renderable { return Table1(c) }},
-		{"fig3", func(c Config) Renderable { return Fig3(c) }},
-		{"fig4", func(c Config) Renderable { return Fig4(c) }},
-		{"table2", func(c Config) Renderable { return Table2(c) }},
-		{"fig5", func(c Config) Renderable { return Fig5(c) }},
-		{"fig6", func(c Config) Renderable { return Fig6(c) }},
-		{"fig7a", func(c Config) Renderable { return Fig7a(c) }},
-		{"fig7b", func(c Config) Renderable { return Fig7b(c) }},
-		{"fig7c", func(c Config) Renderable { return Fig7c(c) }},
-		{"fig7d", func(c Config) Renderable { return Fig7d(c) }},
-		{"fig8", func(c Config) Renderable { return Fig8(c) }},
+		{"fig1", func(c Config) (Renderable, error) { return Fig1(c), nil }},
+		{"fig2", func(c Config) (Renderable, error) { return Fig2(c), nil }},
+		{"table1", func(c Config) (Renderable, error) { return Table1(c), nil }},
+		{"fig3", func(c Config) (Renderable, error) { return Fig3(c), nil }},
+		{"fig4", func(c Config) (Renderable, error) { return Fig4(c), nil }},
+		{"table2", func(c Config) (Renderable, error) { return Table2(c), nil }},
+		{"fig5", func(c Config) (Renderable, error) { return Fig5(c), nil }},
+		{"fig6", func(c Config) (Renderable, error) { return Fig6(c) }},
+		{"fig7a", func(c Config) (Renderable, error) { return Fig7a(c) }},
+		{"fig7b", func(c Config) (Renderable, error) { return Fig7b(c) }},
+		{"fig7c", func(c Config) (Renderable, error) { return Fig7c(c) }},
+		{"fig7d", func(c Config) (Renderable, error) { return Fig7d(c) }},
+		{"fig8", func(c Config) (Renderable, error) { return Fig8(c) }},
 	}
 }
 
@@ -54,7 +56,10 @@ func AllWithCSV(cfg Config, w io.Writer, csvDir string, only ...string) error {
 			continue
 		}
 		start := time.Now()
-		res := e.Run(cfg)
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
 		if _, err := fmt.Fprintf(w, "==== %s (%.1fs wall) ====\n%s\n", e.ID, time.Since(start).Seconds(), res.Render()); err != nil {
 			return err
 		}

@@ -27,6 +27,10 @@ type Config struct {
 	Pairs []iosched.Pair
 	// Quick shrinks workloads for tests and benchmarks.
 	Quick bool
+	// Parallelism is the worker count for independent sweep cells and for
+	// the evaluation pool of Runner-based experiments. <= 0 means
+	// GOMAXPROCS. Rendered outputs are identical at every setting.
+	Parallelism int
 }
 
 // Default returns the paper's experimental configuration.

@@ -210,7 +210,10 @@ func TestFig5Shape(t *testing.T) {
 
 func TestFig6Shape(t *testing.T) {
 	cfg := Quick()
-	r := Fig6(cfg)
+	r, err := Fig6(cfg)
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
 	if len(r.Profiles) != len(cfg.Pairs) {
 		t.Fatalf("profiles %d", len(r.Profiles))
 	}
@@ -225,7 +228,10 @@ func TestFig6Shape(t *testing.T) {
 
 func TestFig7aShape(t *testing.T) {
 	cfg := Quick()
-	r := Fig7a(cfg)
+	r, err := Fig7a(cfg)
+	if err != nil {
+		t.Fatalf("Fig7a: %v", err)
+	}
 	if len(r.Rows) != 3 {
 		t.Fatalf("rows %d", len(r.Rows))
 	}
@@ -248,11 +254,14 @@ func TestFig7bcdShapes(t *testing.T) {
 		t.Skip("heuristic sweeps are slow")
 	}
 	cfg := Quick()
-	for name, r := range map[string]Fig7Result{
-		"7b": Fig7b(cfg),
-		"7c": Fig7c(cfg),
-		"7d": Fig7d(cfg),
-	} {
+	figs := map[string]func(Config) (Fig7Result, error){
+		"7b": Fig7b, "7c": Fig7c, "7d": Fig7d,
+	}
+	for name, fig := range figs {
+		r, err := fig(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		if len(r.Rows) < 2 {
 			t.Fatalf("%s rows %d", name, len(r.Rows))
 		}
@@ -269,7 +278,10 @@ func TestFig7bcdShapes(t *testing.T) {
 
 func TestFig8Shape(t *testing.T) {
 	cfg := Quick()
-	r := Fig8(cfg)
+	r, err := Fig8(cfg)
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
 	if len(r.Benchmarks) != 3 {
 		t.Fatalf("benchmarks %v", r.Benchmarks)
 	}
@@ -286,6 +298,32 @@ func TestFig8Shape(t *testing.T) {
 	}
 	if r.Render() == "" {
 		t.Fatal("render")
+	}
+}
+
+// TestRenderIdenticalUnderParallelism pins the sweep-parallelism
+// guarantee at the experiments layer: rendered artefacts are
+// byte-identical at every worker count. (The All banner carries wall-clock
+// timings, so the comparison is on the artefact renders themselves.)
+func TestRenderIdenticalUnderParallelism(t *testing.T) {
+	render := func(par int) string {
+		cfg := Quick()
+		cfg.Parallelism = par
+		var sb strings.Builder
+		sb.WriteString(Fig2(cfg).Render())
+		sb.WriteString(Table2(cfg).Render())
+		f8, err := Fig8(cfg)
+		if err != nil {
+			t.Fatalf("Fig8(parallelism=%d): %v", par, err)
+		}
+		sb.WriteString(f8.Render())
+		return sb.String()
+	}
+	serial := render(1)
+	for _, par := range []int{4, 8} {
+		if got := render(par); got != serial {
+			t.Fatalf("parallelism %d rendered different artefacts", par)
+		}
 	}
 }
 

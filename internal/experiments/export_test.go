@@ -114,11 +114,19 @@ func TestAllResultsExportCSV(t *testing.T) {
 			// just assert the type implements the interface.
 		}
 	}
-	var res Renderable = Fig8(cfg)
+	f8, err := Fig8(cfg)
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	var res Renderable = f8
 	if _, ok := res.(CSVExportable); !ok {
 		t.Fatal("Fig8Result must export CSV")
 	}
-	var r6 Renderable = Fig6(cfg)
+	f6, err := Fig6(cfg)
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	var r6 Renderable = f6
 	if _, ok := r6.(CSVExportable); !ok {
 		t.Fatal("Fig6Result must export CSV")
 	}

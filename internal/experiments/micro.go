@@ -26,16 +26,20 @@ func Fig1(cfg Config) Fig1Result {
 		sb.Files = 8
 	}
 	res := Fig1Result{Consolidations: []int{1, 2, 3}, Pairs: cfg.Pairs}
-	for _, vms := range res.Consolidations {
-		var row []float64
-		for _, p := range cfg.Pairs {
-			mh := workloads.NewMicroHost(vms, cfg.Cluster.Host, cfg.Cluster.Guest, cfg.Cluster.Seed)
-			mh.InstallPair(p)
-			r := workloads.RunSysbench(mh, sb)
-			row = append(row, r.Mean.Seconds())
-		}
-		res.Elapsed = append(res.Elapsed, row)
+	np := len(cfg.Pairs)
+	res.Elapsed = make([][]float64, len(res.Consolidations))
+	for i := range res.Elapsed {
+		res.Elapsed[i] = make([]float64, np)
 	}
+	// Every (consolidation, pair) cell runs on its own MicroHost, so the
+	// grid is embarrassingly parallel.
+	parDo(cfg, len(res.Consolidations)*np, func(k int) {
+		i, j := k/np, k%np
+		mh := workloads.NewMicroHost(res.Consolidations[i], cfg.Cluster.Host, cfg.Cluster.Guest, cfg.Cluster.Seed)
+		mh.InstallPair(cfg.Pairs[j])
+		r := workloads.RunSysbench(mh, sb)
+		res.Elapsed[i][j] = r.Mean.Seconds()
+	})
 	return res
 }
 
@@ -129,27 +133,35 @@ func Fig5(cfg Config) Fig5Result {
 		return workloads.NewMicroHost(vms, cfg.Cluster.Host, cfg.Cluster.Guest, cfg.Cluster.Seed)
 	}
 
-	// Memoise the single-solution epochs.
-	single := make(map[iosched.Pair]sim.Duration, len(cfg.Pairs))
-	for _, p := range cfg.Pairs {
+	// Memoise the single-solution epochs (independent probes, pooled).
+	n := len(cfg.Pairs)
+	singles := make([]sim.Duration, n)
+	parDo(cfg, n, func(i int) {
 		mh := newHost()
-		mh.InstallPair(p)
-		single[p] = workloads.RunDD(mh, dd, nil)
+		mh.InstallPair(cfg.Pairs[i])
+		singles[i] = workloads.RunDD(mh, dd, nil)
+	})
+	single := make(map[iosched.Pair]sim.Duration, n)
+	for i, p := range cfg.Pairs {
+		single[p] = singles[i]
 	}
 
+	// The n×n transition matrix: each cell is its own host + dd epoch pair.
 	res := Fig5Result{Pairs: cfg.Pairs}
-	for _, from := range cfg.Pairs {
-		var row []float64
-		for _, to := range cfg.Pairs {
-			mh := newHost()
-			mh.InstallPair(from)
-			target := to
-			both := workloads.RunDD(mh, dd, &target)
-			cost := both - (single[from]+single[to])/2
-			row = append(row, cost.Seconds())
-		}
-		res.Cost = append(res.Cost, row)
+	res.Cost = make([][]float64, n)
+	for i := range res.Cost {
+		res.Cost[i] = make([]float64, n)
 	}
+	parDo(cfg, n*n, func(k int) {
+		i, j := k/n, k%n
+		from, to := cfg.Pairs[i], cfg.Pairs[j]
+		mh := newHost()
+		mh.InstallPair(from)
+		target := to
+		both := workloads.RunDD(mh, dd, &target)
+		cost := both - (single[from]+single[to])/2
+		res.Cost[i][j] = cost.Seconds()
+	})
 	return res
 }
 

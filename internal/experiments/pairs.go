@@ -26,17 +26,21 @@ type Fig2Result struct {
 }
 
 // Fig2 sweeps wordcount, wordcount w/o combiner and sort over the pairs.
+// Every (benchmark, pair) cell is an independent simulation on a fresh
+// cluster, so the whole grid fans out across the configured workers.
 func Fig2(cfg Config) Fig2Result {
 	suite := workloads.Suite(cfg.InputPerVM)
 	res := Fig2Result{Pairs: cfg.Pairs}
-	for _, bm := range suite {
+	np := len(cfg.Pairs)
+	res.Seconds = make([][]float64, len(suite))
+	for i, bm := range suite {
 		res.Benchmarks = append(res.Benchmarks, bm.Job.Name)
-		var row []float64
-		for _, p := range cfg.Pairs {
-			row = append(row, runPair(cfg, bm, p).Duration.Seconds())
-		}
-		res.Seconds = append(res.Seconds, row)
+		res.Seconds[i] = make([]float64, np)
 	}
+	parDo(cfg, len(suite)*np, func(k int) {
+		i, j := k/np, k%np
+		res.Seconds[i][j] = runPair(cfg, suite[i], cfg.Pairs[j]).Duration.Seconds()
+	})
 	return res
 }
 
@@ -133,18 +137,21 @@ type Table1Result struct {
 	Seconds [][]float64
 }
 
-// Table1 runs sort under every scheduler combination.
+// Table1 runs sort under every scheduler combination; the 16 cells are
+// independent and run on the worker pool.
 func Table1(cfg Config) Table1Result {
 	bm := workloads.Sort(cfg.InputPerVM)
 	res := Table1Result{VMScheds: iosched.Names, VMMScheds: iosched.Names}
-	for _, vm := range iosched.Names {
-		var row []float64
-		for _, vmm := range iosched.Names {
-			r := runPair(cfg, bm, iosched.Pair{VMM: vmm, VM: vm})
-			row = append(row, r.Duration.Seconds())
-		}
-		res.Seconds = append(res.Seconds, row)
+	n := len(iosched.Names)
+	res.Seconds = make([][]float64, n)
+	for i := range res.Seconds {
+		res.Seconds[i] = make([]float64, n)
 	}
+	parDo(cfg, n*n, func(k int) {
+		i, j := k/n, k%n
+		r := runPair(cfg, bm, iosched.Pair{VMM: iosched.Names[j], VM: iosched.Names[i]})
+		res.Seconds[i][j] = r.Duration.Seconds()
+	})
 	return res
 }
 

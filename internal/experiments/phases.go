@@ -14,11 +14,17 @@ type Fig6Result struct {
 	Profiles []core.Profile
 }
 
-// Fig6 profiles every pair on sort with the two-phase split.
-func Fig6(cfg Config) Fig6Result {
+// Fig6 profiles every pair on sort with the two-phase split. The profile
+// runs are independent and execute on the runner's evaluation pool.
+func Fig6(cfg Config) (Fig6Result, error) {
 	bm := workloads.Sort(cfg.InputPerVM)
 	r := core.NewRunner(cfg.Cluster, bm.Job)
-	return Fig6Result{Profiles: r.ProfilePairs(cfg.Pairs)}
+	r.Parallelism = cfg.Parallelism
+	profiles, err := r.ProfilePairs(cfg.Pairs)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	return Fig6Result{Profiles: profiles}, nil
 }
 
 // BestFor returns the best pair for scheme-phase i.
@@ -63,20 +69,35 @@ type Fig8Result struct {
 	Seconds [][]float64
 }
 
-// Fig8 measures phase durations of the three benchmarks.
-func Fig8(cfg Config) Fig8Result {
-	res := Fig8Result{}
-	for _, bm := range workloads.Suite(cfg.InputPerVM) {
+// Fig8 measures phase durations of the three benchmarks. The three runs
+// are independent clusters, so they fan out across the workers.
+func Fig8(cfg Config) (Fig8Result, error) {
+	suite := workloads.Suite(cfg.InputPerVM)
+	res := Fig8Result{
+		Benchmarks: make([]string, len(suite)),
+		Seconds:    make([][]float64, len(suite)),
+	}
+	errs := make([]error, len(suite))
+	parDo(cfg, len(suite), func(i int) {
+		bm := suite[i]
 		r := core.NewRunner(cfg.Cluster, bm.Job)
-		prof := r.ProfilePairs([]iosched.Pair{iosched.DefaultPair})
-		res.Benchmarks = append(res.Benchmarks, bm.Job.Name)
-		res.Seconds = append(res.Seconds, []float64{
+		r.Parallelism = cfg.Parallelism
+		prof, err := r.ProfilePairs([]iosched.Pair{iosched.DefaultPair})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Benchmarks[i] = bm.Job.Name
+		res.Seconds[i] = []float64{
 			prof[0].ByPhase[0].Seconds(),
 			prof[0].ByPhase[1].Seconds(),
 			prof[0].ByPhase[2].Seconds(),
-		})
+		}
+	})
+	if err := firstErr(errs); err != nil {
+		return Fig8Result{}, err
 	}
-	return res
+	return res, nil
 }
 
 // Render formats the phase breakdown.

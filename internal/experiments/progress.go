@@ -31,10 +31,12 @@ func Fig4(cfg Config) Fig4Result {
 	for k := 1; k <= 8; k++ {
 		res.Fractions = append(res.Fractions, float64(k)/8)
 	}
-	for _, p := range cfg.Pairs {
-		_, row := runPairProgress(cfg, bm, p, res.Fractions)
-		res.TimeAt = append(res.TimeAt, row)
-	}
+	res.TimeAt = make([][]float64, len(cfg.Pairs))
+	// One progress-instrumented run per pair, each on its own cluster.
+	parDo(cfg, len(cfg.Pairs), func(i int) {
+		_, row := runPairProgress(cfg, bm, cfg.Pairs[i], res.Fractions)
+		res.TimeAt[i] = row
+	})
 	// Composed optimum: for each segment between checkpoints take the best
 	// pair's segment time.
 	total := 0.0

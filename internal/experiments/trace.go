@@ -37,8 +37,20 @@ func Fig3(cfg Config) Fig3Result {
 		{VMM: iosched.Anticipatory, VM: iosched.Deadline},
 	}
 	bm := workloads.Sort(cfg.InputPerVM)
-	res := Fig3Result{Pairs: pairs}
-	for _, p := range pairs {
+	res := Fig3Result{
+		Pairs:     pairs,
+		VMMCDF:    make([][]stats.CDFPoint, len(pairs)),
+		VMCDF:     make([][]stats.CDFPoint, len(pairs)),
+		VMMMax:    make([]float64, len(pairs)),
+		VMMMean:   make([]float64, len(pairs)),
+		VMMean:    make([]float64, len(pairs)),
+		VMMaxes:   make([]float64, len(pairs)),
+		PerVMMean: make([][]float64, len(pairs)),
+	}
+	// The two instrumented runs are independent clusters, so they execute
+	// on the worker pool.
+	parDo(cfg, len(pairs), func(i int) {
+		p := pairs[i]
 		cl := cluster.New(cfg.Cluster)
 		cl.InstallPair(p)
 		host := cl.Hosts[0]
@@ -55,9 +67,9 @@ func Fig3(cfg Config) Fig3Result {
 		mapred.Run(cl, bm.Job)
 
 		vmm := vmmSampler.Series()
-		res.VMMCDF = append(res.VMMCDF, stats.CDF(vmm))
-		res.VMMMax = append(res.VMMMax, stats.Max(vmm))
-		res.VMMMean = append(res.VMMMean, stats.Mean(vmm))
+		res.VMMCDF[i] = stats.CDF(vmm)
+		res.VMMMax[i] = stats.Max(vmm)
+		res.VMMMean[i] = stats.Mean(vmm)
 
 		var pooled []float64
 		var perVM []float64
@@ -66,11 +78,11 @@ func Fig3(cfg Config) Fig3Result {
 			pooled = append(pooled, series...)
 			perVM = append(perVM, stats.Mean(series))
 		}
-		res.VMCDF = append(res.VMCDF, stats.CDF(pooled))
-		res.VMMean = append(res.VMMean, stats.Mean(pooled))
-		res.VMMaxes = append(res.VMMaxes, stats.Max(pooled))
-		res.PerVMMean = append(res.PerVMMean, perVM)
-	}
+		res.VMCDF[i] = stats.CDF(pooled)
+		res.VMMean[i] = stats.Mean(pooled)
+		res.VMMaxes[i] = stats.Max(pooled)
+		res.PerVMMean[i] = perVM
+	})
 	return res
 }
 

@@ -27,16 +27,19 @@ func Table2(cfg Config) Table2Result {
 	if cfg.Quick {
 		steps = []float64{1, 2, 3, 4}
 	}
-	for _, w := range steps {
-		blocksPerVM := w * float64(slots)
+	res.Waves = make([]float64, len(steps))
+	res.Percent = make([]float64, len(steps))
+	// Each step simulates an independent cluster — fan out.
+	parDo(cfg, len(steps), func(i int) {
+		blocksPerVM := steps[i] * float64(slots)
 		input := int64(blocksPerVM * float64(blockBytes))
 		bm := workloads.Sort(input)
 		bm.Job.MapSlots = slots
 		cl := cluster.New(cfg.Cluster)
 		r := mapred.Run(cl, bm.Job)
-		res.Waves = append(res.Waves, r.Waves)
-		res.Percent = append(res.Percent, r.NonConcurrentShufflePct)
-	}
+		res.Waves[i] = r.Waves
+		res.Percent[i] = r.NonConcurrentShufflePct
+	})
 	return res
 }
 

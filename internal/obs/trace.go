@@ -129,6 +129,28 @@ func (t *Tracer) AsyncSpan(pid, tid int64, cat, name string, start, end sim.Time
 	)
 }
 
+// Absorb appends every event recorded by src to t, renumbering src's
+// async-span ids so they cannot collide with ids t has already allocated.
+// It is the deterministic fold primitive of the parallel evaluation pool:
+// evaluations record into private tracers concurrently, and the pool
+// absorbs them into the shared tracer in submission order, which makes the
+// folded trace byte-identical to one recorded serially into a single
+// tracer (append order and async-id allocation both match). src must not
+// be used concurrently with the call; t keeps no reference to src.
+func (t *Tracer) Absorb(src *Tracer) {
+	if t == nil || src == nil {
+		return
+	}
+	off := t.nextID
+	for _, ev := range src.events {
+		if ev.ph == phAsyncBegin || ev.ph == phAsyncEnd {
+			ev.id += off
+		}
+		t.events = append(t.events, ev)
+	}
+	t.nextID += src.nextID
+}
+
 // Instant records a point event.
 func (t *Tracer) Instant(pid, tid int64, cat, name string, at sim.Time, args ...Arg) {
 	if t == nil {

@@ -23,9 +23,11 @@ type traceFile struct {
 func tracedRun(t *testing.T) []byte {
 	t.Helper()
 	tr := adaptmr.NewTracer()
-	cfg := adaptmr.WithTracer(quickCluster(), tr)
 	job := adaptmr.SortBenchmark(32 << 20).Job
-	res := adaptmr.RunJob(cfg, job, adaptmr.DefaultPair)
+	res, err := adaptmr.Run(quickCluster(), job, adaptmr.DefaultPair, adaptmr.WithTracer(tr))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if res.Duration <= 0 {
 		t.Fatal("job did not run")
 	}
@@ -86,9 +88,11 @@ func TestTraceCoversAllLayers(t *testing.T) {
 // per-level instruments and that the snapshot rides on the job result.
 func TestMetricsOnResults(t *testing.T) {
 	m := adaptmr.NewMetrics()
-	cfg := adaptmr.WithMetrics(quickCluster(), m)
 	job := adaptmr.SortBenchmark(32 << 20).Job
-	res := adaptmr.RunJob(cfg, job, adaptmr.DefaultPair)
+	res, err := adaptmr.Run(quickCluster(), job, adaptmr.DefaultPair, adaptmr.WithMetrics(m))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if res.Metrics == nil {
 		t.Fatal("no metrics snapshot on result")
 	}
@@ -124,14 +128,16 @@ func TestTunerPerCandidateMetrics(t *testing.T) {
 	m := adaptmr.NewMetrics()
 	tr := adaptmr.NewTracer()
 	job := adaptmr.SortBenchmark(16 << 20).Job
-	tuner := adaptmr.NewTuner(quickCluster(), job).
+	tuner := adaptmr.NewTuner(quickCluster(), job,
+		adaptmr.WithMetrics(m), adaptmr.WithTracer(tr)).
 		WithCandidates([]adaptmr.Pair{
 			adaptmr.MustParsePair("cc"),
 			adaptmr.MustParsePair("ad"),
-		}).
-		WithMetrics(m).
-		WithTracer(tr)
-	res := tuner.Tune()
+		})
+	res, err := tuner.Tune()
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
 	if res.Default.Metrics == nil || res.BestSingle.Metrics == nil {
 		t.Fatal("reference runs carry no metrics snapshots")
 	}
