@@ -26,6 +26,7 @@
 package adaptmr
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -117,6 +118,8 @@ type options struct {
 	metrics      *obs.Registry
 	parallelism  int
 	evalCacheDir string
+	evalCache    *core.EvalCache
+	ctx          context.Context
 }
 
 func buildOptions(opts []Option) options {
@@ -159,6 +162,35 @@ func WithParallelism(n int) Option { return func(o *options) { o.parallelism = n
 // results cannot replay their observations.
 func WithEvalCache(dir string) Option { return func(o *options) { o.evalCacheDir = dir } }
 
+// WithEvalCacheHandle is WithEvalCache for an already-open cache. A
+// long-lived holder (the adaptd service) shares one handle across many
+// tuners so hit/miss/bypass tallies aggregate in one place
+// (EvalCache.Stats). Takes precedence over WithEvalCache when both are
+// supplied.
+func WithEvalCacheHandle(c *EvalCache) Option { return func(o *options) { o.evalCache = c } }
+
+// WithContext bounds every evaluation with ctx: cancellation or deadline
+// expiry is checked before each evaluation and periodically inside the
+// simulation event loop, so a tuning search can be abandoned mid-run.
+// The entry point reports the context's error. A tuner whose context has
+// fired should be discarded (failed evaluations are memoised).
+//
+// Honoured by Run and every NewTuner entry point (Tune, RunPlan,
+// BruteForce, Profile); RunChain/TuneChain/RunFineGrained currently
+// ignore it.
+func WithContext(ctx context.Context) Option { return func(o *options) { o.ctx = ctx } }
+
+// EvalCache is the on-disk content-addressed evaluation cache (see
+// WithEvalCache / WithEvalCacheHandle). Safe for concurrent use.
+type EvalCache = core.EvalCache
+
+// EvalCacheStats are an EvalCache's lifetime hit/miss/bypass tallies.
+type EvalCacheStats = core.EvalCacheStats
+
+// OpenEvalCache opens (creating if needed) an evaluation cache rooted at
+// dir; attach it with WithEvalCacheHandle.
+func OpenEvalCache(dir string) (*EvalCache, error) { return core.OpenEvalCache(dir) }
+
 // Run executes one job under a single scheduler pair on a fresh
 // deterministic cluster and returns its result. WithTracer/WithMetrics
 // attach observation; WithParallelism and WithEvalCache are accepted but
@@ -170,7 +202,9 @@ func Run(cfg ClusterConfig, job JobConfig, pair Pair, opts ...Option) (JobResult
 	cl.InstallPair(pair)
 	j := mapred.NewJob(cl, job)
 	j.Start(nil)
-	cl.Eng.Run()
+	if err := core.RunEngine(o.ctx, cl.Eng); err != nil {
+		return JobResult{}, fmt.Errorf("adaptmr: job %q abandoned: %w", job.Name, err)
+	}
 	if !j.Done() {
 		return JobResult{}, fmt.Errorf("adaptmr: job %q did not complete (simulation drained early)", job.Name)
 	}
@@ -275,8 +309,12 @@ func NewTuner(cfg ClusterConfig, job JobConfig, opts ...Option) *Tuner {
 	cfg = o.apply(cfg)
 	r := core.NewRunner(cfg, job)
 	r.Parallelism = o.parallelism
+	r.Context = o.ctx
 	t := &Tuner{runner: r, scheme: core.TwoPhases}
-	if o.evalCacheDir != "" {
+	switch {
+	case o.evalCache != nil:
+		r.DiskCache = o.evalCache
+	case o.evalCacheDir != "":
 		cache, err := core.OpenEvalCache(o.evalCacheDir)
 		if err != nil {
 			t.initErr = err
@@ -358,6 +396,17 @@ func (t *Tuner) Profile() ([]Profile, error) {
 // Evaluations reports how many distinct job executions the tuner has run
 // (disk-cache hits excluded).
 func (t *Tuner) Evaluations() int { return t.runner.Evaluations }
+
+// CacheStats reports the attached evaluation cache's hit/miss/bypass
+// tallies; ok is false when the tuner runs without an on-disk cache.
+// With a shared handle (WithEvalCacheHandle) the tallies span every
+// tuner using that handle.
+func (t *Tuner) CacheStats() (EvalCacheStats, bool) {
+	if t.runner.DiskCache == nil {
+		return EvalCacheStats{}, false
+	}
+	return t.runner.DiskCache.Stats(), true
+}
 
 // ---------------------------------------------------------------------------
 // Extensions from the paper's future-work agenda

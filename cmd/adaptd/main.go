@@ -1,0 +1,106 @@
+// Command adaptd serves the adaptmr simulator as a long-running HTTP
+// daemon — tuning as a service. It exposes:
+//
+//	POST /v1/run         execute one job under an explicit phase plan
+//	POST /v1/tune        run the adaptive meta-scheduler
+//	POST /v1/bruteforce  exhaustively search every plan
+//	GET  /healthz        liveness (200 ok, 503 while draining)
+//	GET  /statusz        JSON status: queue, workers, tallies, cache
+//	GET  /metrics        Prometheus text exposition
+//
+// Requests execute on a bounded worker pool (-workers) behind a bounded
+// admission queue (-queue-depth); a full queue answers 429 with
+// Retry-After. Identical in-flight requests are coalesced onto a single
+// evaluation. Each request is bounded by -request-timeout (requests may
+// ask for less via timeout_ms). SIGINT/SIGTERM drain gracefully:
+// admission stops, in-flight work finishes and is answered, then the
+// listener closes.
+//
+// Examples:
+//
+//	adaptd
+//	adaptd -addr :8080 -workers 4 -parallel 2
+//	adaptd -evalcache /var/cache/adaptmr -request-timeout 5m
+//
+//	curl -s localhost:7070/v1/tune -d '{"job":{"bench":"sort","input_mb":512}}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adaptmr/internal/cliutil"
+	"adaptmr/internal/server"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "adaptd:", err)
+	os.Exit(1)
+}
+
+func main() {
+	sf := cliutil.BindServerFlags(flag.CommandLine)
+	workers := flag.Int("workers", 2, "concurrently executing requests")
+	parallel := cliutil.BindParallelFlag(flag.CommandLine)
+	evalCache := cliutil.BindEvalCacheFlag(flag.CommandLine)
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute,
+		"how long shutdown waits for in-flight requests before aborting them")
+	flag.Parse()
+
+	if err := sf.Validate(); err != nil {
+		fail(err)
+	}
+	if *workers < 1 {
+		fail(fmt.Errorf("-workers must be at least 1, got %d", *workers))
+	}
+
+	srv, err := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     sf.QueueDepth,
+		RequestTimeout: sf.RequestTimeout,
+		Parallelism:    *parallel,
+		EvalCacheDir:   *evalCache,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	httpSrv := &http.Server{Addr: sf.Addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "adaptd: listening on %s (workers %d, queue %d, request timeout %v)\n",
+			sf.Addr, *workers, sf.QueueDepth, sf.RequestTimeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop admitting (healthz flips to 503, new POSTs answer 503),
+	// let in-flight requests finish and be answered, then close the
+	// listener. The HTTP shutdown runs after the pool drain so responses
+	// for drained work still reach their clients.
+	fmt.Fprintln(os.Stderr, "adaptd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptd: drain incomplete:", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "adaptd: http shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "adaptd: bye")
+}

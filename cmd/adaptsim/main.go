@@ -13,7 +13,8 @@
 //
 // -trace writes a Chrome trace-event JSON file (load it in Perfetto or
 // chrome://tracing); -metrics writes a metrics snapshot, with the format
-// picked by -metrics-format (json, csv, or auto by extension). -cpuprofile
+// picked by -metrics-format (json, csv, prom — Prometheus text
+// exposition — or auto by extension). -cpuprofile
 // and -memprofile write pprof self-profiles of the simulator.
 //
 // -parallel N fans the tuner's independent evaluations across N workers

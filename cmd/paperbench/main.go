@@ -12,7 +12,9 @@
 // -parallel N fans the independent sweep cells and tuner evaluations
 // across N workers (0 = GOMAXPROCS) with byte-identical artefacts; when
 // -trace or -metrics is set the direct sweeps fall back to serial so the
-// shared sinks record in the historical order.
+// shared sinks record in the historical order. -metrics-format picks the
+// snapshot encoding: json, csv, prom (Prometheus text exposition) or
+// auto by extension.
 package main
 
 import (

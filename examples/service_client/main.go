@@ -1,0 +1,95 @@
+// Service client: tuning as a service. Boots an in-process adaptd server
+// on an ephemeral port (or talks to an already-running daemon via
+// -addr), submits a tuning request over HTTP, and prints the chosen
+// per-phase plan — the same answer a local adaptmr.NewTuner(...).Tune()
+// produces, byte for byte.
+//
+//	go run ./examples/service_client [-input 128] [-hosts 2] [-vms 2]
+//	go run ./examples/service_client -addr localhost:7070   # external adaptd
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+
+	"adaptmr/internal/server"
+)
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service_client:", err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "", "talk to a running adaptd at this host:port (empty = boot in-process)")
+	hosts := flag.Int("hosts", 2, "physical nodes")
+	vms := flag.Int("vms", 2, "VMs per node")
+	inputMB := flag.Int64("input", 128, "MB of input per datanode VM")
+	bench := flag.String("bench", "sort", "workload: sort, wordcount, wordcount-nc")
+	flag.Parse()
+
+	base := "http://" + *addr
+	if *addr == "" {
+		// No daemon given: run the service in-process, exactly as
+		// cmd/adaptd would.
+		srv, err := server.New(server.Config{Workers: 2})
+		check(err)
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("booted in-process adaptd at %s\n", base)
+	}
+
+	req := map[string]any{
+		"cluster": map[string]any{"hosts": *hosts, "vms_per_host": *vms},
+		"job":     map[string]any{"bench": *bench, "input_mb": *inputMB},
+	}
+	body, err := json.Marshal(req)
+	check(err)
+
+	fmt.Printf("POST %s/v1/tune %s\n", base, body)
+	resp, err := http.Post(base+"/v1/tune", "application/json", bytes.NewReader(body))
+	check(err)
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	check(err)
+	if resp.StatusCode != http.StatusOK {
+		check(fmt.Errorf("server answered %s: %s", resp.Status, payload))
+	}
+
+	var out struct {
+		Plan struct {
+			Display  string `json:"display"`
+			Switches int    `json:"switches"`
+		} `json:"plan"`
+		PhasePlan []struct {
+			Phase  int    `json:"phase"`
+			Pair   string `json:"pair"`
+			Switch bool   `json:"switch"`
+		} `json:"phase_plan"`
+		DurationS                 float64 `json:"duration_s"`
+		ImprovementOverDefaultPct float64 `json:"improvement_over_default_pct"`
+		Evaluations               int     `json:"evaluations"`
+	}
+	check(json.Unmarshal(payload, &out))
+
+	fmt.Printf("\nchosen plan: %s  (%d switch commands, %d evaluations)\n",
+		out.Plan.Display, out.Plan.Switches, out.Evaluations)
+	for _, ph := range out.PhasePlan {
+		marker := " "
+		if ph.Switch {
+			marker = "*"
+		}
+		fmt.Printf("  phase %d: %s %s\n", ph.Phase, ph.Pair, marker)
+	}
+	fmt.Printf("job time %.2f s, %.1f%% over the stock default\n",
+		out.DurationS, out.ImprovementOverDefaultPct)
+}

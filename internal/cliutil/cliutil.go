@@ -1,24 +1,28 @@
 // Package cliutil holds the flag helpers shared by the adaptmr command
-// line tools: metrics snapshot output with an explicit format selector,
-// pprof self-profiling, the evaluation-pool worker count, and the on-disk
-// evaluation cache location.
+// line tools: metrics snapshot output with an explicit format selector
+// (json, csv or Prometheus text exposition), pprof self-profiling, the
+// evaluation-pool worker count, the on-disk evaluation cache location,
+// and the daemon flag bundle (-addr, -request-timeout, -queue-depth).
 package cliutil
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"adaptmr/internal/obs"
 )
 
 // MetricsOut binds the shared -metrics / -metrics-format flag pair. The
 // explicit format wins over the path extension; "auto" (the default)
-// keeps the historical behaviour of .csv → CSV, everything else → JSON.
+// keeps the historical behaviour of .csv → CSV, .prom → Prometheus text
+// exposition, everything else → JSON.
 type MetricsOut struct {
 	Path   string
 	Format string
@@ -30,36 +34,48 @@ func BindMetricsFlags(fs *flag.FlagSet) *MetricsOut {
 	m := &MetricsOut{}
 	fs.StringVar(&m.Path, "metrics", "", "write a metrics snapshot to this path")
 	fs.StringVar(&m.Format, "metrics-format", "auto",
-		"metrics snapshot format: json, csv, or auto (by extension)")
+		"metrics snapshot format: json, csv, prom, or auto (by extension)")
 	return m
 }
 
 // Enabled reports whether a metrics path was requested.
 func (m *MetricsOut) Enabled() bool { return m.Path != "" }
 
+// ResolveFormat returns the effective snapshot format: the explicit
+// -metrics-format when given, otherwise by extension (.csv → csv,
+// .prom → prom, anything else → json).
+func (m *MetricsOut) ResolveFormat() string {
+	format := strings.ToLower(m.Format)
+	if format == "auto" || format == "" {
+		switch strings.ToLower(filepath.Ext(m.Path)) {
+		case ".csv":
+			return "csv"
+		case ".prom":
+			return "prom"
+		default:
+			return "json"
+		}
+	}
+	return format
+}
+
 // Write stores the snapshot at the configured path in the configured
 // format.
 func (m *MetricsOut) Write(s *obs.Snapshot) error {
-	format := strings.ToLower(m.Format)
-	if format == "auto" || format == "" {
-		if strings.EqualFold(filepath.Ext(m.Path), ".csv") {
-			format = "csv"
-		} else {
-			format = "json"
-		}
-	}
 	f, err := os.Create(m.Path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	switch format {
+	switch m.ResolveFormat() {
 	case "json":
 		err = s.WriteJSON(f)
 	case "csv":
 		err = s.WriteCSV(f)
+	case "prom", "prometheus":
+		err = s.WritePrometheus(f)
 	default:
-		err = fmt.Errorf("cliutil: unknown metrics format %q (want json, csv or auto)", m.Format)
+		err = fmt.Errorf("cliutil: unknown metrics format %q (want json, csv, prom or auto)", m.Format)
 	}
 	if err != nil {
 		return err
@@ -82,6 +98,56 @@ func BindParallelFlag(fs *flag.FlagSet) *int {
 func BindEvalCacheFlag(fs *flag.FlagSet) *string {
 	return fs.String("evalcache", "",
 		"directory for the on-disk evaluation cache (empty = disabled; ignored while -trace/-metrics are set)")
+}
+
+// ServerFlags is the shared flag bundle for daemon-style commands
+// (cmd/adaptd): listen address, per-request deadline and admission-queue
+// depth.
+type ServerFlags struct {
+	// Addr is the host:port (or :port) the HTTP server listens on.
+	Addr string
+	// RequestTimeout is the default — and maximum — per-request
+	// deadline; requests may ask for less via their payload.
+	RequestTimeout time.Duration
+	// QueueDepth is the bounded admission queue's capacity; a full queue
+	// answers 429 with Retry-After.
+	QueueDepth int
+}
+
+// BindServerFlags registers -addr, -request-timeout and -queue-depth on
+// the given flag set. Call Validate after parsing.
+func BindServerFlags(fs *flag.FlagSet) *ServerFlags {
+	s := &ServerFlags{}
+	fs.StringVar(&s.Addr, "addr", "127.0.0.1:7070", "HTTP listen address (host:port or :port)")
+	fs.DurationVar(&s.RequestTimeout, "request-timeout", 60*time.Second,
+		"default and maximum per-request deadline")
+	fs.IntVar(&s.QueueDepth, "queue-depth", 64,
+		"bounded admission queue capacity (full queue answers 429 + Retry-After)")
+	return s
+}
+
+// Validate checks the parsed server flags: the address must be a
+// splittable host:port with a non-empty port, the timeout positive, the
+// queue depth at least 1.
+func (s *ServerFlags) Validate() error {
+	if s.Addr == "" {
+		return fmt.Errorf("cliutil: -addr must not be empty")
+	}
+	host, port, err := net.SplitHostPort(s.Addr)
+	if err != nil {
+		return fmt.Errorf("cliutil: -addr %q: %w", s.Addr, err)
+	}
+	_ = host // empty host (":7070") means all interfaces — allowed
+	if port == "" {
+		return fmt.Errorf("cliutil: -addr %q: missing port", s.Addr)
+	}
+	if s.RequestTimeout <= 0 {
+		return fmt.Errorf("cliutil: -request-timeout must be positive, got %v", s.RequestTimeout)
+	}
+	if s.QueueDepth < 1 {
+		return fmt.Errorf("cliutil: -queue-depth must be at least 1, got %d", s.QueueDepth)
+	}
+	return nil
 }
 
 // Profiler binds -cpuprofile / -memprofile self-profiling flags.

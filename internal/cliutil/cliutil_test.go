@@ -1,0 +1,138 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptmr/internal/obs"
+)
+
+func snapshotForTest() *obs.Snapshot {
+	r := obs.NewRegistry()
+	r.Counter("disk.reads").Add(3)
+	r.Gauge("queue.depth").Set(2)
+	r.Histogram("lat.ms", []float64{1, 10}).Observe(4)
+	return r.Snapshot()
+}
+
+func TestMetricsOutResolveFormat(t *testing.T) {
+	cases := []struct {
+		path, format, want string
+	}{
+		{"m.json", "auto", "json"},
+		{"m.csv", "auto", "csv"},
+		{"m.CSV", "", "csv"},
+		{"m.prom", "auto", "prom"},
+		{"m.PROM", "auto", "prom"},
+		{"m.txt", "auto", "json"},
+		{"m.csv", "json", "json"},
+		{"m.json", "prom", "prom"},
+		{"m.json", "PROM", "prom"},
+	}
+	for _, c := range cases {
+		m := &MetricsOut{Path: c.path, Format: c.format}
+		if got := m.ResolveFormat(); got != c.want {
+			t.Errorf("ResolveFormat(%q, %q) = %q, want %q", c.path, c.format, got, c.want)
+		}
+	}
+}
+
+func TestMetricsOutWriteFormats(t *testing.T) {
+	dir := t.TempDir()
+	s := snapshotForTest()
+
+	check := func(name, format, needle string) {
+		t.Helper()
+		m := &MetricsOut{Path: filepath.Join(dir, name), Format: format}
+		if err := m.Write(s); err != nil {
+			t.Fatalf("Write(%s/%s): %v", name, format, err)
+		}
+		data, err := os.ReadFile(m.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), needle) {
+			t.Fatalf("%s output missing %q:\n%s", format, needle, data)
+		}
+	}
+	check("m.json", "auto", `"disk.reads": 3`)
+	check("m.csv", "auto", "counter,disk.reads,,3")
+	check("m.prom", "auto", "# TYPE disk_reads counter")
+	check("explicit.txt", "prom", `lat_ms_bucket{le="+Inf"} 1`)
+
+	m := &MetricsOut{Path: filepath.Join(dir, "bad.json"), Format: "yaml"}
+	if err := m.Write(s); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestBindMetricsFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	m := BindMetricsFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Enabled() {
+		t.Fatal("enabled without -metrics")
+	}
+	if err := fs.Parse([]string{"-metrics", "x.prom", "-metrics-format", "auto"}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Enabled() || m.ResolveFormat() != "prom" {
+		t.Fatalf("parse result: %+v (format %s)", m, m.ResolveFormat())
+	}
+}
+
+func TestBindServerFlagsDefaultsAndParse(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	s := BindServerFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr != "127.0.0.1:7070" || s.RequestTimeout != 60*time.Second || s.QueueDepth != 64 {
+		t.Fatalf("defaults: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	s2 := BindServerFlags(fs2)
+	err := fs2.Parse([]string{"-addr", ":8080", "-request-timeout", "1500ms", "-queue-depth", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Addr != ":8080" || s2.RequestTimeout != 1500*time.Millisecond || s2.QueueDepth != 3 {
+		t.Fatalf("parsed: %+v", s2)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatalf(":8080 should validate: %v", err)
+	}
+}
+
+func TestServerFlagsValidate(t *testing.T) {
+	good := func(s ServerFlags) {
+		t.Helper()
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+	bad := func(s ServerFlags) {
+		t.Helper()
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", s)
+		}
+	}
+	good(ServerFlags{Addr: "localhost:1", RequestTimeout: time.Second, QueueDepth: 1})
+	good(ServerFlags{Addr: ":7070", RequestTimeout: time.Minute, QueueDepth: 64})
+	bad(ServerFlags{Addr: "", RequestTimeout: time.Second, QueueDepth: 1})
+	bad(ServerFlags{Addr: "no-port", RequestTimeout: time.Second, QueueDepth: 1})
+	bad(ServerFlags{Addr: "host:", RequestTimeout: time.Second, QueueDepth: 1})
+	bad(ServerFlags{Addr: ":7070", RequestTimeout: 0, QueueDepth: 1})
+	bad(ServerFlags{Addr: ":7070", RequestTimeout: -time.Second, QueueDepth: 1})
+	bad(ServerFlags{Addr: ":7070", RequestTimeout: time.Second, QueueDepth: 0})
+}

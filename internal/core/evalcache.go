@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"adaptmr/internal/cluster"
 	"adaptmr/internal/mapred"
@@ -27,8 +28,66 @@ const evalCacheVersion = "adaptmr-evalcache-v1"
 //
 // The cache stores results only, not traces or metrics, so the Runner
 // consults it solely when observation is disabled.
+//
+// The cache keeps mutex-guarded hit/miss/bypass tallies (Stats), so a
+// long-lived holder — the tuning daemon's /statusz, adaptreport's run
+// summary — can report its effectiveness. All methods are safe for
+// concurrent use: entries are content-addressed and written atomically,
+// so concurrent readers and writers at worst repeat a simulation.
 type EvalCache struct {
 	dir string
+
+	mu    sync.Mutex
+	stats EvalCacheStats
+}
+
+// EvalCacheStats are the lifetime tallies of one EvalCache instance.
+type EvalCacheStats struct {
+	// Hits counts Get calls answered from disk.
+	Hits int64 `json:"hits"`
+	// Misses counts Get calls that fell back to simulation (missing,
+	// corrupt or version-mismatched entries all count here).
+	Misses int64 `json:"misses"`
+	// Bypasses counts evaluations that skipped the cache because a
+	// tracer or metrics registry was attached (cached results cannot
+	// replay observations).
+	Bypasses int64 `json:"bypasses"`
+}
+
+// Stats returns a copy of the cache's lifetime tallies. Safe for
+// concurrent use; nil caches report zeroes.
+func (c *EvalCache) Stats() EvalCacheStats {
+	if c == nil {
+		return EvalCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// noteHit / noteMiss / NoteBypass bump the tallies. NoteBypass is exported
+// for the Runner (and any other holder) to record evaluations that could
+// not consult the cache; one call counts n skipped evaluations.
+func (c *EvalCache) noteHit() {
+	c.mu.Lock()
+	c.stats.Hits++
+	c.mu.Unlock()
+}
+
+func (c *EvalCache) noteMiss() {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+}
+
+// NoteBypass records n evaluations that skipped the cache entirely.
+func (c *EvalCache) NoteBypass(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.stats.Bypasses += int64(n)
+	c.mu.Unlock()
 }
 
 // evalCacheEntry is the on-disk envelope around a cached result.
@@ -65,10 +124,17 @@ func OpenEvalCache(dir string) (*EvalCache, error) {
 // Dir returns the cache's root directory.
 func (c *EvalCache) Dir() string { return c.dir }
 
-// key derives the content hash for one evaluation. Observation sinks are
-// zeroed before hashing: they do not affect simulated timings, and pointer
-// fields would not marshal meaningfully anyway.
-func (c *EvalCache) key(cc cluster.Config, job mapred.Config, plan Plan) (string, error) {
+// EvalDigest derives the content hash that addresses one evaluation: a
+// sha256 over the versioned (cluster config, job config, plan key) triple.
+// Observation sinks are zeroed before hashing: they do not affect
+// simulated timings, and pointer fields would not marshal meaningfully
+// anyway.
+//
+// The digest is the cache's file name, and — because it captures
+// everything that determines an evaluation's outcome — it is also the
+// coalescing key the tuning daemon uses to single-flight identical
+// in-flight requests.
+func EvalDigest(cc cluster.Config, job mapred.Config, plan Plan) (string, error) {
 	cc.Obs = obs.Sink{}
 	cc.Host.Obs = obs.Sink{}
 	h := sha256.New()
@@ -85,6 +151,11 @@ func (c *EvalCache) key(cc cluster.Config, job mapred.Config, plan Plan) (string
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// key derives the content hash for one evaluation.
+func (c *EvalCache) key(cc cluster.Config, job mapred.Config, plan Plan) (string, error) {
+	return EvalDigest(cc, job, plan)
+}
+
 // path returns the entry file for a key.
 func (c *EvalCache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
@@ -99,16 +170,20 @@ func (c *EvalCache) Get(cc cluster.Config, job mapred.Config, plan Plan) (RunRes
 	}
 	key, err := c.key(cc, job, plan)
 	if err != nil {
+		c.noteMiss()
 		return RunResult{}, false
 	}
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
+		c.noteMiss()
 		return RunResult{}, false
 	}
 	var e evalCacheEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.Version != evalCacheVersion {
+		c.noteMiss()
 		return RunResult{}, false
 	}
+	c.noteHit()
 	return RunResult{
 		Plan:        plan,
 		Duration:    sim.Duration(e.Result.Duration),

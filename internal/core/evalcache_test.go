@@ -142,3 +142,85 @@ func TestOpenEvalCacheValidation(t *testing.T) {
 		t.Fatalf("nil cache Put errored: %v", err)
 	}
 }
+
+func TestEvalCacheStats(t *testing.T) {
+	dir := t.TempDir()
+	plan := Uniform(TwoPhases, cc)
+
+	// Cold run: one miss, then the entry is written.
+	cache, err := OpenEvalCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRunner()
+	r.DiskCache = cache
+	mustRun(t, r, plan)
+	if s := cache.Stats(); s.Misses != 1 || s.Hits != 0 || s.Bypasses != 0 {
+		t.Fatalf("cold stats = %+v, want 1 miss", s)
+	}
+
+	// Warm run on the same cache instance: one hit.
+	r2 := testRunner()
+	r2.DiskCache = cache
+	mustRun(t, r2, plan)
+	if s := cache.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("warm stats = %+v, want 1 hit / 1 miss", s)
+	}
+
+	// Observed run: the lookup is bypassed, not a miss.
+	r3 := testRunner()
+	r3.DiskCache = cache
+	r3.ClusterConfig.Obs.Trace = obs.NewTracer()
+	mustRun(t, r3, plan)
+	if s := cache.Stats(); s.Bypasses != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("observed stats = %+v, want 1 bypass / 1 hit / 1 miss", s)
+	}
+
+	// Nil cache reports zeroes and NoteBypass is a no-op.
+	var nilCache *EvalCache
+	nilCache.NoteBypass(3)
+	if s := nilCache.Stats(); s != (EvalCacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+}
+
+func TestEvalDigestStability(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	job := workloads.Sort(96 << 20).Job
+	plan := Uniform(TwoPhases, cc)
+
+	a, err := EvalDigest(cfg, job, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attaching observation sinks must not change the digest (they are
+	// zeroed before hashing).
+	obsCfg := cfg
+	obsCfg.Obs.Trace = obs.NewTracer()
+	obsCfg.Obs.Metrics = obs.NewRegistry()
+	b, err := EvalDigest(obsCfg, job, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("digest depends on observation sinks")
+	}
+	// Equivalent plans (same runtime expansion) share a digest…
+	c, err := EvalDigest(cfg, job, Uniform(ThreePhases, cc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Fatal("equivalent plans produced different digests")
+	}
+	// …while any config difference changes it.
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	d, err := EvalDigest(cfg2, job, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == d {
+		t.Fatal("seed change did not change the digest")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,6 +41,17 @@ type Runner struct {
 	// Parallelism is the evaluation worker count for batched calls
 	// (RunAll, ProfilePairs, BruteForce). <= 0 means runtime.GOMAXPROCS.
 	Parallelism int
+
+	// Context, when non-nil, bounds every evaluation: cancellation or
+	// deadline expiry is checked before each evaluation starts and
+	// periodically inside the event loop (every few thousand events), so
+	// a served tuning request can be abandoned mid-simulation. A
+	// cancelled evaluation reports the context's error; because failed
+	// evaluations are memoised like successful ones, a Runner whose
+	// Context has fired should be discarded, not reused. Nil means
+	// context.Background() and keeps the historical zero-overhead event
+	// loop.
+	Context context.Context
 
 	// DiskCache, when non-nil, is consulted before simulating and updated
 	// after each evaluation — but only while no tracer/metrics sink is
@@ -122,8 +134,13 @@ func (r *Runner) RunAll(plans []Plan) ([]RunResult, error) {
 		r.pending = make(map[int]*evalEntry)
 	}
 	diskCache := r.DiskCache
-	if r.ClusterConfig.Obs.Enabled() {
+	bypassed := diskCache != nil && r.ClusterConfig.Obs.Enabled()
+	if bypassed {
 		diskCache = nil // cached results cannot replay traces or metrics
+	}
+	ctx := r.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	for i, plan := range plans {
 		key := plan.Key()
@@ -147,11 +164,16 @@ func (r *Runner) RunAll(plans []Plan) ([]RunResult, error) {
 		entries[i] = e
 		toRun = append(toRun, e)
 	}
+	if bypassed {
+		// The cache exists but could not be consulted; tally the skipped
+		// lookups so long-lived holders can report them.
+		r.DiskCache.NoteBypass(len(toRun))
+	}
 	r.mu.Unlock()
 
 	if n := r.workers(len(toRun)); n <= 1 {
 		for _, e := range toRun {
-			r.execute(e, diskCache)
+			r.execute(ctx, e, diskCache)
 		}
 	} else {
 		work := make(chan *evalEntry)
@@ -161,7 +183,7 @@ func (r *Runner) RunAll(plans []Plan) ([]RunResult, error) {
 			go func() {
 				defer wg.Done()
 				for e := range work {
-					r.execute(e, diskCache)
+					r.execute(ctx, e, diskCache)
 				}
 			}()
 		}
@@ -187,9 +209,10 @@ func (r *Runner) RunAll(plans []Plan) ([]RunResult, error) {
 // execute runs one evaluation and hands it to the ordered fold. Folding
 // drains pending entries strictly in evaluation-index order, so shared
 // tracer/metrics sinks absorb observations exactly as a serial run would
-// have produced them.
-func (r *Runner) execute(e *evalEntry, diskCache *EvalCache) {
-	res, trace, err := r.runOnce(e.plan, e.idx)
+// have produced them. A cancelled evaluation still folds (with its error
+// set), so later indices are never stranded behind it.
+func (r *Runner) execute(ctx context.Context, e *evalEntry, diskCache *EvalCache) {
+	res, trace, err := r.runOnce(ctx, e.plan, e.idx)
 
 	r.mu.Lock()
 	e.res, e.trace, e.err = res, trace, err
@@ -227,11 +250,41 @@ func (r *Runner) fold(f *evalEntry, diskCache *EvalCache) {
 	close(f.done)
 }
 
+// RunEngine drives eng until its calendar drains, checking ctx roughly
+// every ctxCheckEvents events. It returns the context's error if the run
+// was abandoned, nil when the calendar drained. A nil or background
+// context takes the unchecked fast path (eng.Run), which is the byte-
+// and cost-identical historical loop.
+func RunEngine(ctx context.Context, eng *sim.Engine) error {
+	if ctx == nil || ctx.Done() == nil {
+		eng.Run()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for {
+		for i := 0; i < ctxCheckEvents; i++ {
+			if !eng.Step() {
+				return nil
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+// ctxCheckEvents is how many simulation events run between context
+// checks: small enough that a deadline interrupts within microseconds of
+// wall time, large enough that the check never shows up in profiles.
+const ctxCheckEvents = 4096
+
 // runOnce executes the job under the plan on a fresh cluster. idx is the
 // evaluation's submission-order index; when observation is enabled it
 // selects the trace PID block exactly as the serial runner did, and the
 // evaluation records into a private tracer/registry for the ordered fold.
-func (r *Runner) runOnce(plan Plan, idx int) (RunResult, *obs.Tracer, error) {
+func (r *Runner) runOnce(ctx context.Context, plan Plan, idx int) (RunResult, *obs.Tracer, error) {
 	cc := r.ClusterConfig
 	base := cc.Obs
 	var priv *obs.Tracer
@@ -269,7 +322,9 @@ func (r *Runner) runOnce(plan Plan, idx int) (RunResult, *obs.Tracer, error) {
 	}
 
 	job.Start(nil)
-	cl.Eng.Run()
+	if err := RunEngine(ctx, cl.Eng); err != nil {
+		return RunResult{Plan: plan}, priv, fmt.Errorf("evaluation abandoned: %w", err)
+	}
 	if !job.Done() {
 		return RunResult{Plan: plan}, priv,
 			fmt.Errorf("job %q did not complete (simulation drained early)", r.Job.Name)

@@ -1,0 +1,92 @@
+package core
+
+import "sync"
+
+// Group is an exported single-flight: concurrent Do/DoChan calls that
+// share a key execute the supplied function exactly once and all receive
+// the leader's result. It generalises the Runner's in-memory memo — which
+// single-flights plan evaluations inside one Runner — to callers that
+// coalesce across requests, keyed by the content digest EvalDigest
+// produces (the tuning daemon coalesces identical in-flight API requests
+// this way).
+//
+// Unlike the Runner memo, a Group forgets a key as soon as its call
+// completes: it deduplicates concurrent work, it does not cache. The
+// zero Group is ready to use.
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// FlightResult is one delivery from DoChan.
+type FlightResult struct {
+	Val any
+	Err error
+	// Shared reports whether the value was also delivered to other
+	// waiters (i.e. the call was coalesced).
+	Shared bool
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+	dups int
+}
+
+// Do executes fn under key, single-flighted: if an identical call is
+// already in flight, Do waits for it and returns its result. shared
+// reports whether the result was delivered to more than one caller.
+func (g *Group) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	ch, leader := g.DoChan(key, fn)
+	r := <-ch
+	return r.Val, r.Err, r.Shared || !leader
+}
+
+// DoChan is Do with a channel: it returns a 1-buffered channel that will
+// receive the call's result, and reports whether this caller is the
+// leader (the one whose fn executes, on a new goroutine). Followers'
+// fns are never called. The key is forgotten once the leader's fn
+// returns, so later calls with the same key start fresh work.
+//
+// The leader's fn runs detached from any individual caller: a follower
+// that stops waiting (e.g. its request context expires) does not cancel
+// the work, and the remaining waiters still receive the result.
+func (g *Group) DoChan(key string, fn func() (any, error)) (<-chan FlightResult, bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		ch := make(chan FlightResult, 1)
+		go func() {
+			<-c.done
+			ch <- FlightResult{Val: c.val, Err: c.err, Shared: true}
+		}()
+		return ch, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	ch := make(chan FlightResult, 1)
+	go func() {
+		c.val, c.err = fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		shared := c.dups > 0
+		g.mu.Unlock()
+		close(c.done)
+		ch <- FlightResult{Val: c.val, Err: c.err, Shared: shared}
+	}()
+	return ch, true
+}
+
+// InFlight reports how many distinct keys are currently executing.
+func (g *Group) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

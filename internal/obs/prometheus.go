@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4):
+//
+//   - counters emit one `# TYPE name counter` header and a single sample;
+//   - gauges emit `# TYPE name gauge` and a single sample;
+//   - histograms emit `# TYPE name histogram` with cumulative
+//     `name_bucket{le="…"}` samples (the mandatory `le="+Inf"` bucket
+//     included) plus `name_sum` and `name_count`.
+//
+// Instrument names are sanitised for Prometheus (every character outside
+// [a-zA-Z0-9_:] becomes '_', a leading digit gains a '_' prefix), so the
+// registry's dotted names ("disk.read_ms" → "disk_read_ms") scrape
+// cleanly. Output is sorted by sanitised name and is deterministic for a
+// given snapshot. A nil snapshot writes nothing and returns nil.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+
+	// Sanitised names can collide ("a.b" and "a/b" both map to "a_b");
+	// dedupe deterministically by keeping the first original name in
+	// sorted order and suffixing later collisions.
+	emit := func(kind string, names []string, sample func(orig, name string)) {
+		seen := make(map[string]string, len(names))
+		for _, orig := range names {
+			name := promName(orig)
+			if prev, ok := seen[name]; ok && prev != orig {
+				name = name + "_" + strconv.Itoa(len(seen))
+			}
+			seen[name] = orig
+			fmt.Fprintf(bw, "# TYPE %s %s\n", name, kind)
+			sample(orig, name)
+		}
+	}
+
+	emit("counter", sortedKeys(s.Counters), func(orig, name string) {
+		fmt.Fprintf(bw, "%s %d\n", name, s.Counters[orig])
+	})
+	emit("gauge", sortedKeys(s.Gauges), func(orig, name string) {
+		fmt.Fprintf(bw, "%s %s\n", name, promFloat(s.Gauges[orig]))
+	})
+	emit("histogram", sortedKeys(s.Histograms), func(orig, name string) {
+		h := s.Histograms[orig]
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Edges) {
+				le = promFloat(h.Edges[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(bw, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	})
+	return bw.Flush()
+}
+
+// WritePrometheus snapshots the registry and renders it in the Prometheus
+// text exposition format (see Snapshot.WritePrometheus). A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// promName sanitises an instrument name into the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], prefixing a '_' when the name would otherwise
+// start with a digit. Empty names become "_".
+func promName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9')
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+		}
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float sample the way Prometheus expects: shortest
+// round-trip representation, with the special values spelled +Inf / -Inf /
+// NaN.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePromText is a strict little parser for the Prometheus text
+// exposition format: every non-comment line must be `name[{labels}] value`,
+// every sample must follow a `# TYPE` header for its family, histogram
+// bucket counts must be cumulative and end in le="+Inf". It returns the
+// sample map keyed by the full series name (with labels).
+func parsePromText(t *testing.T, data []byte) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	types := make(map[string]string)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="[^"]+"\})? (\S+)$`)
+	var lastHistFamily string
+	var lastCum float64
+	sawInf := true
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			name, kind := parts[2], parts[3]
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Fatalf("unknown type %q in %q", kind, line)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("duplicate TYPE for %s", name)
+			}
+			types[name] = kind
+			if kind == "histogram" {
+				if !sawInf {
+					t.Fatalf("histogram %s ended without le=\"+Inf\"", lastHistFamily)
+				}
+				lastHistFamily, lastCum, sawInf = name, 0, false
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		var v float64
+		switch valStr {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		case "NaN":
+			v = math.NaN()
+		default:
+			var err error
+			v, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) && types[strings.TrimSuffix(name, suffix)] == "histogram" {
+				family = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if _, ok := types[family]; !ok {
+			t.Fatalf("sample %q has no TYPE header", line)
+		}
+		if labels != "" {
+			if types[family] != "histogram" || !strings.HasSuffix(name, "_bucket") {
+				t.Fatalf("unexpected labels on %q", line)
+			}
+			if family != lastHistFamily {
+				t.Fatalf("bucket %q outside its histogram block", line)
+			}
+			if v < lastCum {
+				t.Fatalf("non-cumulative bucket counts in %s: %v after %v", family, v, lastCum)
+			}
+			lastCum = v
+			if labels == `{le="+Inf"}` {
+				sawInf = true
+			}
+		}
+		samples[name+labels] = v
+	}
+	if !sawInf {
+		t.Fatalf("histogram %s ended without le=\"+Inf\"", lastHistFamily)
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("disk.reads_total").Add(7)
+	r.Counter("elevator.switches").Inc()
+	r.Gauge("mapred.duration_s").Set(12.5)
+	r.GaugeWith("queue.depth_peak", MergeMax).Set(3)
+	h := r.Histogram("io.latency_ms", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(1e6) // overflow bucket
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples := parsePromText(t, buf.Bytes())
+
+	want := map[string]float64{
+		"disk_reads_total":              7,
+		"elevator_switches":             1,
+		"mapred_duration_s":             12.5,
+		"queue_depth_peak":              3,
+		`io_latency_ms_bucket{le="1"}`:  1,
+		`io_latency_ms_bucket{le="10"}`: 3,
+		// le="100" bucket: cumulative, still 3.
+		`io_latency_ms_bucket{le="100"}`:  3,
+		`io_latency_ms_bucket{le="+Inf"}`: 4,
+		"io_latency_ms_sum":               1000010.5,
+		"io_latency_ms_count":             4,
+	}
+	for name, v := range want {
+		got, ok := samples[name]
+		if !ok {
+			t.Fatalf("missing series %s in:\n%s", name, buf.String())
+		}
+		if got != v {
+			t.Fatalf("%s = %v, want %v", name, got, v)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("b.count").Add(2)
+		r.Counter("a.count").Add(1)
+		r.Gauge("z.g").Set(9)
+		r.Histogram("m.h", []float64{1, 2}).Observe(1.5)
+		return r
+	}
+	var one, two bytes.Buffer
+	if err := build().WritePrometheus(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePrometheus(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatalf("non-deterministic output:\n%s\nvs\n%s", one.String(), two.String())
+	}
+	// Sorted family order: a.count before b.count.
+	if ai, bi := strings.Index(one.String(), "a_count"), strings.Index(one.String(), "b_count"); ai > bi {
+		t.Fatalf("families not sorted:\n%s", one.String())
+	}
+}
+
+func TestWritePrometheusEdgeCases(t *testing.T) {
+	// Nil snapshot and nil registry are silent no-ops.
+	var buf bytes.Buffer
+	var s *Snapshot
+	if err := s.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil snapshot wrote %q err %v", buf.String(), err)
+	}
+	var r *Registry
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q err %v", buf.String(), err)
+	}
+
+	if got := promName("9lives"); got != "_9lives" {
+		t.Fatalf("promName leading digit: %q", got)
+	}
+	if got := promName("disk/read-ms.p99"); got != "disk_read_ms_p99" {
+		t.Fatalf("promName: %q", got)
+	}
+	if got := promFloat(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("promFloat inf: %q", got)
+	}
+
+	// Colliding sanitised names must not produce duplicate TYPE headers.
+	reg := NewRegistry()
+	reg.Counter("a.b").Add(1)
+	reg.Counter("a/b").Add(2)
+	var out bytes.Buffer
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	parsePromText(t, out.Bytes()) // fails on duplicate TYPE
+}
+
+func TestWritePrometheusFromSimulatedSnapshot(t *testing.T) {
+	// A registry round-tripped through Snapshot/Absorb still exports.
+	r := NewRegistry()
+	r.Counter("c").Add(4)
+	r.Histogram("h", ExpEdges(1, 10, 3)).Observe(55)
+	snap := r.Snapshot()
+
+	agg := NewRegistry()
+	agg.Absorb(snap)
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("absorbed registry exports differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"sync"
+
+	"adaptmr/internal/obs"
+)
+
+// Instrument names the server publishes. Together with the eval-cache
+// gauges they form the /metrics contract the smoke test scrapes.
+const (
+	mReqRun        = "server.requests.run"
+	mReqTune       = "server.requests.tune"
+	mReqBruteforce = "server.requests.bruteforce"
+	mRespOK        = "server.responses.ok"
+	mRespError     = "server.responses.error"
+	mRejected      = "server.queue.rejected_total"
+	mCoalesced     = "server.coalesced_total"
+	mTimeouts      = "server.timeouts_total"
+	mEvaluations   = "runner.evaluations_total"
+
+	mQueueDepth    = "server.queue.depth"
+	mQueueCapacity = "server.queue.capacity"
+	mWorkersBusy   = "server.workers.busy"
+	mWorkersTotal  = "server.workers.total"
+	mUptime        = "server.uptime_s"
+
+	mCacheHits     = "evalcache.hits"
+	mCacheMisses   = "evalcache.misses"
+	mCacheBypasses = "evalcache.bypasses"
+
+	mRequestSeconds = "server.request_seconds"
+)
+
+// requestSecondsEdges spans 1 ms … ~65 s exponentially — simulation
+// requests range from milliseconds (tiny runs, cache hits) to tens of
+// seconds (full tuning searches).
+var requestSecondsEdges = obs.ExpEdges(0.001, 2, 17)
+
+// lockedRegistry makes an obs.Registry safe for the server's concurrent
+// handlers. The obs package keeps its instruments unsynchronised on
+// purpose (the simulation is single-goroutine per cluster and pays no
+// locking cost); the server is the multi-goroutine holder, so the locks
+// live here.
+type lockedRegistry struct {
+	mu  sync.Mutex
+	reg *obs.Registry
+}
+
+func newLockedRegistry() *lockedRegistry {
+	return &lockedRegistry{reg: obs.NewRegistry()}
+}
+
+func (l *lockedRegistry) addCounter(name string, v int64) {
+	l.mu.Lock()
+	l.reg.Counter(name).Add(v)
+	l.mu.Unlock()
+}
+
+func (l *lockedRegistry) counterValue(name string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reg.Counter(name).Value()
+}
+
+func (l *lockedRegistry) setGauge(name string, v float64) {
+	l.mu.Lock()
+	l.reg.Gauge(name).Set(v)
+	l.mu.Unlock()
+}
+
+func (l *lockedRegistry) observe(name string, edges []float64, v float64) {
+	l.mu.Lock()
+	l.reg.Histogram(name, edges).Observe(v)
+	l.mu.Unlock()
+}
+
+// snapshot returns a point-in-time copy, safe to encode outside the lock.
+func (l *lockedRegistry) snapshot() *obs.Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reg.Snapshot()
+}

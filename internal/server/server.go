@@ -1,0 +1,503 @@
+// Package server implements adaptd, the tuning-as-a-service daemon: an
+// HTTP JSON API over the adaptmr facade. POST /v1/run executes one job
+// under an explicit phase plan, POST /v1/tune runs the paper's adaptive
+// meta-scheduler, POST /v1/bruteforce the exhaustive search. GET
+// /healthz, /statusz and /metrics expose liveness, a JSON status page
+// and Prometheus text exposition.
+//
+// Requests execute on a bounded worker pool behind a bounded admission
+// queue: a full queue answers 429 with Retry-After instead of queueing
+// unbounded work. Identical in-flight requests — same content digest
+// after normalisation — are coalesced onto a single evaluation
+// (core.Group), so a thundering herd of equal tuning calls costs one
+// search. Each request is bounded by a deadline (its timeout_ms, capped
+// by the server maximum) that cancellation threads down into the
+// simulation event loop. Shutdown drains: admission stops, admitted work
+// finishes, then the base context is cancelled to abort anything still
+// running.
+//
+// Every 200 body is produced by the same deterministic encoding as a
+// local facade run, so served results are byte-comparable with local
+// ones.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"adaptmr"
+	"adaptmr/internal/core"
+)
+
+// Config parameterises a Server. The zero value is usable: every field
+// falls back to the documented default.
+type Config struct {
+	// Workers is how many requests execute concurrently (each request
+	// internally runs its evaluations on Parallelism workers). Default 2:
+	// request-level concurrency multiplies evaluation-level concurrency,
+	// so a small number avoids oversubscription.
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue answers 429.
+	// Default 64.
+	QueueDepth int
+	// RequestTimeout is the default and maximum per-request execution
+	// deadline; requests may ask for less via timeout_ms. Default 60 s.
+	RequestTimeout time.Duration
+	// Parallelism is each request's evaluation worker count
+	// (adaptmr.WithParallelism). 0 means GOMAXPROCS.
+	Parallelism int
+	// EvalCacheDir, when non-empty, attaches a shared on-disk evaluation
+	// cache (one handle across all requests, so /statusz aggregates its
+	// hit/miss tallies). Note that cached hits make the evaluations field
+	// of responses depend on server history; leave empty when
+	// byte-stability of that field matters more than speed.
+	EvalCacheDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// Server is the adaptd HTTP service. Create with New, expose with
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	cache *adaptmr.EvalCache
+
+	pool   *pool
+	flight core.Group
+	met    *lockedRegistry
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+	start      time.Time
+
+	mux *http.ServeMux
+
+	// testExecGate, when set, is called by a worker right before a task
+	// executes. Tests use it to hold workers mid-task deterministically
+	// (filling the queue for backpressure tests, overlapping identical
+	// requests for coalescing tests). Must be set before any request.
+	testExecGate func(endpoint string)
+}
+
+// New builds a Server from cfg (zero fields take defaults) and starts
+// its worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		met:   newLockedRegistry(),
+		start: time.Now(),
+	}
+	if cfg.EvalCacheDir != "" {
+		cache, err := adaptmr.OpenEvalCache(cfg.EvalCacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening eval cache: %w", err)
+		}
+		s.cache = cache
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth)
+	s.met.setGauge(mQueueCapacity, float64(cfg.QueueDepth))
+	s.met.setGauge(mWorkersTotal, float64(cfg.Workers))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/tune", s.handleTune)
+	mux.HandleFunc("/v1/bruteforce", s.handleBruteforce)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: new work is rejected (503), admitted work
+// — queued and in-flight — finishes, then the base context is cancelled.
+// If ctx expires before the drain completes, cancellation happens anyway
+// (aborting in-flight evaluations at their next context check) and ctx's
+// error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.pool.drain(ctx)
+	s.baseCancel()
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// POST endpoints
+// ---------------------------------------------------------------------------
+
+// prepared is a parsed, validated, normalised request ready to execute:
+// its coalescing key, its deadline, and the execution closure that
+// produces the encoded 200 payload.
+type prepared struct {
+	key     string
+	timeout time.Duration
+	exec    func(ctx context.Context) ([]byte, error)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.servePost(w, r, "run", mReqRun, func(dec *json.Decoder) (prepared, error) {
+		var req RunRequest
+		if err := decodeStrict(dec, &req); err != nil {
+			return prepared{}, err
+		}
+		cfg, err := buildCluster(req.Cluster)
+		if err != nil {
+			return prepared{}, err
+		}
+		job, err := buildJob(req.Job)
+		if err != nil {
+			return prepared{}, err
+		}
+		scheme, err := buildScheme(req.Phases)
+		if err != nil {
+			return prepared{}, err
+		}
+		plan, err := buildPlan(scheme, req.Plan)
+		if err != nil {
+			return prepared{}, err
+		}
+		timeout, err := timeoutFor(req.TimeoutMS, s.cfg.RequestTimeout)
+		if err != nil {
+			return prepared{}, err
+		}
+		key, err := runKey(cfg, job, plan)
+		if err != nil {
+			return prepared{}, err
+		}
+		return prepared{key: key, timeout: timeout, exec: func(ctx context.Context) ([]byte, error) {
+			tuner := s.newTuner(ctx, cfg, job)
+			res, err := tuner.RunPlan(plan)
+			s.noteEvaluations(tuner)
+			if err != nil {
+				return nil, err
+			}
+			return encodePayload(runResponse(res, tuner.Evaluations()))
+		}}, nil
+	})
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	s.serveSearch(w, r, "tune", mReqTune)
+}
+
+func (s *Server) handleBruteforce(w http.ResponseWriter, r *http.Request) {
+	s.serveSearch(w, r, "bruteforce", mReqBruteforce)
+}
+
+// serveSearch handles /v1/tune and /v1/bruteforce, which share the
+// TuneRequest shape and differ only in the search they run.
+func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, endpoint, counter string) {
+	s.servePost(w, r, endpoint, counter, func(dec *json.Decoder) (prepared, error) {
+		var req TuneRequest
+		if err := decodeStrict(dec, &req); err != nil {
+			return prepared{}, err
+		}
+		cfg, err := buildCluster(req.Cluster)
+		if err != nil {
+			return prepared{}, err
+		}
+		job, err := buildJob(req.Job)
+		if err != nil {
+			return prepared{}, err
+		}
+		scheme, err := buildScheme(req.Phases)
+		if err != nil {
+			return prepared{}, err
+		}
+		candidates, err := buildCandidates(req.Candidates)
+		if err != nil {
+			return prepared{}, err
+		}
+		timeout, err := timeoutFor(req.TimeoutMS, s.cfg.RequestTimeout)
+		if err != nil {
+			return prepared{}, err
+		}
+		key, err := tuneKey(endpoint, cfg, job, scheme, candidates)
+		if err != nil {
+			return prepared{}, err
+		}
+		return prepared{key: key, timeout: timeout, exec: func(ctx context.Context) ([]byte, error) {
+			tuner := s.newTuner(ctx, cfg, job).WithScheme(scheme).WithCandidates(candidates)
+			if endpoint == "bruteforce" {
+				res, err := tuner.BruteForce()
+				s.noteEvaluations(tuner)
+				if err != nil {
+					return nil, err
+				}
+				return encodePayload(runResponse(res, tuner.Evaluations()))
+			}
+			res, err := tuner.Tune()
+			s.noteEvaluations(tuner)
+			if err != nil {
+				return nil, err
+			}
+			return encodePayload(tuneResponse(res))
+		}}, nil
+	})
+}
+
+// newTuner builds the per-request tuner: the request's context, the
+// server's parallelism and (when configured) the shared eval cache.
+func (s *Server) newTuner(ctx context.Context, cfg adaptmr.ClusterConfig, job adaptmr.JobConfig) *adaptmr.Tuner {
+	opts := []adaptmr.Option{
+		adaptmr.WithParallelism(s.cfg.Parallelism),
+		adaptmr.WithContext(ctx),
+	}
+	if s.cache != nil {
+		opts = append(opts, adaptmr.WithEvalCacheHandle(s.cache))
+	}
+	return adaptmr.NewTuner(cfg, job, opts...)
+}
+
+func (s *Server) noteEvaluations(t *adaptmr.Tuner) {
+	if n := t.Evaluations(); n > 0 {
+		s.met.addCounter(mEvaluations, int64(n))
+	}
+}
+
+// servePost is the shared POST pipeline: method and draining checks,
+// strict body decode, prepare (parse + validate + key), single-flight
+// coalescing, pool admission, and error mapping.
+func (s *Server) servePost(w http.ResponseWriter, r *http.Request, endpoint, counter string,
+	prepare func(*json.Decoder) (prepared, error)) {
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires POST", r.URL.Path))
+		return
+	}
+	s.met.addCounter(counter, 1)
+	began := time.Now()
+	if s.draining.Load() {
+		s.replyError(w, ErrDraining)
+		return
+	}
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	p, err := prepare(dec)
+	if err != nil {
+		s.replyError(w, err)
+		return
+	}
+
+	// The leader's closure performs pool admission, so coalesced
+	// followers never consume queue slots — a herd of identical requests
+	// costs one slot and one evaluation. The leader runs detached from
+	// any single client: a follower that disconnects does not cancel the
+	// shared work.
+	ch, leader := s.flight.DoChan(p.key, func() (any, error) {
+		t := newTask()
+		t.run = func() {
+			if s.testExecGate != nil {
+				s.testExecGate(endpoint)
+			}
+			ctx, cancel := context.WithTimeout(s.baseCtx, p.timeout)
+			defer cancel()
+			t.val, t.err = p.exec(ctx)
+		}
+		if err := s.pool.submit(t); err != nil {
+			return nil, err
+		}
+		<-t.done
+		return t.val, t.err
+	})
+	if !leader {
+		s.met.addCounter(mCoalesced, 1)
+	}
+	res := <-ch
+	s.met.observe(mRequestSeconds, requestSecondsEdges, time.Since(began).Seconds())
+	if res.Err != nil {
+		s.replyError(w, res.Err)
+		return
+	}
+	s.met.addCounter(mRespOK, 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(res.Val.([]byte))
+}
+
+// decodeStrict decodes exactly one JSON object, rejecting unknown fields
+// and trailing data.
+func decodeStrict(dec *json.Decoder, v any) error {
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badf("decoding request body: %v", err)
+	}
+	if dec.More() {
+		return badf("request body has trailing data after the JSON object")
+	}
+	return nil
+}
+
+// replyError maps an execution or validation error onto the HTTP error
+// contract: 400 for validation, 429 + Retry-After for a full queue, 503
+// while draining, 504 when the request's deadline fired or the server
+// aborted it, 500 otherwise.
+func (s *Server) replyError(w http.ResponseWriter, err error) {
+	s.met.addCounter(mRespError, 1)
+	var br badRequest
+	switch {
+	case errors.As(err, &br):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		s.met.addCounter(mRejected, 1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		s.met.addCounter(mTimeouts, 1)
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(errorBody{Error: msg})
+	if err != nil { // errorBody cannot fail to marshal; belt and braces
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// ---------------------------------------------------------------------------
+// GET endpoints
+// ---------------------------------------------------------------------------
+
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires GET", r.URL.Path))
+		return false
+	}
+	return true
+}
+
+// handleHealthz answers 200 "ok" while serving and 503 "draining" once
+// shutdown has begun, so load balancers stop routing before the listener
+// closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+// statuszPayload is the /statusz JSON document.
+type statuszPayload struct {
+	UptimeS  float64 `json:"uptime_s"`
+	Draining bool    `json:"draining"`
+
+	Workers struct {
+		Busy  int `json:"busy"`
+		Total int `json:"total"`
+	} `json:"workers"`
+	Queue struct {
+		Depth    int `json:"depth"`
+		Capacity int `json:"capacity"`
+	} `json:"queue"`
+
+	Requests struct {
+		Run        int64 `json:"run"`
+		Tune       int64 `json:"tune"`
+		Bruteforce int64 `json:"bruteforce"`
+	} `json:"requests"`
+	Responses struct {
+		OK    int64 `json:"ok"`
+		Error int64 `json:"error"`
+	} `json:"responses"`
+	Rejected    int64 `json:"rejected"`
+	Coalesced   int64 `json:"coalesced"`
+	Timeouts    int64 `json:"timeouts"`
+	Evaluations int64 `json:"evaluations"`
+
+	EvalCache *evalCacheStatus `json:"evalcache,omitempty"`
+}
+
+type evalCacheStatus struct {
+	Dir string `json:"dir"`
+	adaptmr.EvalCacheStats
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	var p statuszPayload
+	p.UptimeS = time.Since(s.start).Seconds()
+	p.Draining = s.draining.Load()
+	p.Workers.Busy = s.pool.busyWorkers()
+	p.Workers.Total = s.cfg.Workers
+	p.Queue.Depth = s.pool.depth()
+	p.Queue.Capacity = s.cfg.QueueDepth
+	p.Requests.Run = s.met.counterValue(mReqRun)
+	p.Requests.Tune = s.met.counterValue(mReqTune)
+	p.Requests.Bruteforce = s.met.counterValue(mReqBruteforce)
+	p.Responses.OK = s.met.counterValue(mRespOK)
+	p.Responses.Error = s.met.counterValue(mRespError)
+	p.Rejected = s.met.counterValue(mRejected)
+	p.Coalesced = s.met.counterValue(mCoalesced)
+	p.Timeouts = s.met.counterValue(mTimeouts)
+	p.Evaluations = s.met.counterValue(mEvaluations)
+	if s.cache != nil {
+		p.EvalCache = &evalCacheStatus{Dir: s.cfg.EvalCacheDir, EvalCacheStats: s.cache.Stats()}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format, refreshing the point-in-time gauges (queue, workers, uptime,
+// cache tallies) at scrape time.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	s.met.setGauge(mQueueDepth, float64(s.pool.depth()))
+	s.met.setGauge(mWorkersBusy, float64(s.pool.busyWorkers()))
+	s.met.setGauge(mUptime, time.Since(s.start).Seconds())
+	if s.cache != nil {
+		st := s.cache.Stats()
+		s.met.setGauge(mCacheHits, float64(st.Hits))
+		s.met.setGauge(mCacheMisses, float64(st.Misses))
+		s.met.setGauge(mCacheBypasses, float64(st.Bypasses))
+	}
+	snap := s.met.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.WritePrometheus(w)
+}
