@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 
+	"adaptmr/internal/check"
 	"adaptmr/internal/cluster"
 	"adaptmr/internal/core"
 	"adaptmr/internal/experiments"
@@ -120,6 +121,7 @@ type options struct {
 	evalCacheDir string
 	evalCache    *core.EvalCache
 	ctx          context.Context
+	check        *check.Set
 }
 
 func buildOptions(opts []Option) options {
@@ -140,7 +142,24 @@ func (o options) apply(cfg ClusterConfig) ClusterConfig {
 	if o.metrics != nil {
 		cfg.Obs.Metrics = o.metrics
 	}
+	if o.check != nil {
+		cfg.Check = o.check
+	}
 	return cfg
+}
+
+// verify runs the end-of-run invariant audit when checking is enabled and
+// the run completed; abandoned runs (err != nil) skip the audit because a
+// half-drained simulation legitimately holds in-flight requests.
+func (o options) verify(err error) error {
+	if err != nil || o.check == nil {
+		return err
+	}
+	o.check.Finalize()
+	if cerr := o.check.Err(); cerr != nil {
+		return fmt.Errorf("adaptmr: invariant check failed: %w", cerr)
+	}
+	return nil
 }
 
 // WithTracer records every simulated layer's events into t (export with
@@ -149,6 +168,17 @@ func WithTracer(t *Tracer) Option { return func(o *options) { o.tracer = t } }
 
 // WithMetrics aggregates counters/gauges/histograms into m.
 func WithMetrics(m *Metrics) Option { return func(o *options) { o.metrics = m } }
+
+// WithInvariantChecks attaches the runtime correctness harness
+// (internal/check) to every block queue the entry point builds: each
+// request's lifecycle, the queue depth, elevator-switch drains, merge byte
+// conservation and the schedulers' starvation bounds are verified as the
+// simulation runs, and an end-of-run audit confirms nothing leaked. A
+// violation surfaces as an error from the entry point. Overhead is a few
+// percent; the zero-option default runs unchecked.
+func WithInvariantChecks() Option {
+	return func(o *options) { o.check = check.NewSet() }
+}
 
 // WithParallelism sets the evaluation worker count for tuners and chain
 // tuning. n <= 0 (the default) means GOMAXPROCS. Output is byte-identical
@@ -180,6 +210,16 @@ func WithEvalCacheHandle(c *EvalCache) Option { return func(o *options) { o.eval
 // ignore it.
 func WithContext(ctx context.Context) Option { return func(o *options) { o.ctx = ctx } }
 
+// CheckSet aggregates runtime invariant checkers and their violations
+// (see WithInvariantChecks). Experiment drivers that build cluster
+// configs directly can attach one via ClusterConfig.Check and audit it
+// with Finalize + Err once the runs complete. Safe for concurrent use
+// across parallel evaluations.
+type CheckSet = check.Set
+
+// NewCheckSet returns an empty invariant-checker set.
+func NewCheckSet() *CheckSet { return check.NewSet() }
+
 // EvalCache is the on-disk content-addressed evaluation cache (see
 // WithEvalCache / WithEvalCacheHandle). Safe for concurrent use.
 type EvalCache = core.EvalCache
@@ -207,6 +247,9 @@ func Run(cfg ClusterConfig, job JobConfig, pair Pair, opts ...Option) (JobResult
 	}
 	if !j.Done() {
 		return JobResult{}, fmt.Errorf("adaptmr: job %q did not complete (simulation drained early)", job.Name)
+	}
+	if err := o.verify(nil); err != nil {
+		return JobResult{}, err
 	}
 	return j.Result(), nil
 }
@@ -300,6 +343,7 @@ type Tuner struct {
 	scheme  Scheme
 	pairs   []Pair
 	initErr error
+	opts    options
 }
 
 // NewTuner creates a tuner over all 16 pairs with the two-phase scheme.
@@ -310,7 +354,7 @@ func NewTuner(cfg ClusterConfig, job JobConfig, opts ...Option) *Tuner {
 	r := core.NewRunner(cfg, job)
 	r.Parallelism = o.parallelism
 	r.Context = o.ctx
-	t := &Tuner{runner: r, scheme: core.TwoPhases}
+	t := &Tuner{runner: r, scheme: core.TwoPhases, opts: o}
 	switch {
 	case o.evalCache != nil:
 		r.DiskCache = o.evalCache
@@ -357,7 +401,11 @@ func (t *Tuner) Tune() (TuningResult, error) {
 	if t.initErr != nil {
 		return TuningResult{}, t.initErr
 	}
-	return core.Heuristic(t.runner, t.scheme, t.pairs)
+	res, err := core.Heuristic(t.runner, t.scheme, t.pairs)
+	if err := t.opts.verify(err); err != nil {
+		return TuningResult{}, err
+	}
+	return res, nil
 }
 
 // RunPlan executes the job under an explicit plan (switching pairs at
@@ -366,7 +414,11 @@ func (t *Tuner) RunPlan(p Plan) (core.RunResult, error) {
 	if t.initErr != nil {
 		return core.RunResult{}, t.initErr
 	}
-	return t.runner.Run(p)
+	res, err := t.runner.Run(p)
+	if err := t.opts.verify(err); err != nil {
+		return core.RunResult{}, err
+	}
+	return res, nil
 }
 
 // BruteForce exhaustively evaluates every plan (S^P job executions,
@@ -376,7 +428,11 @@ func (t *Tuner) BruteForce() (core.RunResult, error) {
 	if t.initErr != nil {
 		return core.RunResult{}, t.initErr
 	}
-	return core.BruteForce(t.runner, t.scheme, t.pairs)
+	res, err := core.BruteForce(t.runner, t.scheme, t.pairs)
+	if err := t.opts.verify(err); err != nil {
+		return core.RunResult{}, err
+	}
+	return res, nil
 }
 
 // Profile runs the job once per candidate pair with no switching and
@@ -390,7 +446,11 @@ func (t *Tuner) Profile() ([]Profile, error) {
 	if len(pairs) == 0 {
 		pairs = iosched.AllPairs()
 	}
-	return t.runner.ProfilePairs(pairs)
+	res, err := t.runner.ProfilePairs(pairs)
+	if err := t.opts.verify(err); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Evaluations reports how many distinct job executions the tuner has run
@@ -425,7 +485,11 @@ func DefaultFineGrained() *FineGrained { return core.DefaultFineGrained() }
 // the job result and the number of switch commands issued.
 func RunFineGrained(cfg ClusterConfig, job JobConfig, fg *FineGrained, opts ...Option) (JobResult, int, error) {
 	o := buildOptions(opts)
-	return core.RunFineGrained(o.apply(cfg), job, fg)
+	res, switches, err := core.RunFineGrained(o.apply(cfg), job, fg)
+	if err := o.verify(err); err != nil {
+		return JobResult{}, 0, err
+	}
+	return res, switches, nil
 }
 
 // ChainResult is a chained (Pig-style) multi-job execution.
@@ -439,7 +503,11 @@ type ChainTuning = core.ChainTuning
 // stage produced.
 func RunChain(cfg ClusterConfig, stages []JobConfig, plans []Plan, opts ...Option) (ChainResult, error) {
 	o := buildOptions(opts)
-	return core.RunChain(o.apply(cfg), stages, plans)
+	res, err := core.RunChain(o.apply(cfg), stages, plans)
+	if err := o.verify(err); err != nil {
+		return ChainResult{}, err
+	}
+	return res, nil
 }
 
 // TuneChain tunes each stage with the two-phase heuristic and compares the
@@ -447,7 +515,11 @@ func RunChain(cfg ClusterConfig, stages []JobConfig, plans []Plan, opts ...Optio
 // each stage's evaluation worker count.
 func TuneChain(cfg ClusterConfig, stages []JobConfig, opts ...Option) (ChainTuning, error) {
 	o := buildOptions(opts)
-	return core.TuneChain(o.apply(cfg), stages, o.parallelism)
+	res, err := core.TuneChain(o.apply(cfg), stages, o.parallelism)
+	if err := o.verify(err); err != nil {
+		return ChainTuning{}, err
+	}
+	return res, nil
 }
 
 // Predictor estimates plan times from profiles plus a switch-cost model

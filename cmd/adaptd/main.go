@@ -49,6 +49,7 @@ func main() {
 	workers := flag.Int("workers", 2, "concurrently executing requests")
 	parallel := cliutil.BindParallelFlag(flag.CommandLine)
 	evalCache := cliutil.BindEvalCacheFlag(flag.CommandLine)
+	checkInv := cliutil.BindCheckFlag(flag.CommandLine)
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute,
 		"how long shutdown waits for in-flight requests before aborting them")
 	flag.Parse()
@@ -61,11 +62,12 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     sf.QueueDepth,
-		RequestTimeout: sf.RequestTimeout,
-		Parallelism:    *parallel,
-		EvalCacheDir:   *evalCache,
+		Workers:         *workers,
+		QueueDepth:      sf.QueueDepth,
+		RequestTimeout:  sf.RequestTimeout,
+		Parallelism:     *parallel,
+		EvalCacheDir:    *evalCache,
+		CheckInvariants: *checkInv,
 	})
 	if err != nil {
 		fail(err)

@@ -81,6 +81,7 @@ type simFlags struct {
 	seed     *int64
 	slowdown *float64
 	points   *int
+	check    *bool
 }
 
 func bindSimFlags(fs *flag.FlagSet) *simFlags {
@@ -93,6 +94,7 @@ func bindSimFlags(fs *flag.FlagSet) *simFlags {
 		seed:     fs.Int64("seed", 1, "simulation seed"),
 		slowdown: fs.Float64("slowdown", 0, "slow host 0's disk by this factor (0 = off; for gate testing)"),
 		points:   fs.Int("timeseries-points", 0, "timeseries sample cap (0 = default 160)"),
+		check:    cliutil.BindCheckFlag(fs),
 	}
 }
 
@@ -134,6 +136,7 @@ func (sf *simFlags) run() (*adaptmr.Report, error) {
 		Workload:         *sf.bench,
 		InputMB:          *sf.inputMB,
 		TimeseriesPoints: *sf.points,
+		CheckInvariants:  *sf.check,
 	})
 }
 

@@ -52,6 +52,7 @@ func main() {
 	metricsOut := cliutil.BindMetricsFlags(flag.CommandLine)
 	parallel := cliutil.BindParallelFlag(flag.CommandLine)
 	evalCache := cliutil.BindEvalCacheFlag(flag.CommandLine)
+	checkInv := cliutil.BindCheckFlag(flag.CommandLine)
 	prof := cliutil.BindProfileFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -78,6 +79,9 @@ func main() {
 	opts = append(opts, adaptmr.WithParallelism(*parallel))
 	if *evalCache != "" {
 		opts = append(opts, adaptmr.WithEvalCache(*evalCache))
+	}
+	if *checkInv {
+		opts = append(opts, adaptmr.WithInvariantChecks())
 	}
 
 	var wl adaptmr.Workload

@@ -41,6 +41,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file covering every simulated job")
 	metricsOut := cliutil.BindMetricsFlags(flag.CommandLine)
 	parallel := cliutil.BindParallelFlag(flag.CommandLine)
+	checkInv := cliutil.BindCheckFlag(flag.CommandLine)
 	prof := cliutil.BindProfileFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -63,6 +64,11 @@ func main() {
 	if metricsOut.Enabled() {
 		metrics = adaptmr.NewMetrics()
 		cfg.Cluster.Obs.Metrics = metrics
+	}
+	var checks *adaptmr.CheckSet
+	if *checkInv {
+		checks = adaptmr.NewCheckSet()
+		cfg.Cluster.Check = checks
 	}
 
 	var w io.Writer = os.Stdout
@@ -94,6 +100,15 @@ func main() {
 	if err := adaptmr.RunExperimentsCSV(cfg, w, *csvDir, subset...); err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 		os.Exit(1)
+	}
+
+	if checks != nil {
+		checks.Finalize()
+		if err := checks.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "paperbench: invariant checks clean")
 	}
 
 	if tracer != nil {

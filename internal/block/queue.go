@@ -47,7 +47,13 @@ type QueueStats struct {
 	WriteBytes     int64
 	MergedRequests int64
 	TotalWait      sim.Duration // time from Issued to Completed, summed
-	Switches       int          // elevator switches performed
+	// Switches counts physical switch drains: commands that arrive while a
+	// drain is already in progress coalesce into it and do not add here.
+	Switches int
+	// SwitchCommands counts every SetElevator call accepted, including
+	// coalesced ones; SwitchCommands - Switches is how many commands were
+	// absorbed into an already-running drain.
+	SwitchCommands int
 	SwitchStall    sim.Duration // total time submissions were blocked by switching
 }
 
@@ -83,6 +89,14 @@ type Queue struct {
 	inflight int
 	wake     *sim.Event
 
+	// dispatching guards kick against re-entrancy: a device that completes
+	// synchronously re-enters complete→kick while the outer dispatch loop
+	// is still running. Re-entrant kicks set rekick instead, and the outer
+	// loop re-polls the elevator, so exactly one dispatch loop — and at
+	// most one wake timer — exists at any time.
+	dispatching bool
+	rekick      bool
+
 	switching   bool
 	switchStart sim.Time
 	switchFrom  string
@@ -90,6 +104,9 @@ type Queue struct {
 	nextElv     Elevator
 	switchStall sim.Duration
 	switchDone  []func()
+	// finishEv is the pending stall timer scheduled once the drain
+	// completed; a coalescing SetElevator restarts it with its own reinit.
+	finishEv *sim.Event
 
 	stats QueueStats
 
@@ -121,6 +138,9 @@ func (q *Queue) Pending() int {
 
 // InFlight returns the number of requests currently at the device.
 func (q *Queue) InFlight() int { return q.inflight }
+
+// Depth returns the dispatch depth the queue enforces at the device.
+func (q *Queue) Depth() int { return q.depth }
 
 // Switching reports whether an elevator switch is draining.
 func (q *Queue) Switching() bool { return q.switching }
@@ -183,15 +203,34 @@ func (q *Queue) addToElevator(r *Request) {
 // Switching to an elevator with the same name still drains — the paper
 // observes that re-assigning the same pair through the switch command is
 // costly.
+//
+// Coalescing semantics: commands that arrive while a drain is already in
+// progress are absorbed into it. The latest command's target AND reinit
+// win; if the drain had already finished and the re-init stall timer was
+// running, the timer restarts with the new reinit (the new elevator's
+// init cost starts when it is named). Exactly one SwitchInfo is emitted
+// per physical drain, with From naming the elevator that actually
+// drained; every queued onDone callback fires when that drain finishes.
+// stats.Switches counts physical drains; stats.SwitchCommands counts
+// every accepted command.
 func (q *Queue) SetElevator(elv Elevator, reinit sim.Duration, onDone func()) {
 	if elv == nil {
 		panic("block: nil elevator")
 	}
+	q.stats.SwitchCommands++
 	if q.switching {
-		// Coalesce: the most recent target wins.
+		// Coalesce: the most recent target and reinit win.
 		q.nextElv = elv
+		q.switchStall = reinit
 		if onDone != nil {
 			q.switchDone = append(q.switchDone, onDone)
+		}
+		if q.finishEv != nil {
+			// The drain already completed and the stall timer is running:
+			// restart it with the new elevator's re-init cost.
+			q.finishEv.Cancel()
+			q.finishEv = nil
+			q.scheduleFinish()
 		}
 		return
 	}
@@ -209,11 +248,17 @@ func (q *Queue) SetElevator(elv Elevator, reinit sim.Duration, onDone func()) {
 }
 
 func (q *Queue) maybeFinishSwitch() {
-	if !q.switching || q.elv.Pending() > 0 || q.inflight > 0 {
+	if !q.switching || q.finishEv != nil || q.elv.Pending() > 0 || q.inflight > 0 {
 		return
 	}
-	stall := q.switchStall
-	q.eng.Schedule(stall, func() {
+	q.scheduleFinish()
+}
+
+// scheduleFinish arms the post-drain re-init stall timer; when it fires
+// the new elevator takes over and the backlog replays.
+func (q *Queue) scheduleFinish() {
+	q.finishEv = q.eng.Schedule(q.switchStall, func() {
+		q.finishEv = nil
 		q.elv = q.nextElv
 		q.nextElv = nil
 		q.switching = false
@@ -244,8 +289,28 @@ func (q *Queue) maybeFinishSwitch() {
 	})
 }
 
-// kick dispatches requests while the device has capacity.
+// kick dispatches requests while the device has capacity. Re-entrant
+// calls (synchronous completion, submission from a completion callback)
+// defer to the running loop via rekick; the loop re-polls the elevator
+// until no re-entrant kick arrived, so all state changes are observed by
+// exactly one dispatch loop.
 func (q *Queue) kick() {
+	if q.dispatching {
+		q.rekick = true
+		return
+	}
+	q.dispatching = true
+	for {
+		q.rekick = false
+		q.dispatchLoop()
+		if !q.rekick {
+			break
+		}
+	}
+	q.dispatching = false
+}
+
+func (q *Queue) dispatchLoop() {
 	if q.wake != nil {
 		q.wake.Cancel()
 		q.wake = nil
@@ -254,6 +319,11 @@ func (q *Queue) kick() {
 		r, wakeAt := q.elv.Dispatch(q.eng.Now())
 		if r == nil {
 			if wakeAt > q.eng.Now() {
+				// Cancel-before-set: never leave a second live wake timer
+				// behind (the historical double-kick bug).
+				if q.wake != nil {
+					q.wake.Cancel()
+				}
 				q.wake = q.eng.At(wakeAt, func() {
 					q.wake = nil
 					q.kick()

@@ -1,0 +1,149 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// seedPrograms returns hand-built fuzz inputs covering the interesting
+// regimes: synchronous (zero-latency) completion, deep queues, adjacent
+// extents that merge, async write bursts, and switch storms. The same
+// inputs are committed under testdata/fuzz/FuzzElevators so plain
+// `go test` replays them as corpus.
+func seedPrograms() [][]byte {
+	// Decoder layout: depth byte, latency byte, then ops. Submit ops read
+	// 6 bytes (selector, flags, stream, sector hi/lo, count), delays 2,
+	// switches 3.
+	sub := func(flags, stream, secHi, secLo, count byte) []byte {
+		return []byte{0, flags, stream, secHi, secLo, count}
+	}
+	delay := func(d byte) []byte { return []byte{6, d} }
+	swtch := func(target, reinit byte) []byte { return []byte{7, target, reinit} }
+	cat := func(parts ...[]byte) []byte {
+		var out []byte
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+
+	var seeds [][]byte
+
+	// Zero-latency device, depth 1: synchronous completion inside
+	// Service, the regime that historically re-entered Queue.kick.
+	seeds = append(seeds, cat(
+		[]byte{0, 0},
+		sub(0, 1, 0, 10, 8), sub(0, 1, 0, 100, 8), sub(1, 2, 1, 0, 16),
+		delay(5), sub(2, 1, 0, 50, 4), sub(3, 3, 2, 0, 32),
+	))
+
+	// Adjacent sectors from one stream: exercises back/front merging and
+	// the sorted-list refresh path.
+	seeds = append(seeds, cat(
+		[]byte{3, 2},
+		sub(0, 1, 0, 64, 8), sub(0, 1, 0, 72, 8), sub(0, 1, 0, 56, 8),
+		sub(0, 1, 0, 80, 8), delay(1), sub(0, 1, 0, 48, 8),
+	))
+
+	// Async write burst against sync readers: CFQ slices, async
+	// starvation accounting, AS write batches.
+	seeds = append(seeds, cat(
+		[]byte{1, 1},
+		sub(1, 0, 2, 0, 32), sub(1, 0, 2, 64, 32), sub(1, 1, 4, 0, 32),
+		sub(0, 2, 0, 8, 8), delay(3), sub(0, 3, 8, 0, 8), sub(1, 2, 6, 0, 16),
+	))
+
+	// Switch storm: back-to-back elevator switches, some while a drain is
+	// in progress, with submissions landing in the backlog.
+	seeds = append(seeds, cat(
+		[]byte{2, 2},
+		sub(0, 1, 0, 10, 8), swtch(1, 2), sub(0, 2, 0, 200, 8),
+		swtch(2, 1), swtch(0, 3), sub(1, 1, 1, 0, 16),
+		delay(10), sub(0, 3, 2, 0, 8), swtch(3, 0), sub(0, 1, 0, 20, 8),
+	))
+
+	// Deep queue, slow device: depth 8 keeps several requests in flight.
+	seeds = append(seeds, cat(
+		[]byte{7, 3},
+		sub(0, 0, 0, 1, 4), sub(0, 1, 0, 2, 4), sub(0, 2, 0, 3, 4),
+		sub(0, 3, 0, 4, 4), sub(1, 0, 0, 5, 4), sub(1, 1, 0, 6, 4),
+		sub(2, 2, 0, 7, 4), sub(3, 3, 0, 8, 4), sub(0, 0, 0, 9, 4),
+	))
+
+	return seeds
+}
+
+// FuzzElevators is the differential fuzzer: it decodes the input into a
+// workload program and replays it against all four elevators plus the
+// RefFIFO reference model, each under the invariant checker, then
+// cross-checks conservation and terminal state (see DiffRun).
+func FuzzElevators(f *testing.F) {
+	for _, seed := range seedPrograms() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, ok := DecodeProgram(data)
+		if !ok {
+			return
+		}
+		if err := DiffRun(prog); err != nil {
+			t.Fatalf("program depth=%d latency=%v ops=%d: %v",
+				prog.Depth, prog.Latency, len(prog.Ops), err)
+		}
+	})
+}
+
+// TestSeedProgramsDecode pins that every committed seed decodes into a
+// nontrivial program (guards the decoder against layout drift that would
+// silently turn the corpus into no-ops).
+func TestSeedProgramsDecode(t *testing.T) {
+	for i, seed := range seedPrograms() {
+		prog, ok := DecodeProgram(seed)
+		if !ok {
+			t.Fatalf("seed %d no longer decodes", i)
+		}
+		if prog.Submits == 0 {
+			t.Fatalf("seed %d decodes to zero submissions", i)
+		}
+	}
+}
+
+// TestWriteSeedCorpus regenerates the committed corpus files under
+// testdata/fuzz/FuzzElevators from seedPrograms. It is skipped unless
+// WRITE_SEED_CORPUS=1, so the corpus only changes deliberately:
+//
+//	WRITE_SEED_CORPUS=1 go test ./internal/check -run TestWriteSeedCorpus
+func TestWriteSeedCorpus(t *testing.T) {
+	if os.Getenv("WRITE_SEED_CORPUS") == "" {
+		t.Skip("set WRITE_SEED_CORPUS=1 to regenerate the committed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzElevators")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seedPrograms() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDiffRunSeeds runs the full differential check over the seed corpus
+// under plain `go test` (no -fuzz needed), so CI exercises the harness on
+// every run.
+func TestDiffRunSeeds(t *testing.T) {
+	for i, seed := range seedPrograms() {
+		prog, ok := DecodeProgram(seed)
+		if !ok {
+			t.Fatalf("seed %d no longer decodes", i)
+		}
+		if err := DiffRun(prog); err != nil {
+			t.Errorf("seed %d: %v", i, err)
+		}
+	}
+}

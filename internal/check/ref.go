@@ -1,0 +1,45 @@
+package check
+
+import (
+	"adaptmr/internal/block"
+	"adaptmr/internal/sim"
+)
+
+// RefName is the reference model's scheduler name.
+const RefName = "ref-fifo"
+
+// RefFIFO is the trivially-correct reference elevator the differential
+// fuzzer compares the real schedulers against: strict submission-order FIFO,
+// no merging, no sorting, no idling, no batching. Every policy decision that
+// could hide a bug is absent, so any conservation or terminal-state
+// disagreement between RefFIFO and a real elevator on the same program
+// points at the real elevator (or the queue underneath both).
+type RefFIFO struct {
+	reqs []*block.Request
+}
+
+// NewRefFIFO returns an empty reference elevator.
+func NewRefFIFO() *RefFIFO { return &RefFIFO{} }
+
+// Name implements block.Elevator.
+func (s *RefFIFO) Name() string { return RefName }
+
+// Add implements block.Elevator.
+func (s *RefFIFO) Add(r *block.Request, _ sim.Time) { s.reqs = append(s.reqs, r) }
+
+// Dispatch implements block.Elevator.
+func (s *RefFIFO) Dispatch(_ sim.Time) (*block.Request, sim.Time) {
+	if len(s.reqs) == 0 {
+		return nil, 0
+	}
+	r := s.reqs[0]
+	copy(s.reqs, s.reqs[1:])
+	s.reqs = s.reqs[:len(s.reqs)-1]
+	return r, 0
+}
+
+// Completed implements block.Elevator.
+func (s *RefFIFO) Completed(_ *block.Request, _ sim.Time) {}
+
+// Pending implements block.Elevator.
+func (s *RefFIFO) Pending() int { return len(s.reqs) }

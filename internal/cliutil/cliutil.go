@@ -100,6 +100,15 @@ func BindEvalCacheFlag(fs *flag.FlagSet) *string {
 		"directory for the on-disk evaluation cache (empty = disabled; ignored while -trace/-metrics are set)")
 }
 
+// BindCheckFlag registers the shared -check flag: attach the runtime
+// invariant checker (internal/check) to every simulated block queue and
+// fail the run if any lifecycle, conservation or starvation-bound
+// invariant is violated.
+func BindCheckFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("check", false,
+		"attach runtime invariant checks to every block queue (a violation fails the run)")
+}
+
 // ServerFlags is the shared flag bundle for daemon-style commands
 // (cmd/adaptd): listen address, per-request deadline and admission-queue
 // depth.

@@ -7,6 +7,7 @@ package cluster
 import (
 	"fmt"
 
+	"adaptmr/internal/check"
 	"adaptmr/internal/guestio"
 	"adaptmr/internal/hdfs"
 	"adaptmr/internal/iosched"
@@ -37,6 +38,11 @@ type Config struct {
 	// every component built for this cluster. The zero value disables
 	// observation entirely.
 	Obs obs.Sink
+
+	// Check, when non-nil, attaches runtime invariant checkers to every
+	// block queue in the cluster (each host's Dom0 queue and every guest
+	// queue). See internal/check; nil disables checking at zero cost.
+	Check *check.Set
 
 	// HostDiskSlowdown optionally makes specific hosts' disks slower by
 	// the given factor (2.0 = half the transfer rate, double the seeks) —
@@ -89,6 +95,7 @@ func New(cfg Config) *Cluster {
 	for h := 0; h < cfg.Hosts; h++ {
 		hostCfg := cfg.Host
 		hostCfg.Obs = cfg.Obs
+		hostCfg.Check = cfg.Check
 		if f, ok := cfg.HostDiskSlowdown[h]; ok && f > 0 {
 			hostCfg.Disk.TransferMBps /= f
 			hostCfg.Disk.SeekMin = sim.Duration(float64(hostCfg.Disk.SeekMin) * f)

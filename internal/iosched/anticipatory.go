@@ -100,7 +100,11 @@ func (s *AnticipatorySched) Add(r *block.Request, now sim.Time) {
 			s.misses[r.Stream] = 0
 		}
 	}
-	if s.merges.tryMerge(r) != nil {
+	if g := s.merges.tryMerge(r); g != nil {
+		if g.Sector == r.Sector {
+			// Front merge moved g's start sector; restore sort order.
+			s.sorted[g.Op].refresh(g)
+		}
 		return
 	}
 	s.sorted[r.Op].insert(r)

@@ -72,8 +72,12 @@ func (s *CFQSched) queueFor(r *block.Request) *cfqQueue {
 }
 
 // Add implements block.Elevator.
-func (s *CFQSched) Add(r *block.Request, _ sim.Time) {
-	if s.merges.tryMerge(r) != nil {
+func (s *CFQSched) Add(r *block.Request, now sim.Time) {
+	if g := s.merges.tryMerge(r); g != nil {
+		if g.Sector == r.Sector {
+			// Front merge moved g's start sector; restore sort order.
+			s.queueFor(g).list.refresh(g)
+		}
 		return
 	}
 	q := s.queueFor(r)
@@ -85,8 +89,15 @@ func (s *CFQSched) Add(r *block.Request, _ sim.Time) {
 		s.rr = append(s.rr, q)
 	}
 	if s.idling && s.active == q {
-		// The stream we idled for came back; the slice resumes.
-		s.idling = false
+		if now < s.sliceEnd {
+			// The stream we idled for came back; the slice resumes.
+			s.idling = false
+		} else {
+			// The slice expired while we idled: never resume a stale
+			// slice — expire it so the stream competes for a fresh one
+			// through the round-robin ring like everybody else.
+			s.expire()
+		}
 	}
 }
 
@@ -137,6 +148,12 @@ func (s *CFQSched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 // read traffic cannot block writeback forever.
 func (s *CFQSched) nextQueue() *cfqQueue {
 	const maxAsyncStarve = 16
+	if !s.asyncPending() {
+		// No async work is waiting, so any accumulated starvation debt is
+		// void. Without this reset a later async burst would inherit stale
+		// debt and jump ahead of sync queues on arrival.
+		s.asyncStarved = 0
+	}
 	var firstAsync *cfqQueue
 	scanned := 0
 	n := len(s.rr)
@@ -178,10 +195,12 @@ func (s *CFQSched) nextQueue() *cfqQueue {
 
 func (s *CFQSched) asyncPending() bool { return s.async.list.len() > 0 }
 
+// expire ends the current slice. An emptied queue stays on the ring with
+// onRR set and is dropped lazily by the nextQueue scan; because nextQueue
+// re-appends a queue exactly once when selecting it (and Add checks onRR
+// before appending), a queue never appears on rr twice — pinned by
+// TestCFQNoDuplicateQueuesOnRing.
 func (s *CFQSched) expire() {
-	if s.active != nil && s.active.list.len() == 0 {
-		// Drop the empty queue from the ring lazily via onRR bookkeeping.
-	}
 	s.active = nil
 	s.idling = false
 }

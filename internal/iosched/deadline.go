@@ -49,7 +49,11 @@ func (s *DeadlineSched) expire(op block.Op) sim.Duration {
 
 // Add implements block.Elevator.
 func (s *DeadlineSched) Add(r *block.Request, now sim.Time) {
-	if s.merges.tryMerge(r) != nil {
+	if g := s.merges.tryMerge(r); g != nil {
+		if g.Sector == r.Sector {
+			// Front merge moved g's start sector; restore sort order.
+			s.sorted[g.Op].refresh(g)
+		}
 		return
 	}
 	s.sorted[r.Op].insert(r)

@@ -179,6 +179,14 @@ func (l *sortedList) remove(r *block.Request) {
 	panic("iosched: removing request not in sorted list")
 }
 
+// refresh restores r's sort position after its start sector changed (a
+// front merge moves the extent start backwards, silently breaking the
+// ascending invariant the binary searches in insert/next rely on).
+func (l *sortedList) refresh(r *block.Request) {
+	l.remove(r)
+	l.insert(r)
+}
+
 // next returns the first request at or beyond pos, wrapping to the lowest
 // sector when the scan passes the end (one-way elevator / C-SCAN).
 func (l *sortedList) next(pos int64) *block.Request {

@@ -58,6 +58,10 @@ type Config struct {
 	// of responses depend on server history; leave empty when
 	// byte-stability of that field matters more than speed.
 	EvalCacheDir string
+	// CheckInvariants attaches the runtime correctness harness
+	// (adaptmr.WithInvariantChecks) to every simulation the server runs;
+	// an invariant violation fails the request with a 500.
+	CheckInvariants bool
 }
 
 func (c Config) withDefaults() Config {
@@ -268,6 +272,9 @@ func (s *Server) newTuner(ctx context.Context, cfg adaptmr.ClusterConfig, job ad
 	}
 	if s.cache != nil {
 		opts = append(opts, adaptmr.WithEvalCacheHandle(s.cache))
+	}
+	if s.cfg.CheckInvariants {
+		opts = append(opts, adaptmr.WithInvariantChecks())
 	}
 	return adaptmr.NewTuner(cfg, job, opts...)
 }

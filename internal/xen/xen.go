@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"adaptmr/internal/block"
+	"adaptmr/internal/check"
 	"adaptmr/internal/cpusim"
 	"adaptmr/internal/disk"
 	"adaptmr/internal/iosched"
@@ -45,6 +46,10 @@ type HostConfig struct {
 	// Obs receives traces and metrics from the host's queues and disk.
 	// The zero value disables observation.
 	Obs obs.Sink
+	// Check, when non-nil, attaches runtime invariant checkers to every
+	// queue built for this host (Dom0 and each guest). Violations
+	// accumulate in the set; nil disables checking at zero cost.
+	Check *check.Set
 }
 
 // DefaultHostConfig mirrors the paper testbed: Xen 3.4.2, one SATA disk,
@@ -95,6 +100,9 @@ func NewHost(eng *sim.Engine, id int, numVMs int, cfg HostConfig) *Host {
 	h.guestSched.Counters = obs.NewSchedCounters(cfg.Obs.Metrics, "sched.vm")
 	h.disk = disk.New(eng, cfg.Disk)
 	h.dom0 = block.NewQueue(eng, iosched.MustNew(h.pair.VMM, h.dom0Sched), h.disk, cfg.Dom0Depth)
+	if cfg.Check != nil {
+		cfg.Check.Attach(eng, h.dom0, fmt.Sprintf("host%d/dom0", id), h.dom0Sched)
+	}
 	if cfg.Obs.Enabled() {
 		pid := cfg.Obs.HostPID(id)
 		if tr := cfg.Obs.Trace; tr != nil {
@@ -213,6 +221,9 @@ func newDomain(h *Host, index int) *Domain {
 		panic("xen: VM extents exceed disk capacity")
 	}
 	d.q = block.NewQueue(h.Eng, iosched.MustNew(h.pair.VM, h.guestSched), ring{d}, h.cfg.GuestDepth)
+	if h.cfg.Check != nil {
+		h.cfg.Check.Attach(h.Eng, d.q, fmt.Sprintf("host%d/vm%d", h.ID, index), h.guestSched)
+	}
 	d.VCPU = cpusim.New(h.Eng, h.cfg.VCPUSpeed)
 	if h.cfg.Obs.Enabled() {
 		pid := h.cfg.Obs.HostPID(h.ID)

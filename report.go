@@ -1,6 +1,8 @@
 package adaptmr
 
 import (
+	"fmt"
+
 	"adaptmr/internal/analyze"
 	"adaptmr/internal/cluster"
 	"adaptmr/internal/mapred"
@@ -30,6 +32,11 @@ type ReportOptions struct {
 	// TimeseriesPoints caps the fixed-interval sample count (default
 	// 160).
 	TimeseriesPoints int
+
+	// CheckInvariants attaches the runtime correctness harness
+	// (internal/check) to every block queue of the instrumented run; a
+	// violation fails the report.
+	CheckInvariants bool
 }
 
 // RunReport executes one job under a single scheduler pair on a fresh,
@@ -43,12 +50,23 @@ func RunReport(cfg ClusterConfig, job JobConfig, pair Pair, opts ReportOptions) 
 	cfg.Obs.Trace = tracer
 	cfg.Obs.Metrics = metrics
 	cfg.Obs.PIDBase = 0
+	var checks *CheckSet
+	if opts.CheckInvariants {
+		checks = NewCheckSet()
+		cfg.Check = checks
+	}
 
 	cl := cluster.New(cfg)
 	smp := analyze.NewSampler()
 	smp.AttachCluster(cl)
 	cl.InstallPair(pair)
 	res := mapred.Run(cl, job)
+	if checks != nil {
+		checks.Finalize()
+		if err := checks.Err(); err != nil {
+			return nil, fmt.Errorf("adaptmr: report run failed invariant checks: %w", err)
+		}
+	}
 
 	return analyze.Build(tracer, res.Metrics, smp, analyze.Options{
 		PIDBase:          0,
