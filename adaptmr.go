@@ -37,6 +37,7 @@ import (
 	"adaptmr/internal/iosched"
 	"adaptmr/internal/mapred"
 	"adaptmr/internal/obs"
+	"adaptmr/internal/obs/perfstat"
 	"adaptmr/internal/sim"
 	"adaptmr/internal/workloads"
 )
@@ -122,6 +123,7 @@ type options struct {
 	evalCache    *core.EvalCache
 	ctx          context.Context
 	check        *check.Set
+	perf         bool
 }
 
 func buildOptions(opts []Option) options {
@@ -199,6 +201,18 @@ func WithEvalCache(dir string) Option { return func(o *options) { o.evalCacheDir
 // supplied.
 func WithEvalCacheHandle(c *EvalCache) Option { return func(o *options) { o.evalCache = c } }
 
+// WithPerfStats collects engine self-telemetry around each executed
+// simulation: wall clock, events processed, events/sec, allocation and GC
+// deltas. Run places the measurement on JobResult.Perf; tuner entry points
+// place per-evaluation stats on each RunResult.Perf and publish perf.*
+// gauges into the attached metrics registry. Off by default: the probe's
+// runtime.ReadMemStats calls briefly stop the world, and the values are
+// machine-dependent (never cached, never byte-deterministic).
+func WithPerfStats() Option { return func(o *options) { o.perf = true } }
+
+// PerfStat is one run's engine self-telemetry (see WithPerfStats).
+type PerfStat = perfstat.Stat
+
 // WithContext bounds every evaluation with ctx: cancellation or deadline
 // expiry is checked before each evaluation and periodically inside the
 // simulation event loop, so a tuning search can be abandoned mid-run.
@@ -242,16 +256,21 @@ func Run(cfg ClusterConfig, job JobConfig, pair Pair, opts ...Option) (JobResult
 	cl.InstallPair(pair)
 	j := mapred.NewJob(cl, job)
 	j.Start(nil)
+	probe := perfstat.Start(o.perf, cl.Eng)
 	if err := core.RunEngine(o.ctx, cl.Eng); err != nil {
 		return JobResult{}, fmt.Errorf("adaptmr: job %q abandoned: %w", job.Name, err)
 	}
+	perf := probe.Stop()
 	if !j.Done() {
 		return JobResult{}, fmt.Errorf("adaptmr: job %q did not complete (simulation drained early)", job.Name)
 	}
 	if err := o.verify(nil); err != nil {
 		return JobResult{}, err
 	}
-	return j.Result(), nil
+	perfstat.Publish(cfg.Obs.Metrics, perf)
+	res := j.Result()
+	res.Perf = perf
+	return res, nil
 }
 
 // RunJob executes one job under a single scheduler pair.
@@ -354,6 +373,7 @@ func NewTuner(cfg ClusterConfig, job JobConfig, opts ...Option) *Tuner {
 	r := core.NewRunner(cfg, job)
 	r.Parallelism = o.parallelism
 	r.Context = o.ctx
+	r.CollectPerf = o.perf
 	t := &Tuner{runner: r, scheme: core.TwoPhases, opts: o}
 	switch {
 	case o.evalCache != nil:

@@ -4,25 +4,33 @@
 //	POST /v1/run         execute one job under an explicit phase plan
 //	POST /v1/tune        run the adaptive meta-scheduler
 //	POST /v1/bruteforce  exhaustively search every plan
-//	GET  /healthz        liveness (200 ok, 503 while draining)
-//	GET  /statusz        JSON status: queue, workers, tallies, cache
+//	GET  /v1/stream      follow a streamed run live (SSE, ?id=<run_id>)
+//	GET  /healthz        liveness (200 ok while the process is up)
+//	GET  /readyz         readiness (200 ready, 503 while draining)
+//	GET  /statusz        JSON status: build, queue, workers, tallies
 //	GET  /metrics        Prometheus text exposition
+//	GET  /debug/pprof/   runtime profiling (only with -pprof)
 //
 // Requests execute on a bounded worker pool (-workers) behind a bounded
 // admission queue (-queue-depth); a full queue answers 429 with
 // Retry-After. Identical in-flight requests are coalesced onto a single
 // evaluation. Each request is bounded by -request-timeout (requests may
-// ask for less via timeout_ms). SIGINT/SIGTERM drain gracefully:
-// admission stops, in-flight work finishes and is answered, then the
-// listener closes.
+// ask for less via timeout_ms). A /v1/run request naming a run_id
+// streams its live elevator-depth/throughput timeseries at /v1/stream.
+// Diagnostics are structured logs on stderr (-log text|json[:level]),
+// each request's lines correlated by a per-request id. SIGINT/SIGTERM
+// drain gracefully: admission stops (readyz flips to 503), in-flight
+// work finishes and is answered, then the listener closes.
 //
 // Examples:
 //
 //	adaptd
-//	adaptd -addr :8080 -workers 4 -parallel 2
-//	adaptd -evalcache /var/cache/adaptmr -request-timeout 5m
+//	adaptd -addr :8080 -workers 4 -parallel 2 -log json:debug
+//	adaptd -evalcache /var/cache/adaptmr -request-timeout 5m -pprof
 //
 //	curl -s localhost:7070/v1/tune -d '{"job":{"bench":"sort","input_mb":512}}'
+//	curl -s localhost:7070/v1/run -d '{"plan":["cc"],"run_id":"r1"}' &
+//	curl -sN localhost:7070/v1/stream?id=r1
 package main
 
 import (
@@ -39,20 +47,27 @@ import (
 	"adaptmr/internal/server"
 )
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "adaptd:", err)
-	os.Exit(1)
-}
-
 func main() {
 	sf := cliutil.BindServerFlags(flag.CommandLine)
 	workers := flag.Int("workers", 2, "concurrently executing requests")
 	parallel := cliutil.BindParallelFlag(flag.CommandLine)
 	evalCache := cliutil.BindEvalCacheFlag(flag.CommandLine)
 	checkInv := cliutil.BindCheckFlag(flag.CommandLine)
+	logFlag := cliutil.BindLogFlag(flag.CommandLine)
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute,
 		"how long shutdown waits for in-flight requests before aborting them")
 	flag.Parse()
+
+	logger, err := logFlag.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptd:", err)
+		os.Exit(1)
+	}
+	fail := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 
 	if err := sf.Validate(); err != nil {
 		fail(err)
@@ -68,6 +83,8 @@ func main() {
 		Parallelism:     *parallel,
 		EvalCacheDir:    *evalCache,
 		CheckInvariants: *checkInv,
+		Logger:          logger,
+		EnablePprof:     *pprofFlag,
 	})
 	if err != nil {
 		fail(err)
@@ -80,8 +97,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "adaptd: listening on %s (workers %d, queue %d, request timeout %v)\n",
-			sf.Addr, *workers, sf.QueueDepth, sf.RequestTimeout)
+		logger.Info("listening", "addr", sf.Addr, "workers", *workers,
+			"queue_depth", sf.QueueDepth, "request_timeout", sf.RequestTimeout, "pprof", *pprofFlag)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -91,18 +108,18 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Drain: stop admitting (healthz flips to 503, new POSTs answer 503),
+	// Drain: stop admitting (readyz flips to 503, new POSTs answer 503),
 	// let in-flight requests finish and be answered, then close the
 	// listener. The HTTP shutdown runs after the pool drain so responses
 	// for drained work still reach their clients.
-	fmt.Fprintln(os.Stderr, "adaptd: draining...")
+	logger.Info("draining", "timeout", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "adaptd: drain incomplete:", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "adaptd: http shutdown:", err)
+		logger.Warn("http shutdown", "err", err)
 	}
-	fmt.Fprintln(os.Stderr, "adaptd: bye")
+	logger.Info("bye")
 }

@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
@@ -45,9 +46,24 @@ import (
 	"adaptmr/internal/cliutil"
 )
 
+// logger is the process-wide diagnostic logger; each subcommand rebinds it
+// from its parsed -log flag. Result output (reports, verdict tables) stays
+// on stdout — only diagnostics go through here.
+var logger = slog.Default()
+
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "adaptreport:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(2)
+}
+
+// initLogger resolves the parsed -log flag into the process logger.
+func initLogger(lf *cliutil.LogFlag) {
+	lg, err := lf.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptreport:", err)
+		os.Exit(2)
+	}
+	logger = lg
 }
 
 func usage() {
@@ -82,6 +98,8 @@ type simFlags struct {
 	slowdown *float64
 	points   *int
 	check    *bool
+	perf     *bool
+	log      *cliutil.LogFlag
 }
 
 func bindSimFlags(fs *flag.FlagSet) *simFlags {
@@ -95,6 +113,9 @@ func bindSimFlags(fs *flag.FlagSet) *simFlags {
 		slowdown: fs.Float64("slowdown", 0, "slow host 0's disk by this factor (0 = off; for gate testing)"),
 		points:   fs.Int("timeseries-points", 0, "timeseries sample cap (0 = default 160)"),
 		check:    cliutil.BindCheckFlag(fs),
+		perf: fs.Bool("perf", true,
+			"collect engine self-telemetry (wall clock, events/sec, allocs/event) into the bench summary; disable for byte-identical reports"),
+		log: cliutil.BindLogFlag(fs),
 	}
 }
 
@@ -137,6 +158,7 @@ func (sf *simFlags) run() (*adaptmr.Report, error) {
 		InputMB:          *sf.inputMB,
 		TimeseriesPoints: *sf.points,
 		CheckInvariants:  *sf.check,
+		CollectPerf:      *sf.perf,
 	})
 }
 
@@ -149,6 +171,7 @@ func cmdRun(args []string) {
 	evalCache := cliutil.BindEvalCacheFlag(fs)
 	prof := cliutil.BindProfileFlags(fs)
 	fs.Parse(args)
+	initLogger(sf.log)
 	if err := prof.Start(); err != nil {
 		fail(err)
 	}
@@ -218,8 +241,8 @@ func primeEvalCache(sf *simFlags, dir string) error {
 		return err
 	}
 	st := cache.Stats()
-	fmt.Fprintf(os.Stderr, "adaptreport: evalcache %s: hits=%d misses=%d bypasses=%d\n",
-		dir, st.Hits, st.Misses, st.Bypasses)
+	logger.Info("evalcache primed", "dir", dir,
+		"hits", st.Hits, "misses", st.Misses, "bypasses", st.Bypasses)
 	return nil
 }
 
@@ -236,6 +259,7 @@ func cmdGate(args []string) {
 		"also run the 16-pair profile sweep serial and with -parallel workers, verify identical output, and write the timing JSON here")
 	prof := cliutil.BindProfileFlags(fs)
 	fs.Parse(args)
+	initLogger(sf.log)
 	if err := prof.Start(); err != nil {
 		fail(err)
 	}
@@ -300,7 +324,9 @@ func cmdGate(args []string) {
 func cmdCompare(args []string) {
 	fs := flag.NewFlagSet("adaptreport compare", flag.ExitOnError)
 	tol := fs.Float64("tol", 0.05, "relative regression tolerance on gated metrics")
+	lf := cliutil.BindLogFlag(fs)
 	fs.Parse(args)
+	initLogger(lf)
 	if fs.NArg() != 2 {
 		fail(fmt.Errorf("compare needs exactly two bench JSON paths, got %d", fs.NArg()))
 	}

@@ -25,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -32,8 +33,12 @@ import (
 	"adaptmr/internal/cliutil"
 )
 
+// logger carries diagnostics to stderr (configured by -log); results
+// stay on stdout.
+var logger = slog.Default()
+
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "adaptsim:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }
 
@@ -54,7 +59,15 @@ func main() {
 	evalCache := cliutil.BindEvalCacheFlag(flag.CommandLine)
 	checkInv := cliutil.BindCheckFlag(flag.CommandLine)
 	prof := cliutil.BindProfileFlags(flag.CommandLine)
+	logFlag := cliutil.BindLogFlag(flag.CommandLine)
 	flag.Parse()
+
+	l, err := logFlag.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptsim:", err)
+		os.Exit(1)
+	}
+	logger = l
 
 	if err := prof.Start(); err != nil {
 		fail(err)

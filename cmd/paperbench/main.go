@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -28,8 +29,12 @@ import (
 	"adaptmr/internal/cliutil"
 )
 
+// logger carries diagnostics to stderr (configured by -log); artefact
+// output stays on stdout / -o.
+var logger = slog.Default()
+
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }
 
@@ -43,7 +48,15 @@ func main() {
 	parallel := cliutil.BindParallelFlag(flag.CommandLine)
 	checkInv := cliutil.BindCheckFlag(flag.CommandLine)
 	prof := cliutil.BindProfileFlags(flag.CommandLine)
+	logFlag := cliutil.BindLogFlag(flag.CommandLine)
 	flag.Parse()
+
+	l, err := logFlag.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+	logger = l
 
 	if err := prof.Start(); err != nil {
 		fail(err)
@@ -75,8 +88,7 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
@@ -93,28 +105,24 @@ func main() {
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 	if err := adaptmr.RunExperimentsCSV(cfg, w, *csvDir, subset...); err != nil {
-		fmt.Fprintln(os.Stderr, "paperbench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	if checks != nil {
 		checks.Finalize()
 		if err := checks.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Fprintln(os.Stderr, "paperbench: invariant checks clean")
+		logger.Info("invariant checks clean")
 	}
 
 	if tracer != nil {
 		if err := tracer.WriteFile(*tracePath); err != nil {
-			fmt.Fprintln(os.Stderr, "paperbench:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("trace: %d events written to %s\n", tracer.Len(), *tracePath)
 	}

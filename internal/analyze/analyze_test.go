@@ -281,6 +281,99 @@ func TestCompareGating(t *testing.T) {
 	}
 }
 
+func TestComparePerfGating(t *testing.T) {
+	base := Bench{
+		Schema: benchSchema, Workload: "sort", Hosts: 2, VMs: 2, InputMB: 64, Seed: 1, Pair: "cc",
+		MakespanS:      10,
+		WallS:          0.8,
+		EventsPerSec:   500_000,
+		AllocsPerEvent: 12,
+		BytesPerEvent:  640,
+		GCCycles:       3,
+		GCPauseMS:      0.4,
+	}
+	regressedMetric := func(c Comparison, metric string) bool {
+		for _, d := range c.Deltas {
+			if d.Metric == metric {
+				return d.Regressed
+			}
+		}
+		t.Fatalf("metric %s missing from comparison", metric)
+		return false
+	}
+
+	// Identical perf passes.
+	cmp, err := Compare(base, base, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Regressed() {
+		t.Fatalf("identical perf benches regressed: %+v", cmp.Deltas)
+	}
+
+	// An injected allocation regression (each event chain picked up a few
+	// extra allocs) trips the allocs/event gate.
+	cand := base
+	cand.AllocsPerEvent = 18
+	cmp, _ = Compare(base, cand, 0.05)
+	if !regressedMetric(cmp, "allocs_per_event") {
+		t.Fatal("+6 allocs/event should trip the alloc gate")
+	}
+
+	// A sub-floor alloc wiggle (< allocAbsFloor) passes even at 0 relative
+	// tolerance.
+	cand = base
+	cand.AllocsPerEvent = base.AllocsPerEvent + 1.5
+	cmp, _ = Compare(base, cand, 0)
+	if regressedMetric(cmp, "allocs_per_event") {
+		t.Fatal("sub-floor alloc change should not trip the gate")
+	}
+
+	// events/sec: a mild slowdown (CI runner noise) passes...
+	cand = base
+	cand.EventsPerSec = base.EventsPerSec * 0.6
+	cmp, _ = Compare(base, cand, 0.05)
+	if regressedMetric(cmp, "events_per_sec") {
+		t.Fatal("40% throughput dip should pass the wide gate")
+	}
+	// ...but a collapse trips it, regardless of the caller's tolerance.
+	cand = base
+	cand.EventsPerSec = base.EventsPerSec * 0.1
+	cmp, _ = Compare(base, cand, 0.05)
+	if !regressedMetric(cmp, "events_per_sec") {
+		t.Fatal("10x throughput collapse should trip the gate")
+	}
+	// Faster is improvement, never regression, for a higher-is-better gate.
+	cand = base
+	cand.EventsPerSec = base.EventsPerSec * 10
+	cmp, _ = Compare(base, cand, 0.05)
+	if regressedMetric(cmp, "events_per_sec") {
+		t.Fatal("faster candidate flagged as throughput regression")
+	}
+
+	// Benches without perf data (or mixed) degrade to informational: the
+	// zero→nonzero jump must not gate.
+	noPerf := base
+	noPerf.WallS, noPerf.EventsPerSec, noPerf.AllocsPerEvent = 0, 0, 0
+	noPerf.BytesPerEvent, noPerf.GCCycles, noPerf.GCPauseMS = 0, 0, 0
+	cmp, _ = Compare(noPerf, base, 0.05)
+	if cmp.Regressed() {
+		t.Fatalf("perf-less baseline vs perf candidate must not gate: %+v", cmp.Deltas)
+	}
+	cmp, _ = Compare(base, noPerf, 0.05)
+	if cmp.Regressed() {
+		t.Fatalf("perf baseline vs perf-less candidate must not gate: %+v", cmp.Deltas)
+	}
+
+	// Wall time and GC are informational even when wildly different.
+	cand = base
+	cand.WallS, cand.GCCycles, cand.GCPauseMS = 100, 50, 80
+	cmp, _ = Compare(base, cand, 0.05)
+	if cmp.Regressed() {
+		t.Fatal("wall/GC changes must not gate")
+	}
+}
+
 func TestSamplerFinalizeBuckets(t *testing.T) {
 	s := NewSampler()
 	// Two enqueues at 50ms and 150ms, one dispatch at 250ms; completes

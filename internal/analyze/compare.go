@@ -7,8 +7,9 @@ import (
 )
 
 // benchSchema versions the committed baseline format independently from
-// the full report schema.
-const benchSchema = "adaptmr-bench/v1"
+// the full report schema. v2 added the engine self-telemetry dimensions
+// (wall_s, events_per_sec, allocs_per_event, bytes_per_event, gc_*).
+const benchSchema = "adaptmr-bench/v2"
 
 // Bench is the compact, committed-to-git summary of one run: the
 // configuration labels that identify the workload plus the handful of
@@ -36,6 +37,18 @@ type Bench struct {
 	SwitchStallS float64            `json:"switch_stall_s"`
 	Dom0MB       float64            `json:"dom0_mb"`
 	SimEvents    int64              `json:"sim_events"`
+
+	// Engine self-telemetry (schema v2), present only when the run was
+	// executed with perf collection enabled. allocs_per_event is
+	// deterministic for a fixed toolchain and gates tightly;
+	// events_per_sec is wall-clock and machine-dependent, so it gates
+	// only on order-of-magnitude collapses; the rest are informational.
+	WallS          float64 `json:"wall_s,omitempty"`
+	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
+	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
+	BytesPerEvent  float64 `json:"bytes_per_event,omitempty"`
+	GCCycles       int64   `json:"gc_cycles,omitempty"`
+	GCPauseMS      float64 `json:"gc_pause_ms,omitempty"`
 }
 
 // benchFrom condenses a report into its gate summary.
@@ -61,6 +74,14 @@ func benchFrom(rep *Report, opts Options) Bench {
 	}
 	for layer, s := range rep.Critical.BlameS {
 		b.BlameS[layer] = round6(s)
+	}
+	if p := opts.Perf; p != nil {
+		b.WallS = round6(p.WallSeconds)
+		b.EventsPerSec = round6(p.EventsPerSec)
+		b.AllocsPerEvent = round6(p.AllocsPerEvent)
+		b.BytesPerEvent = round6(p.BytesPerEvent)
+		b.GCCycles = p.GCCycles
+		b.GCPauseMS = round6(p.GCPauseMS)
 	}
 	return b
 }
@@ -101,6 +122,20 @@ func (c Comparison) Regressed() bool {
 // should not fail CI.
 const absFloor = 0.005
 
+// allocAbsFloor is the absolute slack for the allocs/event gate: below two
+// extra allocations per event the gate stays quiet, so a single new
+// bookkeeping alloc on a cold path cannot fail CI, while a per-request
+// closure leak (typically +1 alloc per I/O, many I/Os per event chain)
+// still trips.
+const allocAbsFloor = 2.0
+
+// throughputTol is the relative tolerance for the events/sec gate. The
+// metric is wall-clock — shared CI runners routinely vary ±30% — so only a
+// collapse to a quarter of the baseline throughput trips the gate. The
+// gate exists to catch accidental algorithmic blowups (an O(n²) event
+// loop), not micro-regressions; those are the allocs/event gate's job.
+const throughputTol = 0.75
+
 // Compare gates cand against base with the given relative tolerance
 // (e.g. 0.05 = 5%). It errors if the two benches were produced by
 // different run configurations.
@@ -127,24 +162,51 @@ func Compare(base, cand Bench, tol float64) (Comparison, error) {
 	}
 	c.add("dom0_mb", base.Dom0MB, cand.Dom0MB, false, tol)
 	c.add("sim_events", float64(base.SimEvents), float64(cand.SimEvents), false, tol)
+
+	// Perf dimensions (schema v2). They gate only when both benches carry
+	// them, so comparing runs recorded without perf collection (or mixing
+	// one of each) degrades to informational reporting instead of
+	// spuriously flagging a zero→nonzero jump.
+	perfBoth := base.AllocsPerEvent > 0 && cand.AllocsPerEvent > 0
+	c.addMetric("allocs_per_event", base.AllocsPerEvent, cand.AllocsPerEvent,
+		perfBoth, tol, allocAbsFloor, false)
+	tputBoth := base.EventsPerSec > 0 && cand.EventsPerSec > 0
+	c.addMetric("events_per_sec", base.EventsPerSec, cand.EventsPerSec,
+		tputBoth, throughputTol, absFloor, true)
+	c.add("wall_s", base.WallS, cand.WallS, false, tol)
+	c.add("bytes_per_event", base.BytesPerEvent, cand.BytesPerEvent, false, tol)
+	c.add("gc_cycles", float64(base.GCCycles), float64(cand.GCCycles), false, tol)
+	c.add("gc_pause_ms", base.GCPauseMS, cand.GCPauseMS, false, tol)
 	return c, nil
 }
 
+// add records a lower-is-better metric with the default absolute floor.
 func (c *Comparison) add(metric string, base, cand float64, gated bool, tol float64) {
+	c.addMetric(metric, base, cand, gated, tol, absFloor, false)
+}
+
+// addMetric records one compared metric. floor is the absolute slack below
+// which the gate never trips; higherBetter inverts the regression
+// direction (a throughput metric regresses when the candidate drops).
+func (c *Comparison) addMetric(metric string, base, cand float64, gated bool, tol, floor float64, higherBetter bool) {
 	d := Delta{Metric: metric, Base: base, Candidate: cand, Gated: gated}
 	if base != 0 {
 		d.DeltaFrac = round6((cand - base) / base)
 	}
 	if gated {
 		slack := base * tol
-		if slack < absFloor {
-			slack = absFloor
+		if slack < 0 {
+			slack = -slack
 		}
-		if cand > base+slack {
-			d.Regressed = true
-		} else if cand < base-slack {
-			d.Improved = true
+		if slack < floor {
+			slack = floor
 		}
+		worse, better := cand > base+slack, cand < base-slack
+		if higherBetter {
+			worse, better = better, worse
+		}
+		d.Regressed = worse
+		d.Improved = better
 	}
 	c.Deltas = append(c.Deltas, d)
 }

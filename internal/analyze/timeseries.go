@@ -21,6 +21,14 @@ type Sampler struct {
 	outst map[string][]tsDelta // issued but not completed, per level
 	bytes map[string][]tsval   // completed bytes, per level
 	busy  [][]ival             // disk service spans, per attached disk
+
+	// Running counters maintained alongside the raw delta logs, so Live()
+	// can report the instantaneous state between simulation events (the
+	// adaptd SSE stream) without replaying the logs.
+	curDepth  map[string]int32
+	curOutst  map[string]int32
+	cumBytes  map[string]int64
+	completed int64
 }
 
 type tsDelta struct {
@@ -36,9 +44,12 @@ type tsval struct {
 // NewSampler returns an empty sampler.
 func NewSampler() *Sampler {
 	return &Sampler{
-		depth: map[string][]tsDelta{},
-		outst: map[string][]tsDelta{},
-		bytes: map[string][]tsval{},
+		depth:    map[string][]tsDelta{},
+		outst:    map[string][]tsDelta{},
+		bytes:    map[string][]tsval{},
+		curDepth: map[string]int32{},
+		curOutst: map[string]int32{},
+		cumBytes: map[string]int64{},
 	}
 }
 
@@ -48,17 +59,25 @@ func (s *Sampler) AttachQueue(q *block.Queue, level string) {
 	q.OnEnqueue(func(r *block.Request) {
 		s.depth[level] = append(s.depth[level], tsDelta{r.Issued, +1})
 		s.outst[level] = append(s.outst[level], tsDelta{r.Issued, +1})
+		s.curDepth[level]++
+		s.curOutst[level]++
 	})
 	q.OnMerge(func(parent, child *block.Request) {
 		s.depth[level] = append(s.depth[level], tsDelta{child.Issued, -1})
 		s.outst[level] = append(s.outst[level], tsDelta{child.Issued, -1})
+		s.curDepth[level]--
+		s.curOutst[level]--
 	})
 	q.OnDispatch(func(r *block.Request) {
 		s.depth[level] = append(s.depth[level], tsDelta{r.Dispatched, -1})
+		s.curDepth[level]--
 	})
 	q.OnComplete(func(r *block.Request) {
 		s.outst[level] = append(s.outst[level], tsDelta{r.Completed, -1})
 		s.bytes[level] = append(s.bytes[level], tsval{r.Completed, r.Bytes()})
+		s.curOutst[level]--
+		s.cumBytes[level] += r.Bytes()
+		s.completed++
 	})
 }
 
@@ -76,6 +95,41 @@ func (s *Sampler) AttachDisk(d *disk.Disk) {
 		start := r.Dispatched
 		s.busy[di] = append(s.busy[di], ival{int64(start), int64(start.Add(pos + xfer + overhead))})
 	}
+}
+
+// LiveSample is an instantaneous view of the sampler's running counters:
+// elevator depth and outstanding requests per level, cumulative completed
+// volume, and the completed request count. Reading one is O(levels) — cheap
+// enough to take between simulation events for live streaming.
+type LiveSample struct {
+	SimTimeS    float64            `json:"sim_time_s"`
+	Depth       map[string]int32   `json:"depth"`
+	Outstanding map[string]int32   `json:"outstanding"`
+	CumMB       map[string]float64 `json:"cum_mb"`
+	Requests    int64              `json:"requests"`
+}
+
+// Live returns the current running counters, stamped with the given
+// simulation time. It must be called from the simulation goroutine (the
+// sampler's hooks are not synchronised).
+func (s *Sampler) Live(now sim.Time) LiveSample {
+	ls := LiveSample{
+		SimTimeS:    now.Seconds(),
+		Depth:       make(map[string]int32, len(s.curDepth)),
+		Outstanding: make(map[string]int32, len(s.curOutst)),
+		CumMB:       make(map[string]float64, len(s.cumBytes)),
+		Requests:    s.completed,
+	}
+	for level, v := range s.curDepth {
+		ls.Depth[level] = v
+	}
+	for level, v := range s.curOutst {
+		ls.Outstanding[level] = v
+	}
+	for level, v := range s.cumBytes {
+		ls.CumMB[level] = round6(float64(v) / mb)
+	}
+	return ls
 }
 
 // AttachCluster wires the sampler to every Dom0 queue, guest queue and

@@ -111,7 +111,7 @@ type stubDevice struct {
 	active  int
 }
 
-func (d *stubDevice) Service(r *Request, done func()) {
+func (d *stubDevice) Service(r *Request, done func(*Request)) {
 	d.active++
 	if d.active > d.maxSeen {
 		d.maxSeen = d.active
@@ -119,7 +119,7 @@ func (d *stubDevice) Service(r *Request, done func()) {
 	d.served = append(d.served, r)
 	d.eng.Schedule(d.latency, func() {
 		d.active--
-		done()
+		done(r)
 	})
 }
 

@@ -33,10 +33,16 @@ type Elevator interface {
 // Device services dispatched requests; it is the physical disk under the
 // Dom0 queue and the blkfront/blkback ring under a guest queue.
 type Device interface {
-	// Service starts the request and invokes done exactly once on
-	// completion. The Queue enforces its dispatch depth; Service is never
-	// called with more than depth outstanding requests.
-	Service(r *Request, done func())
+	// Service starts the request and invokes done(r) exactly once on
+	// completion, passing back the same request. The Queue enforces its
+	// dispatch depth; Service is never called with more than depth
+	// outstanding requests.
+	//
+	// done is the same function value on every call (the queue binds it
+	// once at construction), so the dispatch hot path allocates nothing;
+	// devices that complete asynchronously capture r in their own
+	// completion event instead.
+	Service(r *Request, done func(*Request))
 }
 
 // QueueStats aggregates what flowed through a queue.
@@ -110,6 +116,12 @@ type Queue struct {
 
 	stats QueueStats
 
+	// completeFn is q.complete bound once at construction and handed to
+	// every Device.Service call, so dispatching a request allocates no
+	// per-request closure (the hooks-disabled hot path is allocation-free;
+	// BenchmarkHooksDisabled pins this at 0 allocs/op).
+	completeFn func(*Request)
+
 	onEnqueue  []func(*Request)
 	onMerge    []func(parent, child *Request)
 	onDispatch []func(*Request)
@@ -122,7 +134,9 @@ func NewQueue(eng *sim.Engine, elv Elevator, dev Device, depth int) *Queue {
 	if depth <= 0 {
 		panic("block: queue depth must be positive")
 	}
-	return &Queue{eng: eng, elv: elv, dev: dev, depth: depth}
+	q := &Queue{eng: eng, elv: elv, dev: dev, depth: depth}
+	q.completeFn = q.complete
+	return q
 }
 
 // Elevator returns the currently installed elevator.
@@ -340,8 +354,7 @@ func (q *Queue) dispatchLoop() {
 		for _, fn := range q.onDispatch {
 			fn(r)
 		}
-		req := r
-		q.dev.Service(req, func() { q.complete(req) })
+		q.dev.Service(r, q.completeFn)
 	}
 }
 

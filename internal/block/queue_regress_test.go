@@ -11,9 +11,9 @@ import (
 // re-enters Queue.kick through complete().
 type syncDevice struct{ served int }
 
-func (d *syncDevice) Service(_ *Request, done func()) {
+func (d *syncDevice) Service(r *Request, done func(*Request)) {
 	d.served++
-	done()
+	done(r)
 }
 
 // idleElv mimics an idling scheduler (CFQ slice_idle, AS anticipation): on

@@ -145,12 +145,12 @@ type lossyDevice struct {
 	count int
 }
 
-func (d *lossyDevice) Service(_ *block.Request, done func()) {
+func (d *lossyDevice) Service(r *block.Request, done func(*block.Request)) {
 	d.count++
 	if d.count == d.n {
 		return // lost
 	}
-	d.eng.Schedule(10*sim.Microsecond, done)
+	d.eng.Schedule(10*sim.Microsecond, func() { done(r) })
 }
 
 func TestCheckerDetectsLostRequest(t *testing.T) {

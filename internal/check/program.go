@@ -145,12 +145,12 @@ type progDevice struct {
 }
 
 // Service implements block.Device.
-func (d *progDevice) Service(_ *block.Request, done func()) {
+func (d *progDevice) Service(r *block.Request, done func(*block.Request)) {
 	if d.latency == 0 {
-		done()
+		done(r)
 		return
 	}
-	d.eng.Schedule(d.latency, done)
+	d.eng.Schedule(d.latency, func() { done(r) })
 }
 
 // RunResult captures one elevator's replay of a program.

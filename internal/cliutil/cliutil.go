@@ -2,12 +2,15 @@
 // line tools: metrics snapshot output with an explicit format selector
 // (json, csv or Prometheus text exposition), pprof self-profiling, the
 // evaluation-pool worker count, the on-disk evaluation cache location,
-// and the daemon flag bundle (-addr, -request-timeout, -queue-depth).
+// structured diagnostic logging (-log), and the daemon flag bundle
+// (-addr, -request-timeout, -queue-depth).
 package cliutil
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"os"
 	"path/filepath"
@@ -18,6 +21,57 @@ import (
 
 	"adaptmr/internal/obs"
 )
+
+// LogFlag is the shared -log diagnostic-logging selector. Its value is
+// "format" or "format:level" — format one of text, json; level one of
+// debug, info, warn, error (default info). Diagnostics always go to
+// stderr so result output on stdout stays machine-parseable.
+type LogFlag struct {
+	spec string
+}
+
+// BindLogFlag registers the shared -log flag on the given flag set.
+func BindLogFlag(fs *flag.FlagSet) *LogFlag {
+	l := &LogFlag{}
+	fs.StringVar(&l.spec, "log", "text",
+		"diagnostic log output: format[:level], format = text|json, level = debug|info|warn|error")
+	return l
+}
+
+// Logger builds the *slog.Logger described by the parsed flag, writing to
+// stderr. An unknown format or level is an error so typos fail fast
+// instead of silently logging in an unexpected shape.
+func (l *LogFlag) Logger() (*slog.Logger, error) {
+	return NewLogger(os.Stderr, l.spec)
+}
+
+// NewLogger builds a structured logger from a "format[:level]" spec. It
+// backs LogFlag and is exported separately so tests (and embedders) can
+// direct output at any writer.
+func NewLogger(w io.Writer, spec string) (*slog.Logger, error) {
+	format, levelName, _ := strings.Cut(spec, ":")
+	level := slog.LevelInfo
+	switch strings.ToLower(levelName) {
+	case "", "info":
+	case "debug":
+		level = slog.LevelDebug
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("cliutil: unknown log level %q (want debug, info, warn or error)", levelName)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("cliutil: unknown log format %q (want text or json)", format)
+	}
+}
 
 // MetricsOut binds the shared -metrics / -metrics-format flag pair. The
 // explicit format wins over the path extension; "auto" (the default)

@@ -136,3 +136,47 @@ func TestServerFlagsValidate(t *testing.T) {
 	bad(ServerFlags{Addr: ":7070", RequestTimeout: -time.Second, QueueDepth: 1})
 	bad(ServerFlags{Addr: ":7070", RequestTimeout: time.Second, QueueDepth: 0})
 }
+
+func TestNewLogger(t *testing.T) {
+	var buf strings.Builder
+
+	// Default text format at info level: debug suppressed, info emitted.
+	lg, err := NewLogger(&buf, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hidden")
+	lg.Info("hello", "k", "v")
+	if out := buf.String(); strings.Contains(out, "hidden") || !strings.Contains(out, "hello") {
+		t.Fatalf("text:info output wrong: %q", out)
+	}
+
+	// json:debug emits debug records as JSON objects.
+	buf.Reset()
+	lg, err = NewLogger(&buf, "json:debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("deep", "n", 1)
+	if out := buf.String(); !strings.HasPrefix(out, "{") || !strings.Contains(out, `"deep"`) {
+		t.Fatalf("json:debug output wrong: %q", out)
+	}
+
+	// text:error suppresses warnings.
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Warn("quiet")
+	if buf.Len() != 0 {
+		t.Fatalf("text:error leaked a warning: %q", buf.String())
+	}
+
+	// Bad specs fail fast.
+	for _, spec := range []string{"xml", "text:loud", "json:verbose:extra"} {
+		if _, err := NewLogger(&buf, spec); err == nil {
+			t.Errorf("NewLogger(%q) accepted", spec)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"adaptmr/internal/iosched"
 	"adaptmr/internal/mapred"
 	"adaptmr/internal/obs"
+	"adaptmr/internal/obs/perfstat"
 	"adaptmr/internal/sim"
 )
 
@@ -148,6 +149,10 @@ type RunResult struct {
 	// runner executed without a metrics registry). The Runner also folds
 	// it into the caller's shared registry.
 	Metrics *obs.Snapshot
+	// Perf carries engine self-telemetry for the evaluation (nil unless
+	// Runner.CollectPerf was set, and always nil on memo or disk-cache
+	// hits — wall times are machine-dependent and must not be replayed).
+	Perf *perfstat.Stat
 }
 
 // Profile records one pair's full-job execution broken into phases; the

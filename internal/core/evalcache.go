@@ -204,6 +204,10 @@ func (c *EvalCache) Put(cc cluster.Config, job mapred.Config, plan Plan, res Run
 	if err != nil {
 		return err
 	}
+	// Perf telemetry is wall-clock and machine dependent; persisting it
+	// would make cache entries nondeterministic, so it never hits disk
+	// (res is a copy — the caller's result keeps its Perf).
+	res.Job.Perf = nil
 	e := evalCacheEntry{
 		Version: evalCacheVersion,
 		Plan:    plan.Key(),

@@ -10,6 +10,7 @@ import (
 	"adaptmr/internal/iosched"
 	"adaptmr/internal/mapred"
 	"adaptmr/internal/obs"
+	"adaptmr/internal/obs/perfstat"
 	"adaptmr/internal/sim"
 )
 
@@ -58,6 +59,23 @@ type Runner struct {
 	// attached, because a cached result cannot replay its trace events.
 	// Disk-cache hits do not count as Evaluations.
 	DiskCache *EvalCache
+
+	// CollectPerf, when set, wraps every evaluation's event loop in a
+	// perfstat probe: wall clock, events processed, allocation and GC
+	// deltas land on RunResult.Perf and (when a metrics registry is
+	// attached) as perf.* gauges in the evaluation's private registry.
+	// Off by default — the probe's two ReadMemStats calls briefly
+	// stop-the-world, and perf numbers are machine-dependent, so
+	// byte-determinism tests and cached runs leave it disabled.
+	CollectPerf bool
+
+	// OnEvaluation, when non-nil, is called for each actual (non-memoised,
+	// non-cached) evaluation after the cluster is built and the plan's
+	// first pair installed, but before the job starts. It runs on the
+	// evaluating worker's goroutine; callers use it to attach samplers or
+	// pump events for live streaming. It must not retain the cluster past
+	// the evaluation.
+	OnEvaluation func(plan Plan, cl *cluster.Cluster)
 
 	// Evaluations counts actual (non-memoised, non-disk-cached) job
 	// executions. It is mutated under the runner's lock while a batch is
@@ -321,17 +339,27 @@ func (r *Runner) runOnce(ctx context.Context, plan Plan, idx int) (RunResult, *o
 		job.OnShuffleDone(func() { cl.SetPairAll(rt[2], nil) })
 	}
 
+	if r.OnEvaluation != nil {
+		r.OnEvaluation(plan, cl)
+	}
+
 	job.Start(nil)
+	probe := perfstat.Start(r.CollectPerf, cl.Eng)
 	if err := RunEngine(ctx, cl.Eng); err != nil {
 		return RunResult{Plan: plan}, priv, fmt.Errorf("evaluation abandoned: %w", err)
 	}
+	perf := probe.Stop()
 	if !job.Done() {
 		return RunResult{Plan: plan}, priv,
 			fmt.Errorf("job %q did not complete (simulation drained early)", r.Job.Name)
 	}
+	// Publish before Result() memoises its metrics snapshot, so the
+	// evaluation's perf gauges travel with the snapshot through the fold.
+	perfstat.Publish(cc.Obs.Metrics, perf)
 	res := job.Result()
+	res.Perf = perf
 	stall := totalStall(cl) - baseStall
-	return RunResult{Plan: plan, Duration: res.Duration, Job: res, SwitchStall: stall, Metrics: res.Metrics}, priv, nil
+	return RunResult{Plan: plan, Duration: res.Duration, Job: res, SwitchStall: stall, Metrics: res.Metrics, Perf: perf}, priv, nil
 }
 
 // totalStall sums switch stall time across every queue in the cluster.

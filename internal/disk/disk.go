@@ -125,7 +125,7 @@ func (d *Disk) ServiceTime(r *block.Request, head int64) (position, transfer sim
 }
 
 // Service implements block.Device.
-func (d *Disk) Service(r *block.Request, done func()) {
+func (d *Disk) Service(r *block.Request, done func(*block.Request)) {
 	if d.busy {
 		panic("disk: overlapping service (queue depth must be 1)")
 	}
@@ -149,6 +149,6 @@ func (d *Disk) Service(r *block.Request, done func()) {
 	d.eng.Schedule(total, func() {
 		d.busy = false
 		d.stats.LastDoneAt = d.eng.Now()
-		done()
+		done(r)
 	})
 }

@@ -72,7 +72,7 @@ func TestServiceCompletesAndMovesHead(t *testing.T) {
 	eng, d := testDisk()
 	r := block.NewRequest(block.Write, 5000, 128, false, 1)
 	done := false
-	d.Service(r, func() { done = true })
+	d.Service(r, func(*block.Request) { done = true })
 	if done {
 		t.Fatal("completion before any time passed")
 	}
@@ -98,7 +98,7 @@ func TestSequentialRunCountsOneSeek(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		r := block.NewRequest(block.Read, pos, 256, true, 1)
 		pos += 256
-		d.Service(r, func() {})
+		d.Service(r, func(*block.Request) {})
 		eng.Run()
 	}
 	if d.Stats().Seeks != 1 {
@@ -108,20 +108,20 @@ func TestSequentialRunCountsOneSeek(t *testing.T) {
 
 func TestOverlappingServicePanics(t *testing.T) {
 	_, d := testDisk()
-	d.Service(block.NewRequest(block.Read, 0, 8, true, 1), func() {})
+	d.Service(block.NewRequest(block.Read, 0, 8, true, 1), func(*block.Request) {})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic for overlapping service")
 		}
 	}()
-	d.Service(block.NewRequest(block.Read, 100, 8, true, 1), func() {})
+	d.Service(block.NewRequest(block.Read, 100, 8, true, 1), func(*block.Request) {})
 }
 
 func TestOnServiceHook(t *testing.T) {
 	eng, d := testDisk()
 	var seen []sim.Duration
 	d.OnService = func(_ *block.Request, pos, _ sim.Duration) { seen = append(seen, pos) }
-	d.Service(block.NewRequest(block.Read, 1_000_000, 8, true, 1), func() {})
+	d.Service(block.NewRequest(block.Read, 1_000_000, 8, true, 1), func(*block.Request) {})
 	eng.Run()
 	if len(seen) != 1 || seen[0] <= 0 {
 		t.Fatalf("hook: %v", seen)

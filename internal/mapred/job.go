@@ -5,6 +5,7 @@ import (
 
 	"adaptmr/internal/cluster"
 	"adaptmr/internal/obs"
+	"adaptmr/internal/obs/perfstat"
 	"adaptmr/internal/sim"
 )
 
@@ -70,6 +71,13 @@ type Result struct {
 	// Metrics is a snapshot of the cluster's metrics registry taken when
 	// the result was built (nil when the cluster ran without one).
 	Metrics *obs.Snapshot
+
+	// Perf, when non-nil, carries engine self-telemetry for the run that
+	// produced this result (wall clock, events/sec, allocs/event). It is
+	// populated only when the caller opted in (core.Runner.CollectPerf,
+	// ReportOptions.CollectPerf, WithPerfStats) and is never cached: wall
+	// times are machine-dependent, so cached results return it nil.
+	Perf *perfstat.Stat `json:"perf,omitempty"`
 }
 
 // PhaseDuration returns the wall time spent in phase p.

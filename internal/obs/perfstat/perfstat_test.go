@@ -1,0 +1,86 @@
+package perfstat
+
+import (
+	"testing"
+
+	"adaptmr/internal/obs"
+	"adaptmr/internal/sim"
+)
+
+func TestDisabledProbeIsNil(t *testing.T) {
+	eng := sim.New(1)
+	p := Start(false, eng)
+	if p != nil {
+		t.Fatalf("disabled probe should be nil, got %+v", p)
+	}
+	if s := p.Stop(); s != nil {
+		t.Fatalf("nil probe Stop should return nil, got %+v", s)
+	}
+	if d := p.Elapsed(); d != 0 {
+		t.Fatalf("nil probe Elapsed should be 0, got %v", d)
+	}
+	Publish(obs.NewRegistry(), nil) // must not panic
+	Publish(nil, &Stat{})           // must not panic
+}
+
+func TestProbeMeasuresEvents(t *testing.T) {
+	eng := sim.New(1)
+	// Burn a few events before starting so the probe measures the delta,
+	// not the lifetime total.
+	for i := 0; i < 5; i++ {
+		eng.Schedule(sim.Millisecond, func() {})
+	}
+	eng.Run()
+
+	p := Start(true, eng)
+	const n = 1000
+	var sink []byte
+	for i := 0; i < n; i++ {
+		eng.Schedule(sim.Millisecond, func() { sink = make([]byte, 64) })
+	}
+	eng.Run()
+	_ = sink
+	s := p.Stop()
+	if s == nil {
+		t.Fatal("enabled probe returned nil stat")
+	}
+	if s.Events != n {
+		t.Fatalf("events = %d, want %d", s.Events, n)
+	}
+	if s.WallSeconds < 0 {
+		t.Fatalf("negative wall time %v", s.WallSeconds)
+	}
+	if s.Allocs <= 0 {
+		t.Fatalf("allocating run measured %d allocs", s.Allocs)
+	}
+	if s.AllocsPerEvent <= 0 || s.BytesPerEvent <= 0 {
+		t.Fatalf("per-event rates not derived: %+v", s)
+	}
+	if s.WallSeconds > 0 && s.EventsPerSec <= 0 {
+		t.Fatalf("events/sec not derived: %+v", s)
+	}
+}
+
+func TestPublishWritesGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	Publish(reg, &Stat{
+		WallSeconds: 0.5, Events: 1000, EventsPerSec: 2000,
+		AllocsPerEvent: 3.25, BytesPerEvent: 128,
+		GCCycles: 2, GCPauseMS: 0.75,
+	})
+	snap := reg.Snapshot()
+	want := map[string]float64{
+		"perf.wall_s":           0.5,
+		"perf.events":           1000,
+		"perf.events_per_sec":   2000,
+		"perf.allocs_per_event": 3.25,
+		"perf.bytes_per_event":  128,
+		"perf.gc_cycles":        2,
+		"perf.gc_pause_ms":      0.75,
+	}
+	for name, v := range want {
+		if got := snap.Gauges[name]; got != v {
+			t.Errorf("gauge %s = %v, want %v", name, got, v)
+		}
+	}
+}

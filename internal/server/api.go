@@ -57,6 +57,13 @@ type RunRequest struct {
 	// TimeoutMS caps this request's execution; 0 means the server
 	// default, and values above the server maximum are clamped.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// RunID, when set, makes this a streamed run: its live timeseries
+	// frames are followable at GET /v1/stream?id=<RunID> while the POST
+	// is in flight, and the stream's terminal frame carries this
+	// response's exact payload. Streamed runs always simulate (the eval
+	// cache is not consulted). At most 64 characters of [A-Za-z0-9._-];
+	// reuse an id only after its run finished.
+	RunID string `json:"run_id,omitempty"`
 }
 
 // TuneRequest runs the adaptive meta-scheduler (POST /v1/tune), and —

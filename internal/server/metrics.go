@@ -4,26 +4,37 @@ import (
 	"sync"
 
 	"adaptmr/internal/obs"
+	"adaptmr/internal/obs/perfstat"
 )
 
 // Instrument names the server publishes. Together with the eval-cache
 // gauges they form the /metrics contract the smoke test scrapes.
 const (
-	mReqRun        = "server.requests.run"
-	mReqTune       = "server.requests.tune"
-	mReqBruteforce = "server.requests.bruteforce"
-	mRespOK        = "server.responses.ok"
-	mRespError     = "server.responses.error"
-	mRejected      = "server.queue.rejected_total"
-	mCoalesced     = "server.coalesced_total"
-	mTimeouts      = "server.timeouts_total"
-	mEvaluations   = "runner.evaluations_total"
+	mReqRun         = "server.requests.run"
+	mReqTune        = "server.requests.tune"
+	mReqBruteforce  = "server.requests.bruteforce"
+	mStreamRequests = "server.requests.stream"
+	mRespOK         = "server.responses.ok"
+	mRespError      = "server.responses.error"
+	mRejected       = "server.queue.rejected_total"
+	mCoalesced      = "server.coalesced_total"
+	mTimeouts       = "server.timeouts_total"
+	mEvaluations    = "runner.evaluations_total"
 
 	mQueueDepth    = "server.queue.depth"
 	mQueueCapacity = "server.queue.capacity"
 	mWorkersBusy   = "server.workers.busy"
 	mWorkersTotal  = "server.workers.total"
 	mUptime        = "server.uptime_s"
+	mStreamsActive = "server.streams.active"
+	mStreamDropped = "server.streams.dropped_frames"
+
+	// perf.last.* gauges carry the most recent streamed evaluation's
+	// engine self-telemetry (internal/obs/perfstat).
+	mPerfWallS          = "perf.last.wall_s"
+	mPerfEventsPerSec   = "perf.last.events_per_sec"
+	mPerfAllocsPerEvent = "perf.last.allocs_per_event"
+	mPerfBytesPerEvent  = "perf.last.bytes_per_event"
 
 	mCacheHits     = "evalcache.hits"
 	mCacheMisses   = "evalcache.misses"
@@ -80,4 +91,17 @@ func (l *lockedRegistry) snapshot() *obs.Snapshot {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.reg.Snapshot()
+}
+
+// publishPerf exposes one evaluation's engine self-telemetry as the
+// perf.last.* gauges (latest wins — the values are a freshness signal,
+// not an aggregate).
+func (s *Server) publishPerf(p *perfstat.Stat) {
+	if p == nil {
+		return
+	}
+	s.met.setGauge(mPerfWallS, p.WallSeconds)
+	s.met.setGauge(mPerfEventsPerSec, p.EventsPerSec)
+	s.met.setGauge(mPerfAllocsPerEvent, p.AllocsPerEvent)
+	s.met.setGauge(mPerfBytesPerEvent, p.BytesPerEvent)
 }

@@ -2,8 +2,16 @@
 // HTTP JSON API over the adaptmr facade. POST /v1/run executes one job
 // under an explicit phase plan, POST /v1/tune runs the paper's adaptive
 // meta-scheduler, POST /v1/bruteforce the exhaustive search. GET
-// /healthz, /statusz and /metrics expose liveness, a JSON status page
-// and Prometheus text exposition.
+// /v1/stream?id=... follows a streamed run live over server-sent
+// events. GET /healthz and /readyz expose liveness (is the process up)
+// and readiness (is it accepting work — 503 while draining); /statusz
+// and /metrics expose a JSON status page (including build info) and
+// Prometheus text exposition; /debug/pprof/ is mounted when
+// Config.EnablePprof is set.
+//
+// Every request is logged through Config.Logger (structured slog, nil
+// means silent) under a per-request id, so a request's admission,
+// coalescing and completion lines correlate.
 //
 // Requests execute on a bounded worker pool behind a bounded admission
 // queue: a full queue answers 429 with Retry-After instead of queueing
@@ -27,7 +35,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	httppprof "net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -62,6 +74,14 @@ type Config struct {
 	// (adaptmr.WithInvariantChecks) to every simulation the server runs;
 	// an invariant violation fails the request with a 500.
 	CheckInvariants bool
+	// Logger receives the server's structured diagnostics (request
+	// admission, coalescing and completion lines correlated by a
+	// per-request id). Nil means no logging.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's handler. Off by default: profiling endpoints expose
+	// internals and should be opted into (adaptd -pprof).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -80,17 +100,21 @@ func (c Config) withDefaults() Config {
 // Server is the adaptd HTTP service. Create with New, expose with
 // Handler, stop with Shutdown.
 type Server struct {
-	cfg   Config
-	cache *adaptmr.EvalCache
+	cfg    Config
+	cache  *adaptmr.EvalCache
+	logger *slog.Logger
 
-	pool   *pool
-	flight core.Group
-	met    *lockedRegistry
+	pool    *pool
+	flight  core.Group
+	met     *lockedRegistry
+	streams *streams
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	draining   atomic.Bool
 	start      time.Time
+	reqSeq     atomic.Uint64
+	build      buildJSON
 
 	mux *http.ServeMux
 
@@ -105,10 +129,17 @@ type Server struct {
 // its worker pool.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
-		cfg:   cfg,
-		met:   newLockedRegistry(),
-		start: time.Now(),
+		cfg:     cfg,
+		logger:  logger,
+		met:     newLockedRegistry(),
+		streams: newStreams(),
+		start:   time.Now(),
+		build:   readBuildInfo(),
 	}
 	if cfg.EvalCacheDir != "" {
 		cache, err := adaptmr.OpenEvalCache(cfg.EvalCacheDir)
@@ -126,9 +157,18 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/tune", s.handleTune)
 	mux.HandleFunc("/v1/bruteforce", s.handleBruteforce)
+	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -154,11 +194,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // prepared is a parsed, validated, normalised request ready to execute:
 // its coalescing key, its deadline, and the execution closure that
-// produces the encoded 200 payload.
+// produces the encoded 200 payload. stream, when non-nil, is the live
+// stream this request feeds; servePost terminates it on every exit path
+// so subscribers always see a terminal frame.
 type prepared struct {
 	key     string
 	timeout time.Duration
 	exec    func(ctx context.Context) ([]byte, error)
+	stream  *liveRun
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -190,6 +233,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		key, err := runKey(cfg, job, plan)
 		if err != nil {
 			return prepared{}, err
+		}
+		if req.RunID != "" {
+			// Streamed run: the run_id joins the single-flight key so a
+			// streamed request never coalesces with a plain one (which has
+			// no stream to feed), while identical streamed requests still
+			// share one evaluation and one stream.
+			if err := validateRunID(req.RunID); err != nil {
+				return prepared{}, err
+			}
+			lr := s.streams.getOrCreate(req.RunID)
+			return prepared{key: key + ":stream:" + req.RunID, timeout: timeout, stream: lr,
+				exec: func(ctx context.Context) ([]byte, error) {
+					return s.execStreamedRun(ctx, cfg, job, plan, lr)
+				}}, nil
 		}
 		return prepared{key: key, timeout: timeout, exec: func(ctx context.Context) ([]byte, error) {
 			tuner := s.newTuner(ctx, cfg, job)
@@ -287,7 +344,9 @@ func (s *Server) noteEvaluations(t *adaptmr.Tuner) {
 
 // servePost is the shared POST pipeline: method and draining checks,
 // strict body decode, prepare (parse + validate + key), single-flight
-// coalescing, pool admission, and error mapping.
+// coalescing, pool admission, error mapping and stream termination.
+// Every line it logs carries the same per-request id, so one request's
+// admission, coalescing and completion correlate in the log.
 func (s *Server) servePost(w http.ResponseWriter, r *http.Request, endpoint, counter string,
 	prepare func(*json.Decoder) (prepared, error)) {
 
@@ -296,19 +355,23 @@ func (s *Server) servePost(w http.ResponseWriter, r *http.Request, endpoint, cou
 		writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires POST", r.URL.Path))
 		return
 	}
+	log := s.logger.With("rid", fmt.Sprintf("r%06d", s.reqSeq.Add(1)), "endpoint", endpoint)
 	s.met.addCounter(counter, 1)
 	began := time.Now()
 	if s.draining.Load() {
-		s.replyError(w, ErrDraining)
+		status := s.replyError(w, ErrDraining)
+		log.Warn("request refused", "status", status, "err", ErrDraining)
 		return
 	}
 
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	p, err := prepare(dec)
 	if err != nil {
-		s.replyError(w, err)
+		status := s.replyError(w, err)
+		log.Warn("request rejected", "status", status, "err", err)
 		return
 	}
+	log.Info("request admitted", "key", p.key, "timeout", p.timeout, "stream", p.stream != nil)
 
 	// The leader's closure performs pool admission, so coalesced
 	// followers never consume queue slots — a herd of identical requests
@@ -333,16 +396,55 @@ func (s *Server) servePost(w http.ResponseWriter, r *http.Request, endpoint, cou
 	})
 	if !leader {
 		s.met.addCounter(mCoalesced, 1)
+		log.Info("request coalesced", "key", p.key)
 	}
 	res := <-ch
 	s.met.observe(mRequestSeconds, requestSecondsEdges, time.Since(began).Seconds())
 	if res.Err != nil {
-		s.replyError(w, res.Err)
+		s.finishStream(p.stream, nil, res.Err)
+		status := s.replyError(w, res.Err)
+		log.Warn("request failed", "status", status, "dur_ms", durMS(began), "err", res.Err)
 		return
 	}
+	payload := res.Val.([]byte)
+	s.finishStream(p.stream, payload, nil)
 	s.met.addCounter(mRespOK, 1)
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(res.Val.([]byte))
+	w.Write(payload)
+	log.Info("request done", "status", http.StatusOK, "dur_ms", durMS(began), "bytes", len(payload), "leader", leader)
+}
+
+// finishStream publishes a stream's terminal frame: the exact response
+// payload on success (sans the trailing newline the SSE framing would
+// eat), an error document otherwise. Idempotent via liveRun.finish, so
+// coalesced followers and racing error paths are harmless.
+func (s *Server) finishStream(lr *liveRun, payload []byte, err error) {
+	if lr == nil {
+		return
+	}
+	if err != nil {
+		data, merr := json.Marshal(errorBody{Error: err.Error()})
+		if merr != nil {
+			data = []byte(`{"error":"internal error"}`)
+		}
+		lr.finish("error", data)
+	} else {
+		lr.finish("result", bytesTrimNewline(payload))
+	}
+	s.streams.noteFinished(lr.id)
+}
+
+func bytesTrimNewline(b []byte) []byte {
+	for len(b) > 0 && b[len(b)-1] == '\n' {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// durMS is wall time since began, in milliseconds with microsecond
+// resolution (for log lines).
+func durMS(began time.Time) float64 {
+	return float64(time.Since(began).Microseconds()) / 1e3
 }
 
 // decodeStrict decodes exactly one JSON object, rejecting unknown fields
@@ -361,27 +463,31 @@ func decodeStrict(dec *json.Decoder, v any) error {
 // replyError maps an execution or validation error onto the HTTP error
 // contract: 400 for validation, 429 + Retry-After for a full queue, 503
 // while draining, 504 when the request's deadline fired or the server
-// aborted it, 500 otherwise.
-func (s *Server) replyError(w http.ResponseWriter, err error) {
+// aborted it, 500 otherwise. It returns the status it wrote so callers
+// can log it.
+func (s *Server) replyError(w http.ResponseWriter, err error) int {
 	s.met.addCounter(mRespError, 1)
 	var br badRequest
+	var status int
 	switch {
 	case errors.As(err, &br):
-		writeError(w, http.StatusBadRequest, err.Error())
+		status = http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull):
 		s.met.addCounter(mRejected, 1)
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		status = http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		s.met.addCounter(mTimeouts, 1)
-		writeError(w, http.StatusGatewayTimeout, err.Error())
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
-		writeError(w, http.StatusGatewayTimeout, err.Error())
+		status = http.StatusGatewayTimeout
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		status = http.StatusInternalServerError
 	}
+	writeError(w, status, err.Error())
+	return status
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
@@ -407,10 +513,22 @@ func requireGet(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
-// handleHealthz answers 200 "ok" while serving and 503 "draining" once
-// shutdown has begun, so load balancers stop routing before the listener
-// closes.
+// handleHealthz is pure liveness: 200 "ok" as long as the process can
+// answer HTTP at all — including while draining, so an orchestrator's
+// liveness probe does not kill a pod that is gracefully finishing work.
+// Routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is readiness: 200 "ready" while the server admits work,
+// 503 "draining" once shutdown has begun, so load balancers stop
+// routing before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
@@ -420,13 +538,46 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "draining\n")
 		return
 	}
-	io.WriteString(w, "ok\n")
+	io.WriteString(w, "ready\n")
+}
+
+// buildJSON is the build identification block of /statusz, read once at
+// construction from the binary's embedded build info.
+type buildJSON struct {
+	GoVersion   string `json:"go_version"`
+	Path        string `json:"path,omitempty"`
+	Version     string `json:"version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+func readBuildInfo() buildJSON {
+	out := buildJSON{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.Path = bi.Main.Path
+	out.Version = bi.Main.Version
+	for _, set := range bi.Settings {
+		switch set.Key {
+		case "vcs.revision":
+			out.VCSRevision = set.Value
+		case "vcs.time":
+			out.VCSTime = set.Value
+		case "vcs.modified":
+			out.VCSModified = set.Value == "true"
+		}
+	}
+	return out
 }
 
 // statuszPayload is the /statusz JSON document.
 type statuszPayload struct {
-	UptimeS  float64 `json:"uptime_s"`
-	Draining bool    `json:"draining"`
+	UptimeS  float64   `json:"uptime_s"`
+	Draining bool      `json:"draining"`
+	Build    buildJSON `json:"build"`
 
 	Workers struct {
 		Busy  int `json:"busy"`
@@ -451,6 +602,11 @@ type statuszPayload struct {
 	Timeouts    int64 `json:"timeouts"`
 	Evaluations int64 `json:"evaluations"`
 
+	Streams struct {
+		Active        int   `json:"active"`
+		DroppedFrames int64 `json:"dropped_frames"`
+	} `json:"streams"`
+
 	EvalCache *evalCacheStatus `json:"evalcache,omitempty"`
 }
 
@@ -466,6 +622,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	var p statuszPayload
 	p.UptimeS = time.Since(s.start).Seconds()
 	p.Draining = s.draining.Load()
+	p.Build = s.build
 	p.Workers.Busy = s.pool.busyWorkers()
 	p.Workers.Total = s.cfg.Workers
 	p.Queue.Depth = s.pool.depth()
@@ -479,6 +636,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	p.Coalesced = s.met.counterValue(mCoalesced)
 	p.Timeouts = s.met.counterValue(mTimeouts)
 	p.Evaluations = s.met.counterValue(mEvaluations)
+	p.Streams.Active = s.streams.active()
+	p.Streams.DroppedFrames = s.streams.droppedFrames()
 	if s.cache != nil {
 		p.EvalCache = &evalCacheStatus{Dir: s.cfg.EvalCacheDir, EvalCacheStats: s.cache.Stats()}
 	}
@@ -498,6 +657,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.setGauge(mQueueDepth, float64(s.pool.depth()))
 	s.met.setGauge(mWorkersBusy, float64(s.pool.busyWorkers()))
 	s.met.setGauge(mUptime, time.Since(s.start).Seconds())
+	s.met.setGauge(mStreamsActive, float64(s.streams.active()))
+	s.met.setGauge(mStreamDropped, float64(s.streams.droppedFrames()))
 	if s.cache != nil {
 		st := s.cache.Stats()
 		s.met.setGauge(mCacheHits, float64(st.Hits))

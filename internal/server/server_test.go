@@ -366,10 +366,14 @@ func TestShutdownDrainsInFlightAndRejectsNew(t *testing.T) {
 	}()
 	waitFor(t, "draining flag", func() bool { return s.draining.Load() })
 
-	// While draining: healthz flips, new work is refused.
-	if st, body := getBody(t, ts.URL+"/healthz"); st != http.StatusServiceUnavailable ||
+	// While draining: readiness flips (liveness stays up — the process
+	// is healthy, just not routable), new work is refused.
+	if st, body := getBody(t, ts.URL+"/readyz"); st != http.StatusServiceUnavailable ||
 		!strings.Contains(string(body), "draining") {
-		t.Errorf("healthz while draining: %d %q, want 503 draining", st, body)
+		t.Errorf("readyz while draining: %d %q, want 503 draining", st, body)
+	}
+	if st, body := getBody(t, ts.URL+"/healthz"); st != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("healthz while draining: %d %q, want 200 ok (liveness is not readiness)", st, body)
 	}
 	if st, _, body := postJSON(t, ts.URL+"/v1/run", smallRunReq("dd")); st != http.StatusServiceUnavailable {
 		t.Errorf("new request while draining answered %d (%s), want 503", st, body)
@@ -459,6 +463,9 @@ func TestMethodChecks(t *testing.T) {
 	if st, body := getBody(t, ts.URL+"/healthz"); st != http.StatusOK || string(body) != "ok\n" {
 		t.Errorf("GET /healthz = %d %q, want 200 ok", st, body)
 	}
+	if st, body := getBody(t, ts.URL+"/readyz"); st != http.StatusOK || string(body) != "ready\n" {
+		t.Errorf("GET /readyz = %d %q, want 200 ready", st, body)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -507,6 +514,9 @@ func TestStatuszMetricsAndCacheStats(t *testing.T) {
 	}
 	if sp.Workers.Total != 1 || sp.Queue.Capacity != 64 {
 		t.Errorf("/statusz shape: workers %+v queue %+v", sp.Workers, sp.Queue)
+	}
+	if sp.Build.GoVersion == "" {
+		t.Errorf("/statusz build info missing go_version: %+v", sp.Build)
 	}
 	if sp.EvalCache == nil || sp.EvalCache.Hits != 1 || sp.EvalCache.Misses != 1 {
 		t.Errorf("/statusz evalcache: %+v", sp.EvalCache)

@@ -183,8 +183,8 @@ func (f *fifoQueueElv) Dispatch(_ sim.Time) (*block.Request, sim.Time) {
 
 type instantDev struct{ eng *sim.Engine }
 
-func (d *instantDev) Service(_ *block.Request, done func()) {
-	d.eng.Schedule(sim.Millisecond, done)
+func (d *instantDev) Service(r *block.Request, done func(*block.Request)) {
+	d.eng.Schedule(sim.Millisecond, func() { done(r) })
 }
 
 // TestThroughputSamplerAttachCoexists verifies Attach subscribes through the

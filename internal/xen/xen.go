@@ -264,13 +264,13 @@ func (d *Domain) Submit(op block.Op, sector, count int64, sync bool, stream bloc
 // the ring, is translated into the host address space and tagged with the
 // VM identity (the Dom0 elevator sees each VM as a single process), then
 // queued at Dom0. Completion crosses the ring back.
-func (rg ring) Service(r *block.Request, done func()) {
+func (rg ring) Service(r *block.Request, done func(*block.Request)) {
 	d := rg.d
 	eng := d.host.Eng
 	eng.Schedule(d.host.cfg.RingLatency, func() {
 		host := block.NewRequest(r.Op, d.extentStart+r.Sector, r.Count, r.Sync, block.StreamID(d.Index))
 		host.OnComplete = func(*block.Request) {
-			eng.Schedule(d.host.cfg.RingLatency, done)
+			eng.Schedule(d.host.cfg.RingLatency, func() { done(r) })
 		}
 		d.host.dom0.Submit(host)
 	})

@@ -6,6 +6,7 @@ import (
 	"adaptmr/internal/analyze"
 	"adaptmr/internal/cluster"
 	"adaptmr/internal/mapred"
+	"adaptmr/internal/obs/perfstat"
 )
 
 // Report is the full analysis artefact of one traced run: critical path
@@ -37,6 +38,13 @@ type ReportOptions struct {
 	// (internal/check) to every block queue of the instrumented run; a
 	// violation fails the report.
 	CheckInvariants bool
+
+	// CollectPerf wraps the run's event loop in an engine self-telemetry
+	// probe and embeds the result (wall clock, events/sec, allocs/event)
+	// into the report's bench summary. Wall-clock values differ across
+	// runs, so reports produced with CollectPerf are NOT byte-identical;
+	// leave it off for golden or determinism comparisons.
+	CollectPerf bool
 }
 
 // RunReport executes one job under a single scheduler pair on a fresh,
@@ -60,7 +68,16 @@ func RunReport(cfg ClusterConfig, job JobConfig, pair Pair, opts ReportOptions) 
 	smp := analyze.NewSampler()
 	smp.AttachCluster(cl)
 	cl.InstallPair(pair)
-	res := mapred.Run(cl, job)
+	j := mapred.NewJob(cl, job)
+	j.Start(nil)
+	probe := perfstat.Start(opts.CollectPerf, cl.Eng)
+	cl.Eng.Run()
+	perf := probe.Stop()
+	if !j.Done() {
+		return nil, fmt.Errorf("adaptmr: report run drained before job completion")
+	}
+	perfstat.Publish(metrics, perf)
+	res := j.Result()
 	if checks != nil {
 		checks.Finalize()
 		if err := checks.Err(); err != nil {
@@ -77,6 +94,7 @@ func RunReport(cfg ClusterConfig, job JobConfig, pair Pair, opts ReportOptions) 
 		Seed:             cfg.Seed,
 		Pair:             pair.Code(),
 		TimeseriesPoints: opts.TimeseriesPoints,
+		Perf:             perf,
 	})
 }
 
