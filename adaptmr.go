@@ -118,6 +118,8 @@ type Option func(*options)
 type options struct {
 	tracer       *obs.Tracer
 	metrics      *obs.Registry
+	journeys     *obs.JourneyLog
+	decisions    *obs.DecisionLog
 	parallelism  int
 	evalCacheDir string
 	evalCache    *core.EvalCache
@@ -143,6 +145,12 @@ func (o options) apply(cfg ClusterConfig) ClusterConfig {
 	}
 	if o.metrics != nil {
 		cfg.Obs.Metrics = o.metrics
+	}
+	if o.journeys != nil {
+		cfg.Obs.Journeys = o.journeys
+	}
+	if o.decisions != nil {
+		cfg.Obs.Decisions = o.decisions
 	}
 	if o.check != nil {
 		cfg.Check = o.check
@@ -170,6 +178,37 @@ func WithTracer(t *Tracer) Option { return func(o *options) { o.tracer = t } }
 
 // WithMetrics aggregates counters/gauges/histograms into m.
 func WithMetrics(m *Metrics) Option { return func(o *options) { o.metrics = m } }
+
+// WithJourney threads per-request journey tracing through the two-level
+// block stack: every guest submission gets a journey id that follows it
+// across the blkfront/blkback ring into the Dom0 queue and onto the disk,
+// and completes into an ns-exact latency decomposition (guest queueing,
+// switch stalls, ring transit, Dom0 queueing, seek/rotation/transfer).
+// The aggregate lands on JobResult.Journeys (and on RunResult.Journeys
+// for tuner entry points).
+func WithJourney() Option {
+	return func(o *options) { o.journeys = obs.NewJourneyLog() }
+}
+
+// WithDecisionLog records scheduler decision provenance — why each
+// elevator dispatched what it dispatched (deadline expiry vs batch
+// continuation, anticipation outcomes, CFQ slice lifecycle) plus
+// queue-level merges and switch drains — tallied per queue level onto
+// JobResult.Decisions (and RunResult.Decisions for tuner entry points).
+// The hook is nil when this option is absent, so the disabled path stays
+// allocation-free.
+func WithDecisionLog() Option {
+	return func(o *options) { o.decisions = obs.NewDecisionLog() }
+}
+
+// JourneySummary aggregates a run's request-journey latency
+// decompositions (see WithJourney); the per-stage nanoseconds sum exactly
+// to the total.
+type JourneySummary = obs.JourneySummary
+
+// DecisionSummary is a run's per-queue-level scheduler decision tallies
+// (see WithDecisionLog).
+type DecisionSummary = obs.DecisionSummary
 
 // WithInvariantChecks attaches the runtime correctness harness
 // (internal/check) to every block queue the entry point builds: each
@@ -270,6 +309,8 @@ func Run(cfg ClusterConfig, job JobConfig, pair Pair, opts ...Option) (JobResult
 	perfstat.Publish(cfg.Obs.Metrics, perf)
 	res := j.Result()
 	res.Perf = perf
+	res.Journeys = cfg.Obs.Journeys.Summary()
+	res.Decisions = cfg.Obs.Decisions.Summary()
 	return res, nil
 }
 

@@ -13,6 +13,14 @@
 //	    on-disk cache — warming it for the other tools (adaptd,
 //	    adaptsim) — and prints the cache's hit/miss/bypass tallies.
 //
+//	adaptreport explain [sim flags] [-format md|html|json] [-o report.md]
+//	    Run one fully instrumented job with journey and decision
+//	    provenance enabled and render the explain report: per-phase
+//	    verdicts ("why this pair won this phase"), the ns-exact request
+//	    latency decomposition per stage and per VM, and the scheduler
+//	    decision tallies at both queue levels — followed by the full
+//	    analysis report.
+//
 //	adaptreport gate [sim flags] [-baseline BENCH_baseline.json] [-tol 0.05]
 //	                 [-candidate BENCH_candidate.json] [-html report.html] [-update]
 //	                 [-parallel N] [-sweep-out sweep.json]
@@ -67,7 +75,7 @@ func initLogger(lf *cliutil.LogFlag) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: adaptreport <run|gate|compare> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: adaptreport <run|explain|gate|compare> [flags]")
 	os.Exit(2)
 }
 
@@ -78,6 +86,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		cmdRun(os.Args[2:])
+	case "explain":
+		cmdExplain(os.Args[2:])
 	case "gate":
 		cmdGate(os.Args[2:])
 	case "compare":
@@ -217,6 +227,62 @@ func cmdRun(args []string) {
 		if err := writeJSONFile(*benchOut, rep.Bench); err != nil {
 			fail(err)
 		}
+	}
+	if err := prof.Stop(); err != nil {
+		fail(err)
+	}
+}
+
+// cmdExplain runs one instrumented job with journey and decision
+// provenance enabled and renders the explain report.
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("adaptreport explain", flag.ExitOnError)
+	sf := bindSimFlags(fs)
+	format := fs.String("format", "md", "output format: md, html or json")
+	out := fs.String("o", "", "output path (default stdout)")
+	prof := cliutil.BindProfileFlags(fs)
+	fs.Parse(args)
+	initLogger(sf.log)
+	if err := prof.Start(); err != nil {
+		fail(err)
+	}
+
+	cfg, wl, pair, err := sf.setup()
+	if err != nil {
+		fail(err)
+	}
+	rep, err := adaptmr.RunExplain(cfg, wl.Job, pair, adaptmr.ReportOptions{
+		Workload:         *sf.bench,
+		InputMB:          *sf.inputMB,
+		TimeseriesPoints: *sf.points,
+		CheckInvariants:  *sf.check,
+		CollectPerf:      *sf.perf,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "md", "markdown":
+		err = rep.WriteMarkdown(w)
+	case "html":
+		err = rep.WriteHTML(w)
+	case "json":
+		err = writeJSON(w, rep)
+	default:
+		err = fmt.Errorf("unknown format %q (want md, html or json)", *format)
+	}
+	if err != nil {
+		fail(err)
 	}
 	if err := prof.Stop(); err != nil {
 		fail(err)

@@ -1,0 +1,276 @@
+package analyze
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strconv"
+
+	"adaptmr/internal/obs"
+)
+
+// WriteMarkdown renders the explain report as a GitHub-flavoured Markdown
+// document: a per-phase verdict combining the journey decomposition, the
+// decision tallies and the critical-path blame, followed by the detail
+// tables. Deterministic byte for byte for a fixed seed.
+func (e *ExplainReport) WriteMarkdown(w io.Writer) error {
+	mw := &errWriter{w: w}
+	r := e.Report
+
+	mw.printf("# adaptmr explain report\n\n")
+	mw.printf("Job **%s** — makespan **%.3f s** (%d maps, %d reduces)\n\n",
+		r.Job.Name, r.Job.MakespanS, r.Job.Maps, r.Job.Reduces)
+	mw.printf("Config: workload=%s hosts=%d vms=%d input=%dMB seed=%d pair=%s\n\n",
+		r.Bench.Workload, r.Bench.Hosts, r.Bench.VMs, r.Bench.InputMB, r.Bench.Seed, r.Bench.Pair)
+
+	// Per-phase verdicts.
+	mw.printf("## Why each phase went the way it did\n\n")
+	for _, v := range e.verdicts() {
+		mw.printf("- %s\n", v)
+	}
+	mw.printf("\n")
+
+	if ja := e.Journeys; ja != nil {
+		mw.printf("## Request journeys\n\n")
+		if s := ja.Summary; s != nil {
+			mw.printf("%d journeys (%d merged, %d reads), %.3f s total latency; "+
+				"stage decomposition ns-exact for every request: %v\n\n",
+				s.Requests, s.Merged, s.Reads, float64(s.TotalNS)/1e9, ja.AllExact)
+		}
+		if ja.Unattributed > 0 {
+			mw.printf("%d journeys completed outside every phase window.\n\n", ja.Unattributed)
+		}
+		mw.printf("| phase | reqs | merged | reads | p50 ms | p95 ms | p99 ms |")
+		for _, st := range obs.StageNames() {
+			mw.printf(" %s %% |", st)
+		}
+		mw.printf("\n|---|---|---|---|---|---|---|")
+		for range obs.StageNames() {
+			mw.printf("---|")
+		}
+		mw.printf("\n")
+		for _, p := range ja.Phases {
+			mw.printf("| %s | %d | %d | %d | %.3f | %.3f | %.3f |",
+				p.Name, p.Requests, p.Merged, p.Reads, p.P50Ms, p.P95Ms, p.P99Ms)
+			for _, st := range obs.StageNames() {
+				mw.printf(" %.1f |", p.StagePct[st])
+			}
+			mw.printf("\n")
+		}
+		mw.printf("\n")
+
+		mw.printf("### Per-VM journey latency (s)\n\n")
+		mw.printf("| phase | host | vm | reqs | total s | guest queue s | dom0 queue s | disk s |\n")
+		mw.printf("|---|---|---|---|---|---|---|---|\n")
+		for _, p := range ja.Phases {
+			for _, v := range p.PerVM {
+				disk := v.StageNS["seek"] + v.StageNS["rotation"] + v.StageNS["transfer"] + v.StageNS["overhead"]
+				mw.printf("| %s | %d | %d | %d | %.3f | %.3f | %.3f | %.3f |\n",
+					p.Name, v.Host, v.VM, v.Requests,
+					float64(v.TotalNS)/1e9,
+					float64(v.StageNS["guest_stall"]+v.StageNS["guest_queue"])/1e9,
+					float64(v.StageNS["dom0_stall"]+v.StageNS["dom0_queue"])/1e9,
+					float64(disk)/1e9)
+			}
+		}
+		mw.printf("\n")
+	}
+
+	if da := e.Decisions; da != nil {
+		mw.printf("## Scheduler decisions\n\n")
+		if s := da.Summary; s != nil {
+			writeDecisionTallyMD(mw, "whole run — vm level", s.VM)
+			writeDecisionTallyMD(mw, "whole run — dom0 level", s.Dom0)
+		}
+		for _, p := range da.Phases {
+			writeDecisionTallyMD(mw, p.Name+" — vm level", p.VM)
+			writeDecisionTallyMD(mw, p.Name+" — dom0 level", p.Dom0)
+		}
+	}
+
+	// The underlying analysis report, verbatim.
+	mw.printf("---\n\n")
+	if mw.err != nil {
+		return mw.err
+	}
+	return r.WriteMarkdown(w)
+}
+
+func writeDecisionTallyMD(mw *errWriter, title string, tally map[string]int64) {
+	if len(tally) == 0 {
+		return
+	}
+	mw.printf("**%s**\n\n| decision | count |\n|---|---|\n", title)
+	for _, k := range sortedTallyKeys(tally) {
+		mw.printf("| %s | %d |\n", k, tally[k])
+	}
+	mw.printf("\n")
+}
+
+func sortedTallyKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// verdicts builds one narrative line per phase, combining the dominant
+// journey stage, the critical-path blame and the busiest decision kinds.
+func (e *ExplainReport) verdicts() []string {
+	var out []string
+	for _, seg := range e.Report.Critical.Segments {
+		line := "**" + seg.Phase + "** (" + fmtS(seg.DurationS) + " s): critical path blames " +
+			topBlame(seg.BlameS)
+		if ja := e.Journeys; ja != nil {
+			for _, p := range ja.Phases {
+				if p.Name == seg.Phase && p.Requests > 0 {
+					line += "; requests spent " + fmtPct(p.DominantPct) + "% of their latency in " + p.Dominant
+					break
+				}
+			}
+		}
+		if da := e.Decisions; da != nil {
+			for _, p := range da.Phases {
+				if p.Name != seg.Phase {
+					continue
+				}
+				if k, n := topTally(p.Dom0); n > 0 {
+					line += "; dom0 decided " + k + " ×" + itoa(n)
+				}
+				if k, n := topTally(p.VM); n > 0 {
+					line += ", vm decided " + k + " ×" + itoa(n)
+				}
+				break
+			}
+		}
+		out = append(out, line)
+	}
+	if len(out) == 0 {
+		out = append(out, "no phase windows recorded")
+	}
+	return out
+}
+
+// topBlame names the two largest blame layers of a segment.
+func topBlame(blame map[string]float64) string {
+	type kv struct {
+		k string
+		v float64
+	}
+	var all []kv
+	for _, layer := range Layers() {
+		all = append(all, kv{layer, blame[layer]})
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].v > all[b].v })
+	s := all[0].k + " (" + fmtS(all[0].v) + " s)"
+	if len(all) > 1 && all[1].v > 0 {
+		s += " over " + all[1].k + " (" + fmtS(all[1].v) + " s)"
+	}
+	return s
+}
+
+func topTally(tally map[string]int64) (string, int64) {
+	var bestK string
+	var bestN int64
+	for _, k := range sortedTallyKeys(tally) {
+		if tally[k] > bestN {
+			bestK, bestN = k, tally[k]
+		}
+	}
+	return bestK, bestN
+}
+
+// WriteHTML renders the explain report as a single self-contained HTML
+// page: the verdicts and journey/decision tables followed by the full
+// report (inline SVG charts, no scripts).
+func (e *ExplainReport) WriteHTML(w io.Writer) error {
+	hw := &errWriter{w: w}
+	r := e.Report
+	hw.printf("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	hw.printf("<title>adaptmr explain — %s</title>\n", html.EscapeString(r.Job.Name))
+	hw.printf("<style>%s</style>\n</head>\n<body>\n", reportCSS)
+
+	hw.printf("<h1>adaptmr explain report</h1>\n")
+	hw.printf("<p>Job <b>%s</b> — makespan <b>%.3f&thinsp;s</b>; pair %s</p>\n",
+		html.EscapeString(r.Job.Name), r.Job.MakespanS, html.EscapeString(r.Bench.Pair))
+
+	hw.printf("<h2>Why each phase went the way it did</h2>\n<ul>\n")
+	for _, v := range e.verdicts() {
+		hw.printf("<li>%s</li>\n", mdBoldToHTML(v))
+	}
+	hw.printf("</ul>\n")
+
+	if ja := e.Journeys; ja != nil {
+		hw.printf("<h2>Request journeys</h2>\n")
+		if s := ja.Summary; s != nil {
+			hw.printf("<p>%d journeys (%d merged, %d reads), %.3f&thinsp;s total latency; ns-exact: %v</p>\n",
+				s.Requests, s.Merged, s.Reads, float64(s.TotalNS)/1e9, ja.AllExact)
+		}
+		hw.printf("<table>\n<tr><th>phase</th><th>reqs</th><th>p50 ms</th><th>p95 ms</th><th>p99 ms</th>")
+		for _, st := range obs.StageNames() {
+			hw.printf("<th>%s %%</th>", st)
+		}
+		hw.printf("</tr>\n")
+		for _, p := range ja.Phases {
+			hw.printf("<tr><td>%s</td><td>%d</td><td>%.3f</td><td>%.3f</td><td>%.3f</td>",
+				p.Name, p.Requests, p.P50Ms, p.P95Ms, p.P99Ms)
+			for _, st := range obs.StageNames() {
+				hw.printf("<td>%.1f</td>", p.StagePct[st])
+			}
+			hw.printf("</tr>\n")
+		}
+		hw.printf("</table>\n")
+	}
+
+	if da := e.Decisions; da != nil && len(da.Phases) > 0 {
+		hw.printf("<h2>Scheduler decisions per phase</h2>\n")
+		hw.printf("<table>\n<tr><th>phase</th><th>level</th><th>decision</th><th>count</th></tr>\n")
+		for _, p := range da.Phases {
+			for _, k := range sortedTallyKeys(p.VM) {
+				hw.printf("<tr><td>%s</td><td>vm</td><td>%s</td><td>%d</td></tr>\n", p.Name, k, p.VM[k])
+			}
+			for _, k := range sortedTallyKeys(p.Dom0) {
+				hw.printf("<tr><td>%s</td><td>dom0</td><td>%s</td><td>%d</td></tr>\n", p.Name, k, p.Dom0[k])
+			}
+		}
+		hw.printf("</table>\n")
+	}
+
+	hw.printf("<hr>\n</body>\n</html>\n")
+	if hw.err != nil {
+		return hw.err
+	}
+	// Append the full report page after the explain page; both are
+	// self-contained, so a browser renders them in sequence.
+	return r.WriteHTML(w)
+}
+
+// mdBoldToHTML converts the verdict lines' **bold** markers, escaping
+// everything else.
+func mdBoldToHTML(s string) string {
+	esc := html.EscapeString(s)
+	out := make([]byte, 0, len(esc))
+	bold := false
+	for i := 0; i < len(esc); i++ {
+		if i+1 < len(esc) && esc[i] == '*' && esc[i+1] == '*' {
+			if bold {
+				out = append(out, "</b>"...)
+			} else {
+				out = append(out, "<b>"...)
+			}
+			bold = !bold
+			i++
+			continue
+		}
+		out = append(out, esc[i])
+	}
+	return string(out)
+}
+
+func fmtS(v float64) string   { return fmt.Sprintf("%.3f", v) }
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func itoa(n int64) string { return strconv.FormatInt(n, 10) }

@@ -281,6 +281,8 @@ func (q *Queue) scheduleFinish() {
 		backlog := q.backlog
 		q.backlog = nil
 		for _, r := range backlog {
+			// Everything held back since its submission was switch stall.
+			r.BacklogHold += now.Sub(r.Issued)
 			q.addToElevator(r)
 		}
 		info := SwitchInfo{

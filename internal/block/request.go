@@ -60,6 +60,17 @@ type Request struct {
 	// OnComplete is invoked exactly once when the request finishes.
 	OnComplete func(*Request)
 
+	// Journey, when non-zero, is the request-journey id threaded through
+	// both levels of the virtualized stack: the guest queue assigns it at
+	// submission and the blkfront/blkback ring copies it onto the Dom0
+	// request it spawns, so a physical service can be attributed back to
+	// the guest submission it served. Zero means untracked.
+	Journey int64
+	// BacklogHold accumulates the time this request spent held in a
+	// switch backlog (submitted while an elevator switch was draining),
+	// so journey decompositions can attribute switch stall exactly.
+	BacklogHold sim.Duration
+
 	// merged tracks requests coalesced into this one; their callbacks run
 	// when this request completes.
 	merged []*Request

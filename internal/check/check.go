@@ -80,6 +80,13 @@ func (s *Set) record(v Violation) {
 	}
 }
 
+// Report records a violation observed by an external checker (one not
+// built by Attach — e.g. the xen journey tracker's ns-exactness audit),
+// folding it into the same capped log and total as the queue invariants.
+func (s *Set) Report(queue, invariant string, at sim.Time, detail string) {
+	s.record(Violation{Queue: queue, Invariant: invariant, Time: at, Detail: detail})
+}
+
 // Violations returns a snapshot of the recorded violations (capped at
 // maxStoredViolations; Total reports the uncapped count).
 func (s *Set) Violations() []Violation {

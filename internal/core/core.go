@@ -153,6 +153,13 @@ type RunResult struct {
 	// Runner.CollectPerf was set, and always nil on memo or disk-cache
 	// hits — wall times are machine-dependent and must not be replayed).
 	Perf *perfstat.Stat
+	// Journeys summarises the evaluation's per-request latency
+	// decompositions (nil unless a journey log was attached via
+	// ClusterConfig.Obs.Journeys).
+	Journeys *obs.JourneySummary
+	// Decisions summarises scheduler decision tallies per queue level
+	// (nil unless a decision log was attached).
+	Decisions *obs.DecisionSummary
 }
 
 // Profile records one pair's full-job execution broken into phases; the

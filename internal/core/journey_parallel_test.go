@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/obs"
+	"adaptmr/internal/workloads"
+)
+
+// journeySweep runs a batch of distinct plans with the full provenance
+// stack attached — tracer, journey log, decision log — at the given
+// worker count, and returns every fold-ordered artefact: the rendered
+// trace bytes (which carry the journey async spans and decision instants
+// with their ids), the journey records as JSON, and the decision summary.
+func journeySweep(t *testing.T, parallelism int) ([]byte, []byte, *obs.DecisionSummary) {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Hosts = 2
+	cfg.VMsPerHost = 2
+	tr := obs.NewTracer()
+	jl := obs.NewJourneyLog()
+	dl := obs.NewDecisionLog()
+	cfg.Obs.Trace = tr
+	cfg.Obs.Journeys = jl
+	cfg.Obs.Decisions = dl
+	r := NewRunner(cfg, workloads.Sort(32<<20).Job)
+	r.Parallelism = parallelism
+	plans := []Plan{
+		Uniform(TwoPhases, cc),
+		NewPlan(TwoPhases, ad, cc),
+		Uniform(TwoPhases, dd),
+		NewPlan(TwoPhases, cc, nc),
+		Uniform(TwoPhases, ad),
+		NewPlan(TwoPhases, dd, ad),
+		Uniform(TwoPhases, nc),
+		NewPlan(TwoPhases, nc, dd),
+	}
+	if _, err := r.RunAll(plans); err != nil {
+		t.Fatalf("RunAll(parallelism=%d): %v", parallelism, err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := json.Marshal(jl.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), recs, dl.Summary()
+}
+
+// TestJourneyIDsParallelByteIdentical pins journey and flow id stability
+// under the evaluation pool: the ids assigned while folding private
+// per-evaluation sinks (Tracer.Absorb, JourneyLog.Absorb) depend only on
+// submission order, so an 8-plan batch at -parallel 4 and 8 must produce
+// byte-identical trace exports and journey record streams — ids included
+// — and identical decision tallies, compared to the serial fold.
+func TestJourneyIDsParallelByteIdentical(t *testing.T) {
+	serialTrace, serialRecs, serialDec := journeySweep(t, 1)
+	if len(serialRecs) <= 2 { // "[]" means no journeys were recorded at all
+		t.Fatal("serial sweep recorded no journeys")
+	}
+	for _, par := range []int{4, 8} {
+		trace, recs, dec := journeySweep(t, par)
+		if !bytes.Equal(trace, serialTrace) {
+			t.Errorf("parallelism %d: trace bytes differ from serial (%d vs %d bytes)",
+				par, len(trace), len(serialTrace))
+		}
+		if !bytes.Equal(recs, serialRecs) {
+			t.Errorf("parallelism %d: journey records differ from serial (%d vs %d bytes)",
+				par, len(recs), len(serialRecs))
+		}
+		if !reflect.DeepEqual(dec, serialDec) {
+			t.Errorf("parallelism %d: decision tallies differ from serial", par)
+		}
+	}
+}

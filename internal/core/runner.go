@@ -91,12 +91,20 @@ type Runner struct {
 // evalEntry is one single-flight evaluation slot. Whoever creates the
 // entry owns its execution; everyone else waits on done.
 type evalEntry struct {
-	plan  Plan // first plan submitted under this key (labels the run)
-	idx   int  // evaluation index; -1 when satisfied from the disk cache
-	done  chan struct{}
-	res   RunResult
-	err   error
-	trace *obs.Tracer // private tracer awaiting its ordered fold
+	plan Plan // first plan submitted under this key (labels the run)
+	idx  int  // evaluation index; -1 when satisfied from the disk cache
+	done chan struct{}
+	res  RunResult
+	err  error
+	obs  evalObs // private sinks awaiting their ordered fold
+}
+
+// evalObs bundles one evaluation's private observation sinks for the
+// ordered fold into the caller's shared sinks.
+type evalObs struct {
+	trace     *obs.Tracer
+	journeys  *obs.JourneyLog
+	decisions *obs.DecisionLog
 }
 
 // NewRunner creates a runner for the job on the given testbed.
@@ -230,10 +238,10 @@ func (r *Runner) RunAll(plans []Plan) ([]RunResult, error) {
 // have produced them. A cancelled evaluation still folds (with its error
 // set), so later indices are never stranded behind it.
 func (r *Runner) execute(ctx context.Context, e *evalEntry, diskCache *EvalCache) {
-	res, trace, err := r.runOnce(ctx, e.plan, e.idx)
+	res, sinks, err := r.runOnce(ctx, e.plan, e.idx)
 
 	r.mu.Lock()
-	e.res, e.trace, e.err = res, trace, err
+	e.res, e.obs, e.err = res, sinks, err
 	r.pending[e.idx] = e
 	for {
 		f, ok := r.pending[r.foldNext]
@@ -254,17 +262,19 @@ func (r *Runner) fold(f *evalEntry, diskCache *EvalCache) {
 	if f.err == nil {
 		base := r.ClusterConfig.Obs
 		if base.Trace != nil {
-			base.Trace.Absorb(f.trace)
+			base.Trace.Absorb(f.obs.trace)
 		}
 		if base.Metrics != nil {
 			base.Metrics.Absorb(f.res.Metrics)
 		}
+		base.Journeys.Absorb(f.obs.journeys)
+		base.Decisions.Absorb(f.obs.decisions)
 		if diskCache != nil {
 			// Best effort: a failed write only costs a future re-simulation.
 			_ = diskCache.Put(r.ClusterConfig, r.Job, f.plan, f.res)
 		}
 	}
-	f.trace = nil
+	f.obs = evalObs{}
 	close(f.done)
 }
 
@@ -302,23 +312,31 @@ const ctxCheckEvents = 4096
 // evaluation's submission-order index; when observation is enabled it
 // selects the trace PID block exactly as the serial runner did, and the
 // evaluation records into a private tracer/registry for the ordered fold.
-func (r *Runner) runOnce(ctx context.Context, plan Plan, idx int) (RunResult, *obs.Tracer, error) {
+func (r *Runner) runOnce(ctx context.Context, plan Plan, idx int) (RunResult, evalObs, error) {
 	cc := r.ClusterConfig
 	base := cc.Obs
-	var priv *obs.Tracer
+	var priv evalObs
 	if base.Enabled() {
 		// Each evaluation gets its own slice of trace-process ids and
 		// private sinks; the fold merges them back into the caller's
-		// tracer/registry in evaluation order, so per-candidate and
+		// tracer/registry/logs in evaluation order, so per-candidate and
 		// aggregate views both exist and the bytes match a serial run.
 		cc.Obs.PIDBase = base.PIDBase + int64(idx)*1000
 		cc.Obs.RunLabel = plan.String()
 		if base.Trace != nil {
-			priv = obs.NewTracer()
-			cc.Obs.Trace = priv
+			priv.trace = obs.NewTracer()
+			cc.Obs.Trace = priv.trace
 		}
 		if base.Metrics != nil {
 			cc.Obs.Metrics = obs.NewRegistry()
+		}
+		if base.Journeys != nil {
+			priv.journeys = obs.NewJourneyLog()
+			cc.Obs.Journeys = priv.journeys
+		}
+		if base.Decisions != nil {
+			priv.decisions = obs.NewDecisionLog()
+			cc.Obs.Decisions = priv.decisions
 		}
 	}
 	cl := cluster.New(cc)
@@ -358,8 +376,14 @@ func (r *Runner) runOnce(ctx context.Context, plan Plan, idx int) (RunResult, *o
 	perfstat.Publish(cc.Obs.Metrics, perf)
 	res := job.Result()
 	res.Perf = perf
+	res.Journeys = priv.journeys.Summary()
+	res.Decisions = priv.decisions.Summary()
 	stall := totalStall(cl) - baseStall
-	return RunResult{Plan: plan, Duration: res.Duration, Job: res, SwitchStall: stall, Metrics: res.Metrics, Perf: perf}, priv, nil
+	return RunResult{
+		Plan: plan, Duration: res.Duration, Job: res, SwitchStall: stall,
+		Metrics: res.Metrics, Perf: perf,
+		Journeys: res.Journeys, Decisions: res.Decisions,
+	}, priv, nil
 }
 
 // totalStall sums switch stall time across every queue in the cluster.

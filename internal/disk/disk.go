@@ -80,6 +80,11 @@ type Disk struct {
 	// OnService, if set, observes every request as it starts service,
 	// with its positioning and transfer costs (tracing/debugging).
 	OnService func(r *block.Request, position, transfer sim.Duration)
+
+	// OnServiceDetail, if set, observes every request as it starts
+	// service with the positioning cost split into seek and rotation
+	// (journey stage attribution). Fires after OnService.
+	OnServiceDetail func(r *block.Request, seek, rot, transfer sim.Duration)
 }
 
 // New creates a disk with its head parked at sector 0.
@@ -102,6 +107,16 @@ func (d *Disk) Stats() Stats { return d.stats }
 // ServiceTime computes how long a request at the given head position takes,
 // split into positioning and transfer components.
 func (d *Disk) ServiceTime(r *block.Request, head int64) (position, transfer sim.Duration) {
+	seek, rot, transfer := d.ServiceParts(r, head)
+	return seek + rot, transfer
+}
+
+// ServiceParts is ServiceTime with the positioning cost further split
+// into its mechanical components: seek (head movement — the settle cost
+// of a short forward hop counts as seek) and rotational latency. The
+// total service time is seek + rot + transfer + Config.Overhead, an
+// exact integer-nanosecond identity journey decompositions rely on.
+func (d *Disk) ServiceParts(r *block.Request, head int64) (seek, rot, transfer sim.Duration) {
 	delta := r.Sector - head
 	dist := delta
 	if dist < 0 {
@@ -112,16 +127,15 @@ func (d *Disk) ServiceTime(r *block.Request, head int64) (position, transfer sim
 		// Head-adjacent: continues the current run.
 	case delta > 0 && dist <= d.cfg.ZoneDistance:
 		// Short forward hop: settle only (one-way elevators live here).
-		position = d.cfg.SettleTime
+		seek = d.cfg.SettleTime
 	default:
 		frac := math.Sqrt(float64(dist) / float64(d.cfg.Sectors))
-		seek := sim.Duration(float64(d.cfg.SeekMin) + frac*float64(d.cfg.SeekMax-d.cfg.SeekMin))
-		rot := sim.Duration(float64(30*sim.Second) / float64(d.cfg.RPM)) // half turn
-		position = seek + rot
+		seek = sim.Duration(float64(d.cfg.SeekMin) + frac*float64(d.cfg.SeekMax-d.cfg.SeekMin))
+		rot = sim.Duration(float64(30*sim.Second) / float64(d.cfg.RPM)) // half turn
 	}
 	bytes := float64(r.Count * block.SectorSize)
 	transfer = sim.Duration(bytes / (d.cfg.TransferMBps * 1e6) * float64(sim.Second))
-	return position, transfer
+	return seek, rot, transfer
 }
 
 // Service implements block.Device.
@@ -130,7 +144,8 @@ func (d *Disk) Service(r *block.Request, done func(*block.Request)) {
 		panic("disk: overlapping service (queue depth must be 1)")
 	}
 	d.busy = true
-	pos, xfer := d.ServiceTime(r, d.head)
+	seek, rot, xfer := d.ServiceParts(r, d.head)
+	pos := seek + rot
 	total := pos + xfer + d.cfg.Overhead
 
 	d.stats.Requests++
@@ -144,6 +159,9 @@ func (d *Disk) Service(r *block.Request, done func(*block.Request)) {
 
 	if d.OnService != nil {
 		d.OnService(r, pos, xfer)
+	}
+	if d.OnServiceDetail != nil {
+		d.OnServiceDetail(r, seek, rot, xfer)
 	}
 	d.head = r.End()
 	d.eng.Schedule(total, func() {

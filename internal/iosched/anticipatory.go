@@ -2,6 +2,7 @@ package iosched
 
 import (
 	"adaptmr/internal/block"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/sim"
 )
 
@@ -126,6 +127,7 @@ func (s *AnticipatorySched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 			s.misses[s.anticStream]++
 			s.stats.Timeouts++
 			s.p.Counters.AnticTimeout()
+			s.p.Decisions.RecordStream(now, obs.DecAnticTimeout, int64(s.anticStream))
 		}
 		return nil, 0
 	}
@@ -137,6 +139,7 @@ func (s *AnticipatorySched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 			s.misses[s.anticStream]++
 			s.stats.Timeouts++
 			s.p.Counters.AnticTimeout()
+			s.p.Decisions.RecordStream(now, obs.DecAnticTimeout, int64(s.anticStream))
 		} else {
 			// Serve the anticipated stream's reads ahead of everything —
 			// but only if the candidate continues the current run
@@ -147,6 +150,7 @@ func (s *AnticipatorySched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 				s.misses[s.anticStream] = 0
 				s.stats.Hits++
 				s.p.Counters.AnticHit()
+				s.p.Decisions.RecordStream(now, obs.DecAnticHit, int64(s.anticStream))
 				if !s.inBatch || s.batchOp != block.Read {
 					s.inBatch = true
 					s.batchOp = block.Read
@@ -249,6 +253,7 @@ func (s *AnticipatorySched) Completed(r *block.Request, now sim.Time) {
 	}
 	s.stats.Armed++
 	s.p.Counters.AnticArmed()
+	s.p.Decisions.RecordStream(now, obs.DecAnticArm, int64(r.Stream))
 	s.anticipating = true
 	s.anticStream = r.Stream
 	s.anticUntil = now.Add(s.p.AnticExpire)

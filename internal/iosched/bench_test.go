@@ -1,0 +1,90 @@
+package iosched
+
+import (
+	"testing"
+
+	"adaptmr/internal/block"
+	"adaptmr/internal/obs"
+	"adaptmr/internal/sim"
+)
+
+// benchCycle drives one steady-state request lifecycle through e — add,
+// dispatch (advancing the clock through anticipation and idle waits),
+// complete — and returns the advanced clock. It panics if the elevator
+// stalls, so a benchmark cannot silently measure an empty loop.
+func benchCycle(e block.Elevator, r *block.Request, now sim.Time) sim.Time {
+	e.Add(r, now)
+	for {
+		d, wake := e.Dispatch(now)
+		if d != nil {
+			now = now.Add(100 * sim.Microsecond) // nominal service time
+			e.Completed(d, now)
+			return now
+		}
+		if wake <= now {
+			panic("iosched: elevator stalled in benchmark cycle")
+		}
+		now = wake
+	}
+}
+
+// benchElevator measures the full add→dispatch→complete cycle of one
+// elevator with the decision recorder DISABLED (Params.Decisions nil).
+// This is the hot path every uninstrumented simulation runs; it must not
+// allocate once warm. A few warm-up cycles populate the per-stream maps
+// and list capacities before the timer starts.
+func benchElevator(b *testing.B, name string) {
+	p := DefaultParams()
+	if p.Decisions != nil {
+		b.Fatal("default params must not carry a decision recorder")
+	}
+	e := MustNew(name, p)
+	r := block.NewRequest(block.Read, 4096, 8, true, 1)
+	now := sim.Time(0)
+	for i := 0; i < 64; i++ {
+		now = benchCycle(e, r, now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = benchCycle(e, r, now)
+	}
+}
+
+func BenchmarkDecisionsDisabledNoop(b *testing.B)         { benchElevator(b, Noop) }
+func BenchmarkDecisionsDisabledDeadline(b *testing.B)     { benchElevator(b, Deadline) }
+func BenchmarkDecisionsDisabledAnticipatory(b *testing.B) { benchElevator(b, Anticipatory) }
+func BenchmarkDecisionsDisabledCFQ(b *testing.B)          { benchElevator(b, CFQ) }
+
+// TestDecisionsDisabledZeroAlloc pins the decision-hook-disabled dispatch
+// path of all four elevators at zero allocations per operation, the same
+// pattern as block's TestHooksDisabledZeroAlloc: a nil DecisionRecorder
+// must cost nothing, so uninstrumented runs pay nothing for the
+// provenance machinery.
+func TestDecisionsDisabledZeroAlloc(t *testing.T) {
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := testing.Benchmark(func(b *testing.B) { benchElevator(b, name) })
+			if a := res.AllocsPerOp(); a != 0 {
+				t.Fatalf("%s decisions-disabled cycle allocates %d allocs/op, want 0", name, a)
+			}
+		})
+	}
+}
+
+// TestNilRecorderMethodsZeroAlloc pins the recorder call sites themselves:
+// invoking every DecisionRecorder method through a nil receiver — exactly
+// what an un-instrumented elevator does on every decision — must not
+// allocate or panic.
+func TestNilRecorderMethodsZeroAlloc(t *testing.T) {
+	p := DefaultParams()
+	rec := p.Decisions // nil
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.Record(0, obs.DecDeadlineBatch)
+		rec.RecordStream(0, obs.DecAnticArm, 7)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder dispatch allocates %v allocs/op, want 0", allocs)
+	}
+}

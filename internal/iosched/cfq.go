@@ -2,6 +2,7 @@ package iosched
 
 import (
 	"adaptmr/internal/block"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/sim"
 )
 
@@ -92,11 +93,12 @@ func (s *CFQSched) Add(r *block.Request, now sim.Time) {
 		if now < s.sliceEnd {
 			// The stream we idled for came back; the slice resumes.
 			s.idling = false
+			s.p.Decisions.RecordStream(now, obs.DecCFQResume, int64(q.stream))
 		} else {
 			// The slice expired while we idled: never resume a stale
 			// slice — expire it so the stream competes for a fresh one
 			// through the round-robin ring like everybody else.
-			s.expire()
+			s.expire(now)
 		}
 	}
 }
@@ -107,23 +109,23 @@ func (s *CFQSched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 		if s.idling && now < s.idleUntil {
 			return nil, s.idleUntil
 		}
-		s.expire()
+		s.expire(now)
 		return nil, 0
 	}
 
 	if s.active != nil {
 		switch {
 		case now >= s.sliceEnd:
-			s.expire()
+			s.expire(now)
 		case s.active.list.len() > 0:
 			return s.take(s.active), 0
 		case s.active.sync && s.idling:
 			if now < s.idleUntil {
 				return nil, s.idleUntil
 			}
-			s.expire()
+			s.expire(now)
 		default:
-			s.expire()
+			s.expire(now)
 		}
 	}
 
@@ -134,6 +136,7 @@ func (s *CFQSched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 	s.active = q
 	s.idling = false
 	s.p.Counters.CFQSlice()
+	s.p.Decisions.RecordStream(now, obs.DecCFQSlice, int64(q.stream))
 	slice := s.p.SliceSync
 	if !q.sync {
 		slice = s.p.SliceAsync
@@ -200,7 +203,10 @@ func (s *CFQSched) asyncPending() bool { return s.async.list.len() > 0 }
 // re-appends a queue exactly once when selecting it (and Add checks onRR
 // before appending), a queue never appears on rr twice — pinned by
 // TestCFQNoDuplicateQueuesOnRing.
-func (s *CFQSched) expire() {
+func (s *CFQSched) expire(now sim.Time) {
+	if s.active != nil {
+		s.p.Decisions.RecordStream(now, obs.DecCFQExpire, int64(s.active.stream))
+	}
 	s.active = nil
 	s.idling = false
 }
@@ -226,6 +232,7 @@ func (s *CFQSched) Completed(r *block.Request, now sim.Time) {
 	if s.active.list.len() == 0 && s.p.SliceIdle > 0 && now < s.sliceEnd {
 		s.idling = true
 		s.p.Counters.CFQIdle()
+		s.p.Decisions.RecordStream(now, obs.DecCFQIdle, int64(s.active.stream))
 		s.idleUntil = now.Add(s.p.SliceIdle)
 		if s.idleUntil > s.sliceEnd {
 			s.idleUntil = s.sliceEnd

@@ -2,6 +2,7 @@ package iosched
 
 import (
 	"adaptmr/internal/block"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/sim"
 )
 
@@ -70,6 +71,7 @@ func (s *DeadlineSched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 
 	// Continue the current batch along the sorted scan when possible.
 	if s.batchLeft > 0 && s.sorted[s.batchOp].len() > 0 && !s.frontExpired(otherOp(s.batchOp), now) {
+		s.p.Decisions.Record(now, obs.DecDeadlineBatch)
 		return s.take(s.sorted[s.batchOp].next(s.nextPos)), 0
 	}
 
@@ -94,8 +96,10 @@ func (s *DeadlineSched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 	// otherwise the batch continues from the last dispatched position.
 	var r *block.Request
 	if f := s.expiry[op].front(); f != nil && s.deadlines[f] <= now {
+		s.p.Decisions.RecordStream(now, obs.DecDeadlineExpired, int64(f.Stream))
 		r = f
 	} else {
+		s.p.Decisions.Record(now, obs.DecDeadlineBatch)
 		r = s.sorted[op].next(s.nextPos)
 	}
 	return s.take(r), 0

@@ -93,6 +93,13 @@ type Params struct {
 	// switches so a level's counts accumulate over the whole run; a nil
 	// value discards updates.
 	Counters *obs.SchedCounters
+
+	// Decisions, when non-nil, receives structured decision provenance
+	// (why a dispatch happened: batch continuation vs deadline expiry,
+	// anticipation outcomes, CFQ slice lifecycle). Shared across elevator
+	// switches like Counters; a nil recorder discards updates with no
+	// allocation (the disabled hot path is pinned at 0 allocs/op).
+	Decisions *obs.DecisionRecorder
 }
 
 // DefaultParams mirrors the Linux 2.6.22 defaults the paper's testbed ran.

@@ -78,6 +78,15 @@ type Result struct {
 	// ReportOptions.CollectPerf, WithPerfStats) and is never cached: wall
 	// times are machine-dependent, so cached results return it nil.
 	Perf *perfstat.Stat `json:"perf,omitempty"`
+
+	// Journeys, when non-nil, summarises the run's per-request latency
+	// decompositions (populated by the runner when a journey log was
+	// attached).
+	Journeys *obs.JourneySummary `json:"journeys,omitempty"`
+
+	// Decisions, when non-nil, summarises scheduler decision tallies per
+	// queue level (populated when a decision log was attached).
+	Decisions *obs.DecisionSummary `json:"decisions,omitempty"`
 }
 
 // PhaseDuration returns the wall time spent in phase p.

@@ -58,13 +58,27 @@ func (s Sink) InstrumentQueue(q *block.Queue, pid, tid int64, level string) {
 		q.OnDispatch(func(*block.Request) { depth-- })
 		q.OnMerge(func(parent, child *block.Request) { depth-- })
 	}
+	// Queue-level decision provenance: merges and switch drains. The
+	// recorder is nil when neither a decision log nor a tracer is
+	// attached, which keeps the disabled path allocation-free.
+	rec := NewDecisionRecorder(s, pid, tid, level)
 	q.OnMerge(func(parent, child *block.Request) {
 		mergedC.Inc()
+		// FrontMerge moves the parent's first sector onto the child's, so
+		// equal sectors at hook time identify a front merge (a back merge
+		// can never leave them equal — it would need a zero-length child).
+		kind := DecMergeBack
+		if parent.Sector == child.Sector {
+			kind = DecMergeFront
+		}
+		rec.Record(child.Issued, kind)
 		if tr != nil {
 			tr.Instant(pid, tid, cat, "merge", child.Issued,
+				S("kind", mergeKindName(kind)),
 				I("parent_sector", parent.Sector),
 				I("child_sector", child.Sector),
-				I("sectors", child.Count))
+				I("sectors", child.Count),
+				I("j", child.Journey))
 		}
 	})
 	q.OnComplete(func(r *block.Request) {
@@ -76,13 +90,16 @@ func (s Sink) InstrumentQueue(q *block.Queue, pid, tid int64, level string) {
 				I("sector", r.Sector),
 				I("sectors", r.Count),
 				I("stream", int64(r.Stream)),
-				F("wait_ms", r.Dispatched.Sub(r.Issued).Millis()))
+				F("wait_ms", r.Dispatched.Sub(r.Issued).Millis()),
+				I("j", r.Journey))
 		}
 	})
 	q.OnSwitched(func(info block.SwitchInfo) {
 		swCount.Inc()
 		swStall.Add(info.Stall.Millis())
 		swBacklog.Add(int64(info.Backlog))
+		rec.Record(info.Start, DecSwitchBegin)
+		rec.Record(info.Done, DecSwitchEnd)
 		if tr != nil {
 			tr.Span(pid, tid, "switch", info.From+"→"+info.To,
 				info.Start, info.Done,
@@ -90,6 +107,13 @@ func (s Sink) InstrumentQueue(q *block.Queue, pid, tid int64, level string) {
 				I("backlog", int64(info.Backlog)))
 		}
 	})
+}
+
+func mergeKindName(k DecisionKind) string {
+	if k == DecMergeFront {
+		return "front"
+	}
+	return "back"
 }
 
 // InstrumentDisk observes every serviced request on the physical disk:
@@ -126,7 +150,8 @@ func (s Sink) InstrumentDisk(d *disk.Disk, pid, tid int64) {
 				I("sectors", r.Count),
 				I("stream", int64(r.Stream)),
 				F("position_ms", pos.Millis()),
-				F("transfer_ms", xfer.Millis()))
+				F("transfer_ms", xfer.Millis()),
+				I("j", r.Journey))
 		}
 	}
 }

@@ -1,0 +1,191 @@
+package obs
+
+import "adaptmr/internal/sim"
+
+// Journey stage indices: the named stages a request's end-to-end latency
+// decomposes into. The decomposition is ns-exact — for every completed
+// request the stage durations sum to exactly Completed - Issued (the
+// check harness enforces this), so reports can attribute 100% of a
+// request's latency to named causes.
+type Stage uint8
+
+const (
+	// StageGuestStall is time held in the guest queue's switch backlog.
+	StageGuestStall Stage = iota
+	// StageGuestQueue is time waiting in the guest elevator (submission
+	// to guest dispatch, minus backlog hold).
+	StageGuestQueue
+	// StageRing is the blkfront/blkback ring transit, both directions.
+	StageRing
+	// StageDom0Stall is time held in the Dom0 queue's switch backlog.
+	StageDom0Stall
+	// StageDom0Queue is time waiting in the Dom0 (VMM) elevator.
+	StageDom0Queue
+	// StageSeek is head movement (including short-hop settling).
+	StageSeek
+	// StageRotation is rotational latency.
+	StageRotation
+	// StageTransfer is media transfer time.
+	StageTransfer
+	// StageOverhead is the disk's fixed per-request command overhead.
+	StageOverhead
+
+	// NumStages is the number of journey stages.
+	NumStages = int(StageOverhead) + 1
+)
+
+var stageNames = [NumStages]string{
+	"guest_stall", "guest_queue", "ring", "dom0_stall", "dom0_queue",
+	"seek", "rotation", "transfer", "overhead",
+}
+
+// String returns the stage's canonical name.
+func (s Stage) String() string { return stageNames[s] }
+
+// StageNames returns the stage names in canonical (pipeline) order.
+func StageNames() [NumStages]string { return stageNames }
+
+// JourneyRec is one completed request journey through the two-level
+// stack: identity, geometry, end-to-end window and the exact per-stage
+// latency decomposition.
+type JourneyRec struct {
+	// ID is the journey id assigned at guest submission (also the "j"
+	// arg on the request's trace spans).
+	ID int64
+	// Host and VM locate the issuing guest.
+	Host, VM int
+	// Read reports the direction.
+	Read bool
+	// Stream is the guest-level issuing context.
+	Stream int64
+	// Sector and Sectors are the extent as submitted (pre-merge).
+	Sector, Sectors int64
+	// Merged reports whether the request completed through a guest-level
+	// merge parent rather than its own dispatch.
+	Merged bool
+	// Issued and Completed bound the end-to-end window.
+	Issued, Completed sim.Time
+	// Stages is the per-stage decomposition; it sums exactly to
+	// Completed - Issued.
+	Stages [NumStages]sim.Duration
+}
+
+// Total returns the end-to-end latency.
+func (r *JourneyRec) Total() sim.Duration { return r.Completed.Sub(r.Issued) }
+
+// StageSum returns the sum of the stage durations (== Total for a
+// correct decomposition).
+func (r *JourneyRec) StageSum() sim.Duration {
+	var s sim.Duration
+	for _, d := range r.Stages {
+		s += d
+	}
+	return s
+}
+
+// JourneyLog collects journey records for one evaluation. Like the
+// Tracer it is single-threaded; parallel evaluations record into private
+// logs that are folded with Absorb in submission order, keeping ids and
+// record order byte-identical to a serial run. A nil *JourneyLog
+// discards everything at zero cost.
+type JourneyLog struct {
+	recs   []JourneyRec
+	nextID int64
+}
+
+// NewJourneyLog returns an empty journey log.
+func NewJourneyLog() *JourneyLog { return &JourneyLog{} }
+
+// NextID allocates the next journey id (ids start at 1; 0 means
+// untracked). Returns 0 on a nil log.
+func (l *JourneyLog) NextID() int64 {
+	if l == nil {
+		return 0
+	}
+	l.nextID++
+	return l.nextID
+}
+
+// Add appends a completed journey record.
+func (l *JourneyLog) Add(rec JourneyRec) {
+	if l == nil {
+		return
+	}
+	l.recs = append(l.recs, rec)
+}
+
+// Len returns the number of recorded journeys.
+func (l *JourneyLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.recs)
+}
+
+// Records returns the recorded journeys (shared slice; do not mutate).
+func (l *JourneyLog) Records() []JourneyRec {
+	if l == nil {
+		return nil
+	}
+	return l.recs
+}
+
+// Absorb appends src's records to l, renumbering src's journey ids past
+// the ids l has already allocated — the same deterministic fold
+// discipline as Tracer.Absorb, so parallel evaluation folding is
+// byte-identical to serial recording.
+func (l *JourneyLog) Absorb(src *JourneyLog) {
+	if l == nil || src == nil {
+		return
+	}
+	off := l.nextID
+	for _, rec := range src.recs {
+		rec.ID += off
+		l.recs = append(l.recs, rec)
+	}
+	l.nextID += src.nextID
+}
+
+// JourneySummary aggregates a log into per-stage totals. All fields are
+// integer nanoseconds, so the summary is deterministic and the stage
+// totals sum exactly to TotalNS.
+type JourneySummary struct {
+	// Requests counts completed journeys; Merged counts those that
+	// completed through a guest-level merge parent.
+	Requests int64 `json:"requests"`
+	Merged   int64 `json:"merged"`
+	// Reads counts read journeys (Requests - Reads are writes).
+	Reads int64 `json:"reads"`
+	// TotalNS is the summed end-to-end latency of all journeys.
+	TotalNS int64 `json:"total_ns"`
+	// StageNS maps stage name → summed nanoseconds; the values sum to
+	// TotalNS.
+	StageNS map[string]int64 `json:"stage_ns"`
+}
+
+// Summary aggregates the log. Returns nil for a nil log.
+func (l *JourneyLog) Summary() *JourneySummary {
+	if l == nil {
+		return nil
+	}
+	s := &JourneySummary{StageNS: make(map[string]int64, NumStages)}
+	var stages [NumStages]int64
+	for i := range l.recs {
+		r := &l.recs[i]
+		s.Requests++
+		if r.Merged {
+			s.Merged++
+		}
+		if r.Read {
+			s.Reads++
+		}
+		s.TotalNS += int64(r.Total())
+		for st, d := range r.Stages {
+			stages[st] += int64(d)
+		}
+	}
+	for st, ns := range stages {
+		s.StageNS[stageNames[st]] = ns
+	}
+	return s
+}

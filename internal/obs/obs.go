@@ -34,10 +34,20 @@ type Sink struct {
 	// RunLabel, when non-empty, prefixes process names ("[c → a]/host0") —
 	// used by the Runner to label each evaluation's section of the trace.
 	RunLabel string
+
+	// Journeys, when non-nil, collects per-request journey records (the
+	// ns-exact latency decomposition through both queue levels).
+	Journeys *JourneyLog
+	// Decisions, when non-nil, tallies scheduler decision provenance
+	// (deadline expiries, anticipation outcomes, CFQ slices, merges,
+	// switch drains) per queue level.
+	Decisions *DecisionLog
 }
 
 // Enabled reports whether any observation channel is attached.
-func (s Sink) Enabled() bool { return s.Trace != nil || s.Metrics != nil }
+func (s Sink) Enabled() bool {
+	return s.Trace != nil || s.Metrics != nil || s.Journeys != nil || s.Decisions != nil
+}
 
 // ClusterPID is the trace process holding cluster-wide spans (job phases,
 // progress marks).

@@ -129,6 +129,37 @@ func (t *Tracer) AsyncSpan(pid, tid int64, cat, name string, start, end sim.Time
 	)
 }
 
+// NewFlowID allocates an async-span id from the same deterministic
+// counter AsyncSpan draws from, for callers that need the id up front
+// (to cross-reference a span from args, or to emit begin and end at
+// different call sites via AsyncSpanID). Ids allocated here survive
+// Absorb folding exactly like implicit ones: Absorb offsets every async
+// id by the destination's high-water mark, so a parallel fold assigns
+// the same ids a serial run would. Returns 0 on a nil tracer.
+func (t *Tracer) NewFlowID() int64 {
+	if t == nil {
+		return 0
+	}
+	t.nextID++
+	return t.nextID
+}
+
+// AsyncSpanID records an id-matched async span under a caller-allocated
+// id (from NewFlowID). The id must not be shared with any other span:
+// Events joins begin/end pairs by id alone.
+func (t *Tracer) AsyncSpanID(id, pid, tid int64, cat, name string, start, end sim.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.events = append(t.events,
+		traceEvent{name: name, cat: cat, ph: phAsyncBegin, ts: start, pid: pid, tid: tid, id: id, args: args},
+		traceEvent{name: name, cat: cat, ph: phAsyncEnd, ts: end, pid: pid, tid: tid, id: id},
+	)
+}
+
 // Absorb appends every event recorded by src to t, renumbering src's
 // async-span ids so they cannot collide with ids t has already allocated.
 // It is the deterministic fold primitive of the parallel evaluation pool:

@@ -158,6 +158,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/tune", s.handleTune)
 	mux.HandleFunc("/v1/bruteforce", s.handleBruteforce)
 	mux.HandleFunc("/v1/stream", s.handleStream)
+	mux.HandleFunc("/v1/explain", s.handleExplain)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
@@ -243,9 +244,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 				return prepared{}, err
 			}
 			lr := s.streams.getOrCreate(req.RunID)
+			workload := req.Job.Bench
+			if workload == "" {
+				workload = "sort"
+			}
+			inputMB := req.Job.InputMB
+			if inputMB == 0 {
+				inputMB = 512
+			}
 			return prepared{key: key + ":stream:" + req.RunID, timeout: timeout, stream: lr,
 				exec: func(ctx context.Context) ([]byte, error) {
-					return s.execStreamedRun(ctx, cfg, job, plan, lr)
+					return s.execStreamedRun(ctx, cfg, job, plan, lr, workload, inputMB)
 				}}, nil
 		}
 		return prepared{key: key, timeout: timeout, exec: func(ctx context.Context) ([]byte, error) {
@@ -511,6 +520,34 @@ func requireGet(w http.ResponseWriter, r *http.Request) bool {
 		return false
 	}
 	return true
+}
+
+// handleExplain serves GET /v1/explain?id=...: the stored explain
+// document of a finished streamed run — the full analysis report plus
+// the run's request-journey latency decomposition and scheduler decision
+// provenance, as JSON. 404 while the run is in flight (the document is
+// stored right before the terminal frame) or when the id is unknown.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "explain requires an id query parameter")
+		return
+	}
+	lr := s.streams.get(id)
+	if lr == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no streamed run %q (start one with POST /v1/run and run_id)", id))
+		return
+	}
+	doc := lr.explainDoc()
+	if doc == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("run %q has no explain document yet (still running, or it failed)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(doc)
 }
 
 // handleHealthz is pure liveness: 200 "ok" as long as the process can

@@ -14,6 +14,7 @@ import (
 	"adaptmr/internal/analyze"
 	"adaptmr/internal/cluster"
 	"adaptmr/internal/core"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/sim"
 )
 
@@ -65,6 +66,11 @@ type liveRun struct {
 	drops int64  // frames lost to slow subscribers
 	term  *frame // set exactly once; nil while running
 	done  chan struct{}
+
+	// explain is the run's stored /v1/explain document (JSON), set once
+	// by the executing worker right before the terminal frame; nil while
+	// the run is in flight or when it failed.
+	explain []byte
 }
 
 func newLiveRun(id string) *liveRun {
@@ -137,6 +143,24 @@ func (l *liveRun) terminalFrame() *frame {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.term
+}
+
+// setExplain stores the run's explain document (first writer wins, so a
+// coalesced follower cannot clobber the leader's document).
+func (l *liveRun) setExplain(data []byte) {
+	l.mu.Lock()
+	if l.explain == nil {
+		l.explain = data
+	}
+	l.mu.Unlock()
+}
+
+// explainDoc returns the stored explain document, or nil while the run
+// is in flight (or when it failed before producing one).
+func (l *liveRun) explainDoc() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.explain
 }
 
 func (l *liveRun) droppedFrames() int64 {
@@ -249,6 +273,15 @@ type streamSample struct {
 	analyze.LiveSample
 }
 
+// streamJourney is the "journey" frame published when a streamed run
+// completes: the run's request-journey latency decomposition and its
+// scheduler decision tallies, summarised.
+type streamJourney struct {
+	RunID     string               `json:"run_id"`
+	Journeys  *obs.JourneySummary  `json:"journeys,omitempty"`
+	Decisions *obs.DecisionSummary `json:"decisions,omitempty"`
+}
+
 // execStreamedRun executes one plan with live streaming. It drives a
 // core.Runner directly (instead of the facade) so it can attach a
 // sampler and a self-rescheduling pump event to the evaluating cluster;
@@ -256,23 +289,41 @@ type streamSample struct {
 // time, starting at the evaluation's first instant so even a trivial run
 // streams at least one sample before its result. The disk cache is
 // deliberately not consulted: a cache hit has no simulation to stream.
-// The returned payload is built by the same encoder as the non-streamed
-// path, so the terminal frame is byte-identical to a plain POST body.
+//
+// Streamed runs execute fully instrumented — tracer, metrics, journey
+// log and decision log — so completion publishes a "journey" frame (the
+// run's latency decomposition and decision tallies, summarised) and
+// stores the full explain document for GET /v1/explain?id=. The returned
+// payload is built by the same encoder as the non-streamed path, so the
+// terminal frame is byte-identical to a plain POST body.
 func (s *Server) execStreamedRun(ctx context.Context, cfg adaptmr.ClusterConfig, job adaptmr.JobConfig,
-	plan adaptmr.Plan, lr *liveRun) ([]byte, error) {
+	plan adaptmr.Plan, lr *liveRun, workload string, inputMB int64) ([]byte, error) {
 
 	var checks *adaptmr.CheckSet
 	if s.cfg.CheckInvariants {
 		checks = adaptmr.NewCheckSet()
 		cfg.Check = checks
 	}
+	tracer := obs.NewTracer()
+	metrics := obs.NewRegistry()
+	journeys := obs.NewJourneyLog()
+	decisions := obs.NewDecisionLog()
+	cfg.Obs.Trace = tracer
+	cfg.Obs.Metrics = metrics
+	cfg.Obs.Journeys = journeys
+	cfg.Obs.Decisions = decisions
+	cfg.Obs.PIDBase = 0
 	run := core.NewRunner(cfg, job)
 	run.Parallelism = 1 // one plan, one evaluation
 	run.Context = ctx
 	run.CollectPerf = true
 	started := time.Now()
+	// The sampler outlives the evaluation: BuildExplain finalises it into
+	// the explain document's timeseries. One plan, one evaluation, so the
+	// single assignment is safe.
+	var smp *analyze.Sampler
 	run.OnEvaluation = func(p core.Plan, cl *cluster.Cluster) {
-		smp := analyze.NewSampler()
+		smp = analyze.NewSampler()
 		smp.AttachCluster(cl)
 		eng := cl.Eng
 		seq := 0
@@ -311,11 +362,35 @@ func (s *Server) execStreamedRun(ctx context.Context, cfg adaptmr.ClusterConfig,
 	if err != nil {
 		return nil, err
 	}
+	if res.Journeys != nil || res.Decisions != nil {
+		jf := streamJourney{RunID: lr.id, Journeys: res.Journeys, Decisions: res.Decisions}
+		if data, merr := json.Marshal(jf); merr == nil {
+			lr.publish("journey", data)
+		}
+	}
 	if res.Perf != nil {
 		s.publishPerf(res.Perf)
 		if data, merr := json.Marshal(res.Perf); merr == nil {
 			lr.publish("perf", data)
 		}
+	}
+	// Build and stash the explain document before the terminal frame, so a
+	// client that saw "result" can immediately GET /v1/explain. Perf is
+	// deliberately left out of the options: wall-clock values would make
+	// the document non-deterministic.
+	exp, xerr := analyze.BuildExplain(tracer, res.Metrics, smp, journeys, decisions, analyze.Options{
+		PIDBase:  0,
+		Workload: workload,
+		Hosts:    cfg.Hosts,
+		VMs:      cfg.VMsPerHost,
+		InputMB:  inputMB,
+		Seed:     cfg.Seed,
+		Pair:     res.Plan.String(),
+	})
+	if xerr != nil {
+		s.logger.Warn("explain document build failed", "id", lr.id, "err", xerr)
+	} else if data, merr := json.Marshal(exp); merr == nil {
+		lr.setExplain(data)
 	}
 	return encodePayload(runResponse(res, run.Evaluations))
 }

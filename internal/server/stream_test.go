@@ -123,6 +123,100 @@ func TestStreamDeliversSamplesThenIdenticalResult(t *testing.T) {
 	}
 }
 
+// TestExplainEndpointAndJourneyFrame is the provenance contract of a
+// streamed run: the stream carries a "journey" frame (the run's latency
+// decomposition and decision tallies, summarised) before the terminal
+// result, and GET /v1/explain?id= serves the stored explain document —
+// with every journey's stage decomposition ns-exact — once the run
+// finished. Unknown ids answer 404, a missing id 400.
+func TestExplainEndpointAndJourneyFrame(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations")
+	}
+	_, ts := newTestServer(t, Config{Workers: 1}, nil)
+
+	req := smallRunReq("cc")
+	req.RunID = "exp-1"
+	st, _, body := postJSON(t, ts.URL+"/v1/run", req)
+	if st != http.StatusOK {
+		t.Fatalf("streamed run = %d: %s", st, body)
+	}
+
+	st, sse := getBody(t, ts.URL+"/v1/stream?id=exp-1")
+	if st != http.StatusOK {
+		t.Fatalf("/v1/stream = %d: %s", st, sse)
+	}
+	var journey *streamJourney
+	journeyIdx, resultIdx := -1, -1
+	events := readSSE(t, sse)
+	for i, e := range events {
+		switch e.event {
+		case "journey":
+			var jf streamJourney
+			if err := json.Unmarshal([]byte(e.data), &jf); err != nil {
+				t.Fatalf("journey frame is not JSON: %v\n%s", err, e.data)
+			}
+			journey, journeyIdx = &jf, i
+		case "result":
+			resultIdx = i
+		}
+	}
+	if journey == nil {
+		t.Fatal("stream carried no journey frame")
+	}
+	if resultIdx >= 0 && journeyIdx > resultIdx {
+		t.Error("journey frame arrived after the terminal result frame")
+	}
+	if journey.RunID != "exp-1" {
+		t.Errorf("journey run_id = %q, want exp-1", journey.RunID)
+	}
+	if journey.Journeys == nil || journey.Journeys.Requests == 0 {
+		t.Fatalf("journey frame carries no journeys: %+v", journey)
+	}
+	if journey.Decisions == nil {
+		t.Error("journey frame carries no decision tallies")
+	}
+
+	st, doc := getBody(t, ts.URL+"/v1/explain?id=exp-1")
+	if st != http.StatusOK {
+		t.Fatalf("/v1/explain = %d: %s", st, doc)
+	}
+	var exp struct {
+		Schema   string `json:"schema"`
+		Report   json.RawMessage
+		Journeys struct {
+			AllExact bool `json:"all_exact"`
+			Summary  struct {
+				Requests int64 `json:"requests"`
+			} `json:"summary"`
+		} `json:"journeys"`
+		Decisions json.RawMessage `json:"decisions"`
+	}
+	if err := json.Unmarshal(doc, &exp); err != nil {
+		t.Fatalf("explain document is not JSON: %v", err)
+	}
+	if exp.Schema != "adaptmr-explain/v1" {
+		t.Errorf("explain schema = %q, want adaptmr-explain/v1", exp.Schema)
+	}
+	if !exp.Journeys.AllExact {
+		t.Error("explain document reports a non-exact journey decomposition")
+	}
+	if exp.Journeys.Summary.Requests != journey.Journeys.Requests {
+		t.Errorf("explain summary has %d requests, journey frame %d",
+			exp.Journeys.Summary.Requests, journey.Journeys.Requests)
+	}
+	if len(exp.Decisions) == 0 {
+		t.Error("explain document carries no decision section")
+	}
+
+	if st, body := getBody(t, ts.URL+"/v1/explain?id=nosuch"); st != http.StatusNotFound {
+		t.Errorf("/v1/explain unknown id = %d: %s", st, body)
+	}
+	if st, body := getBody(t, ts.URL+"/v1/explain"); st != http.StatusBadRequest {
+		t.Errorf("/v1/explain without id = %d: %s", st, body)
+	}
+}
+
 // TestStreamWhileRunInFlight subscribes before the run executes (the
 // worker is parked on the exec gate) and checks live delivery: the
 // subscriber sees sample frames then the terminal result without

@@ -85,6 +85,10 @@ type Host struct {
 
 	domains []*Domain
 	pair    iosched.Pair
+
+	// journeys, when non-nil, threads request-journey tracing through
+	// both queue levels (see journey.go).
+	journeys *journeyTracker
 }
 
 // NewHost builds a host with the given number of guest domains, all
@@ -96,6 +100,7 @@ func NewHost(eng *sim.Engine, id int, numVMs int, cfg HostConfig) *Host {
 	h := &Host{Eng: eng, ID: id, cfg: cfg, pair: iosched.DefaultPair}
 	h.dom0Sched = cfg.Sched
 	h.dom0Sched.Counters = obs.NewSchedCounters(cfg.Obs.Metrics, "sched.dom0")
+	h.dom0Sched.Decisions = obs.NewDecisionRecorder(cfg.Obs, cfg.Obs.HostPID(id), obs.TIDDom0, "dom0")
 	h.guestSched = cfg.Sched
 	h.guestSched.Counters = obs.NewSchedCounters(cfg.Obs.Metrics, "sched.vm")
 	h.disk = disk.New(eng, cfg.Disk)
@@ -113,6 +118,9 @@ func NewHost(eng *sim.Engine, id int, numVMs int, cfg HostConfig) *Host {
 		}
 		cfg.Obs.InstrumentQueue(h.dom0, pid, obs.TIDDom0, "dom0")
 		cfg.Obs.InstrumentDisk(h.disk, pid, obs.TIDDisk)
+	}
+	if cfg.Obs.Journeys != nil {
+		h.journeys = newJourneyTracker(h)
 	}
 	for i := 0; i < numVMs; i++ {
 		h.domains = append(h.domains, newDomain(h, i))
@@ -161,7 +169,7 @@ func (h *Host) SetPair(p iosched.Pair, onDone func()) {
 	}
 	h.dom0.SetElevator(iosched.MustNew(p.VMM, h.dom0Sched), h.cfg.SwitchReinit, finish)
 	for _, d := range h.domains {
-		d.q.SetElevator(iosched.MustNew(p.VM, h.guestSched), h.cfg.SwitchReinit, finish)
+		d.q.SetElevator(iosched.MustNew(p.VM, d.params), h.cfg.SwitchReinit, finish)
 	}
 }
 
@@ -200,6 +208,11 @@ type Domain struct {
 	extentStart int64
 	extentLen   int64
 
+	// params is this domain's guest scheduler parameter set: the host's
+	// shared tunables and counters, plus a per-domain decision recorder
+	// (each VM elevator records on its own trace thread).
+	params iosched.Params
+
 	q    *block.Queue
 	VCPU *cpusim.VCPU
 }
@@ -220,9 +233,11 @@ func newDomain(h *Host, index int) *Domain {
 	if d.extentStart+d.extentLen > h.cfg.Disk.Sectors {
 		panic("xen: VM extents exceed disk capacity")
 	}
-	d.q = block.NewQueue(h.Eng, iosched.MustNew(h.pair.VM, h.guestSched), ring{d}, h.cfg.GuestDepth)
+	d.params = h.guestSched
+	d.params.Decisions = obs.NewDecisionRecorder(h.cfg.Obs, h.cfg.Obs.HostPID(h.ID), obs.VMTID(index), "vm")
+	d.q = block.NewQueue(h.Eng, iosched.MustNew(h.pair.VM, d.params), ring{d}, h.cfg.GuestDepth)
 	if h.cfg.Check != nil {
-		h.cfg.Check.Attach(h.Eng, d.q, fmt.Sprintf("host%d/vm%d", h.ID, index), h.guestSched)
+		h.cfg.Check.Attach(h.Eng, d.q, fmt.Sprintf("host%d/vm%d", h.ID, index), d.params)
 	}
 	d.VCPU = cpusim.New(h.Eng, h.cfg.VCPUSpeed)
 	if h.cfg.Obs.Enabled() {
@@ -233,6 +248,9 @@ func newDomain(h *Host, index int) *Domain {
 			tr.NameThread(pid, obs.VMTaskTID(index), fmt.Sprintf("vm%d tasks", index))
 		}
 		h.cfg.Obs.InstrumentQueue(d.q, pid, tid, "vm")
+	}
+	if h.journeys != nil {
+		h.journeys.attachGuest(d)
 	}
 	return d
 }
@@ -269,6 +287,10 @@ func (rg ring) Service(r *block.Request, done func(*block.Request)) {
 	eng := d.host.Eng
 	eng.Schedule(d.host.cfg.RingLatency, func() {
 		host := block.NewRequest(r.Op, d.extentStart+r.Sector, r.Count, r.Sync, block.StreamID(d.Index))
+		// The Dom0 request inherits the guest request's journey id, which
+		// is what lets a physical disk service be attributed back to the
+		// guest submission it served.
+		host.Journey = r.Journey
 		host.OnComplete = func(*block.Request) {
 			eng.Schedule(d.host.cfg.RingLatency, func() { done(r) })
 		}

@@ -6,6 +6,7 @@ import (
 	"adaptmr/internal/analyze"
 	"adaptmr/internal/cluster"
 	"adaptmr/internal/mapred"
+	"adaptmr/internal/obs"
 	"adaptmr/internal/obs/perfstat"
 )
 
@@ -86,6 +87,69 @@ func RunReport(cfg ClusterConfig, job JobConfig, pair Pair, opts ReportOptions) 
 	}
 
 	return analyze.Build(tracer, res.Metrics, smp, analyze.Options{
+		PIDBase:          0,
+		Workload:         opts.Workload,
+		Hosts:            cfg.Hosts,
+		VMs:              cfg.VMsPerHost,
+		InputMB:          opts.InputMB,
+		Seed:             cfg.Seed,
+		Pair:             pair.Code(),
+		TimeseriesPoints: opts.TimeseriesPoints,
+		Perf:             perf,
+	})
+}
+
+// ExplainReport is the "why" artefact of one instrumented run: the full
+// Report plus per-phase request-journey latency decompositions and
+// scheduler decision provenance (see RunExplain). Renders via
+// WriteMarkdown / WriteHTML and marshals to deterministic JSON.
+type ExplainReport = analyze.ExplainReport
+
+// RunExplain executes one job under a single scheduler pair on a fully
+// instrumented cluster — tracer, metrics, timeseries sampler, journey log
+// and decision log — and analyzes the run into an ExplainReport answering
+// "why this pair, this phase": every completed request's latency is
+// attributed 100% to named stages (ns-exact), and every elevator dispatch
+// decision is tallied per phase and queue level. Deterministic for a
+// fixed cfg/job/pair, byte-identical across invocations.
+func RunExplain(cfg ClusterConfig, job JobConfig, pair Pair, opts ReportOptions) (*ExplainReport, error) {
+	tracer := NewTracer()
+	metrics := NewMetrics()
+	journeys := obs.NewJourneyLog()
+	decisions := obs.NewDecisionLog()
+	cfg.Obs.Trace = tracer
+	cfg.Obs.Metrics = metrics
+	cfg.Obs.Journeys = journeys
+	cfg.Obs.Decisions = decisions
+	cfg.Obs.PIDBase = 0
+	var checks *CheckSet
+	if opts.CheckInvariants {
+		checks = NewCheckSet()
+		cfg.Check = checks
+	}
+
+	cl := cluster.New(cfg)
+	smp := analyze.NewSampler()
+	smp.AttachCluster(cl)
+	cl.InstallPair(pair)
+	j := mapred.NewJob(cl, job)
+	j.Start(nil)
+	probe := perfstat.Start(opts.CollectPerf, cl.Eng)
+	cl.Eng.Run()
+	perf := probe.Stop()
+	if !j.Done() {
+		return nil, fmt.Errorf("adaptmr: explain run drained before job completion")
+	}
+	perfstat.Publish(metrics, perf)
+	res := j.Result()
+	if checks != nil {
+		checks.Finalize()
+		if err := checks.Err(); err != nil {
+			return nil, fmt.Errorf("adaptmr: explain run failed invariant checks: %w", err)
+		}
+	}
+
+	return analyze.BuildExplain(tracer, res.Metrics, smp, journeys, decisions, analyze.Options{
 		PIDBase:          0,
 		Workload:         opts.Workload,
 		Hosts:            cfg.Hosts,
