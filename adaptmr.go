@@ -107,7 +107,7 @@ func SortBenchmark(inputPerVM int64) Workload { return workloads.Sort(inputPerVM
 func BenchmarkSuite(inputPerVM int64) []Workload { return workloads.Suite(inputPerVM) }
 
 // ---------------------------------------------------------------------------
-// Options (facade API v2)
+// Options (facade API v3)
 // ---------------------------------------------------------------------------
 
 // Option configures an entry point (Run, NewTuner, TuneChain, ...). The
@@ -126,6 +126,8 @@ type options struct {
 	ctx          context.Context
 	check        *check.Set
 	perf         bool
+	profile      *sim.PerfProfile
+	poolReqs     *bool
 }
 
 func buildOptions(opts []Option) options {
@@ -154,6 +156,16 @@ func (o options) apply(cfg ClusterConfig) ClusterConfig {
 	}
 	if o.check != nil {
 		cfg.Check = o.check
+	}
+	if o.profile != nil || o.poolReqs != nil {
+		p := *sim.DefaultPerfProfile()
+		if o.profile != nil {
+			p = *o.profile
+		}
+		if o.poolReqs != nil {
+			p.PoolRequests = *o.poolReqs
+		}
+		cfg.Perf = &p
 	}
 	return cfg
 }
@@ -252,6 +264,33 @@ func WithPerfStats() Option { return func(o *options) { o.perf = true } }
 // PerfStat is one run's engine self-telemetry (see WithPerfStats).
 type PerfStat = perfstat.Stat
 
+// PerfProfile selects the engine-layer allocation strategy (event and
+// request pooling). Profiles change only where objects live, never what
+// the simulation computes: results are byte-identical across profiles,
+// and the evaluation-cache digest deliberately excludes them.
+type PerfProfile = sim.PerfProfile
+
+// DefaultPerfProfile returns the stock profile: event pooling and request
+// pooling both enabled.
+func DefaultPerfProfile() *PerfProfile { return sim.DefaultPerfProfile() }
+
+// WithEngineProfile overrides the engine allocation profile for the runs
+// this entry point executes. nil (or omitting the option) keeps
+// DefaultPerfProfile. The profile affects throughput and allocation
+// behaviour only; simulated output is byte-identical across profiles.
+func WithEngineProfile(p *PerfProfile) Option {
+	return func(o *options) { o.profile = p }
+}
+
+// WithRequestPool enables or disables block-request pooling, keeping the
+// rest of the engine profile at its current setting (WithEngineProfile if
+// supplied, DefaultPerfProfile otherwise). WithRequestPool(false) is the
+// escape hatch for callers that retain *Request pointers beyond the
+// completion callback and therefore must opt out of recycling.
+func WithRequestPool(enabled bool) Option {
+	return func(o *options) { o.poolReqs = &enabled }
+}
+
 // WithContext bounds every evaluation with ctx: cancellation or deadline
 // expiry is checked before each evaluation and periodically inside the
 // simulation event loop, so a tuning search can be abandoned mid-run.
@@ -286,7 +325,8 @@ func OpenEvalCache(dir string) (*EvalCache, error) { return core.OpenEvalCache(d
 
 // Run executes one job under a single scheduler pair on a fresh
 // deterministic cluster and returns its result. WithTracer/WithMetrics
-// attach observation; WithParallelism and WithEvalCache are accepted but
+// attach observation, WithEngineProfile/WithRequestPool select the engine
+// allocation strategy; WithParallelism and WithEvalCache are accepted but
 // have no effect on a single direct run.
 func Run(cfg ClusterConfig, job JobConfig, pair Pair, opts ...Option) (JobResult, error) {
 	o := buildOptions(opts)
@@ -314,18 +354,6 @@ func Run(cfg ClusterConfig, job JobConfig, pair Pair, opts ...Option) (JobResult
 	return res, nil
 }
 
-// RunJob executes one job under a single scheduler pair.
-//
-// Deprecated: use Run, which reports failures as errors instead of
-// panicking and accepts functional options.
-func RunJob(cfg ClusterConfig, job JobConfig, pair Pair) JobResult {
-	res, err := Run(cfg, job, pair)
-	if err != nil {
-		panic(err)
-	}
-	return res
-}
-
 // ---------------------------------------------------------------------------
 // Observability
 // ---------------------------------------------------------------------------
@@ -335,8 +363,7 @@ func RunJob(cfg ClusterConfig, job JobConfig, pair Pair) JobResult {
 // Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
 type Tracer = obs.Tracer
 
-// NewTracer returns an empty tracer; attach it with WithTracer or
-// Tuner.WithTracer.
+// NewTracer returns an empty tracer; attach it with WithTracer.
 func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Metrics is a registry of counters, gauges and histograms the simulation
@@ -344,29 +371,13 @@ func NewTracer() *Tracer { return obs.NewTracer() }
 // decisions, switch costs, per-phase volumes).
 type Metrics = obs.Registry
 
-// NewMetrics returns an empty metrics registry; attach it with WithMetrics
-// or Tuner.WithMetrics.
+// NewMetrics returns an empty metrics registry; attach it with
+// WithMetrics.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // MetricsSnapshot is an exportable (JSON/CSV) copy of a metrics registry;
 // JobResult.Metrics and RunResult.Metrics carry one per executed job.
 type MetricsSnapshot = obs.Snapshot
-
-// WithTracerConfig returns a copy of cfg that records trace events into t.
-//
-// Deprecated: pass WithTracer(t) as an Option to Run/NewTuner instead.
-func WithTracerConfig(cfg ClusterConfig, t *Tracer) ClusterConfig {
-	cfg.Obs.Trace = t
-	return cfg
-}
-
-// WithMetricsConfig returns a copy of cfg that records metrics into m.
-//
-// Deprecated: pass WithMetrics(m) as an Option to Run/NewTuner instead.
-func WithMetricsConfig(cfg ClusterConfig, m *Metrics) ClusterConfig {
-	cfg.Obs.Metrics = m
-	return cfg
-}
 
 // Plan assigns a scheduler pair to each phase of a job.
 type Plan = core.Plan
@@ -407,7 +418,8 @@ type Tuner struct {
 }
 
 // NewTuner creates a tuner over all 16 pairs with the two-phase scheme.
-// Options: WithTracer, WithMetrics, WithParallelism, WithEvalCache.
+// Options: WithTracer, WithMetrics, WithParallelism, WithEvalCache,
+// WithEngineProfile, WithRequestPool.
 func NewTuner(cfg ClusterConfig, job JobConfig, opts ...Option) *Tuner {
 	o := buildOptions(opts)
 	cfg = o.apply(cfg)
@@ -435,25 +447,6 @@ func (t *Tuner) WithScheme(s Scheme) *Tuner { t.scheme = s; return t }
 
 // WithCandidates restricts the candidate pairs.
 func (t *Tuner) WithCandidates(pairs []Pair) *Tuner { t.pairs = pairs; return t }
-
-// WithTracer records every evaluation into tr, each under its own trace
-// process group labelled with the evaluated plan.
-//
-// Deprecated: pass WithTracer(tr) as an Option to NewTuner instead.
-func (t *Tuner) WithTracer(tr *Tracer) *Tuner {
-	t.runner.ClusterConfig.Obs.Trace = tr
-	return t
-}
-
-// WithMetrics aggregates every evaluation's metrics into m; per-candidate
-// snapshots additionally land on each RunResult (and on
-// TuningResult.Profiles via their embedded job results).
-//
-// Deprecated: pass WithMetrics(m) as an Option to NewTuner instead.
-func (t *Tuner) WithMetrics(m *Metrics) *Tuner {
-	t.runner.ClusterConfig.Obs.Metrics = m
-	return t
-}
 
 // Tune profiles the candidates and runs the heuristic (Algorithm 1),
 // returning the chosen plan alongside the default and best-single

@@ -34,19 +34,57 @@ func TestPairFacade(t *testing.T) {
 	adaptmr.MustParsePair("zz")
 }
 
-func TestRunJobFacade(t *testing.T) {
-	// Deprecated panic-on-failure wrapper still works…
-	res := adaptmr.RunJob(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair)
+func TestRunFacade(t *testing.T) {
+	res, err := adaptmr.Run(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if res.Duration <= 0 || res.NumMaps == 0 {
 		t.Fatalf("result %+v", res)
 	}
-	// …and matches the v2 error-returning entry point exactly.
+	// Run is deterministic: a second identical invocation reproduces the
+	// result exactly.
 	res2, err := adaptmr.Run(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	if res2.Duration != res.Duration || res2.NumMaps != res.NumMaps {
-		t.Fatalf("Run and RunJob disagree: %+v vs %+v", res2, res)
+		t.Fatalf("Run is not deterministic: %+v vs %+v", res2, res)
+	}
+}
+
+func TestEngineProfileOptions(t *testing.T) {
+	base, err := adaptmr.Run(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Every engine profile must produce byte-identical simulated results —
+	// pooling changes where objects live, never what the run computes.
+	for _, tc := range []struct {
+		name string
+		opt  adaptmr.Option
+	}{
+		{"no-request-pool", adaptmr.WithRequestPool(false)},
+		{"explicit-default", adaptmr.WithEngineProfile(&adaptmr.PerfProfile{PoolEvents: true, PoolRequests: true})},
+		{"all-off", adaptmr.WithEngineProfile(&adaptmr.PerfProfile{})},
+	} {
+		res, err := adaptmr.Run(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair, tc.opt)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", tc.name, err)
+		}
+		if res.Duration != base.Duration || res.NumMaps != base.NumMaps || res.MapsDoneAt != base.MapsDoneAt {
+			t.Fatalf("%s: profile changed the simulation: %+v vs %+v", tc.name, res, base)
+		}
+	}
+	// WithRequestPool composes with WithEngineProfile: the pool flag wins.
+	res, err := adaptmr.Run(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair,
+		adaptmr.WithEngineProfile(&adaptmr.PerfProfile{PoolEvents: true, PoolRequests: false}),
+		adaptmr.WithRequestPool(true))
+	if err != nil {
+		t.Fatalf("composed: Run: %v", err)
+	}
+	if res.Duration != base.Duration {
+		t.Fatalf("composed profile changed the simulation: %+v vs %+v", res, base)
 	}
 }
 

@@ -265,7 +265,10 @@ func BenchmarkSimulatorEventRate(b *testing.B) {
 		cfg := adaptmr.DefaultClusterConfig()
 		cfg.Hosts = 2
 		cfg.VMsPerHost = 2
-		res := adaptmr.RunJob(cfg, workloads.Sort(96<<20).Job, adaptmr.DefaultPair)
+		res, err := adaptmr.Run(cfg, workloads.Sort(96<<20).Job, adaptmr.DefaultPair)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(res.Duration.Seconds(), "simSeconds")
 	}
 }
@@ -282,7 +285,10 @@ func BenchmarkFineGrainedController(b *testing.B) {
 	cfg.VMsPerHost = 2
 	job := adaptmr.SortBenchmark(96 << 20).Job
 	for i := 0; i < b.N; i++ {
-		static := adaptmr.RunJob(cfg, job, adaptmr.DefaultPair)
+		static, err := adaptmr.Run(cfg, job, adaptmr.DefaultPair)
+		if err != nil {
+			b.Fatal(err)
+		}
 		reactive, switches, err := adaptmr.RunFineGrained(cfg, job, nil)
 		if err != nil {
 			b.Fatal(err)

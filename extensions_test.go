@@ -60,8 +60,14 @@ func TestPredictorFacade(t *testing.T) {
 func TestHeterogeneousClusterFacade(t *testing.T) {
 	cfg := quickCluster()
 	cfg.HostDiskSlowdown = map[int]float64{0: 2}
-	res := adaptmr.RunJob(cfg, adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair)
-	even := adaptmr.RunJob(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair)
+	res, err := adaptmr.Run(cfg, adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, err := adaptmr.Run(quickCluster(), adaptmr.SortBenchmark(96<<20).Job, adaptmr.DefaultPair)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Duration <= even.Duration {
 		t.Fatal("slow host had no effect")
 	}

@@ -286,8 +286,8 @@ func TestComparePerfGating(t *testing.T) {
 		Schema: benchSchema, Workload: "sort", Hosts: 2, VMs: 2, InputMB: 64, Seed: 1, Pair: "cc",
 		MakespanS:      10,
 		WallS:          0.8,
-		EventsPerSec:   500_000,
-		AllocsPerEvent: 12,
+		EventsPerSec:   900_000,
+		AllocsPerEvent: 1.2,
 		BytesPerEvent:  640,
 		GCCycles:       3,
 		GCPauseMS:      0.4,
@@ -311,22 +311,40 @@ func TestComparePerfGating(t *testing.T) {
 		t.Fatalf("identical perf benches regressed: %+v", cmp.Deltas)
 	}
 
-	// An injected allocation regression (each event chain picked up a few
-	// extra allocs) trips the allocs/event gate.
+	// An injected allocation regression (each event chain picked up a
+	// couple of extra allocs) trips the allocs/event gate.
 	cand := base
-	cand.AllocsPerEvent = 18
+	cand.AllocsPerEvent = base.AllocsPerEvent + 2
 	cmp, _ = Compare(base, cand, 0.05)
 	if !regressedMetric(cmp, "allocs_per_event") {
-		t.Fatal("+6 allocs/event should trip the alloc gate")
+		t.Fatal("+2 allocs/event should trip the alloc gate")
 	}
 
 	// A sub-floor alloc wiggle (< allocAbsFloor) passes even at 0 relative
 	// tolerance.
 	cand = base
-	cand.AllocsPerEvent = base.AllocsPerEvent + 1.5
+	cand.AllocsPerEvent = base.AllocsPerEvent + 0.3
 	cmp, _ = Compare(base, cand, 0)
 	if regressedMetric(cmp, "allocs_per_event") {
 		t.Fatal("sub-floor alloc change should not trip the gate")
+	}
+
+	// The absolute ceiling trips on the candidate alone, even at a
+	// tolerance wide enough to silence the relative gate…
+	cand = base
+	cand.AllocsPerEvent = 3.5
+	cmp, _ = Compare(base, cand, 10)
+	if regressedMetric(cmp, "allocs_per_event") {
+		t.Fatal("relative alloc gate should be quiet at tol=10")
+	}
+	if !regressedMetric(cmp, "allocs_per_event_ceiling") {
+		t.Fatal("3.5 allocs/event should breach the 3.0 ceiling")
+	}
+	// …and stays quiet just under the budget.
+	cand.AllocsPerEvent = 2.8
+	cmp, _ = Compare(base, cand, 10)
+	if regressedMetric(cmp, "allocs_per_event_ceiling") {
+		t.Fatal("2.8 allocs/event is within the 3.0 ceiling")
 	}
 
 	// events/sec: a mild slowdown (CI runner noise) passes...
@@ -378,9 +396,14 @@ func TestSamplerFinalizeBuckets(t *testing.T) {
 	s := NewSampler()
 	// Two enqueues at 50ms and 150ms, one dispatch at 250ms; completes
 	// with 1 MB at 250ms.
-	s.depth["vm"] = []tsDelta{{ms(50), +1}, {ms(150), +1}, {ms(250), -1}}
-	s.outst["vm"] = []tsDelta{{ms(50), +1}, {ms(150), +1}}
-	s.bytes["vm"] = []tsval{{ms(250), 1 << 20}}
+	vm := &levelSeries{}
+	vm.depth.add(ms(50), +1)
+	vm.depth.add(ms(150), +1)
+	vm.depth.add(ms(250), -1)
+	vm.outst.add(ms(50), +1)
+	vm.outst.add(ms(150), +1)
+	vm.bytes.add(ms(250), 1<<20)
+	s.levels["vm"] = vm
 	// One disk fully busy for the second 100ms bucket.
 	s.busy = [][]ival{{{int64(ms(100)), int64(ms(200))}}}
 

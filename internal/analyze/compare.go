@@ -122,19 +122,29 @@ func (c Comparison) Regressed() bool {
 // should not fail CI.
 const absFloor = 0.005
 
-// allocAbsFloor is the absolute slack for the allocs/event gate: below two
-// extra allocations per event the gate stays quiet, so a single new
-// bookkeeping alloc on a cold path cannot fail CI, while a per-request
-// closure leak (typically +1 alloc per I/O, many I/Os per event chain)
-// still trips.
-const allocAbsFloor = 2.0
+// allocAbsFloor is the absolute slack for the allocs/event gate: below
+// half an extra allocation per event the gate stays quiet, so cold-path
+// bookkeeping noise cannot fail CI, while a per-request closure leak
+// (typically +1 alloc per I/O, many I/Os per event chain) still trips.
+// The pooled engine runs well under one allocation per event, so the
+// pre-pooling floor of 2.0 would have let a whole reintroduced
+// allocation-per-event slip through unnoticed.
+const allocAbsFloor = 0.5
+
+// allocCeiling is the absolute allocations-per-event budget for the
+// pooled engine: a candidate above it fails the gate outright, no matter
+// what the baseline recorded. The relative gate catches drift against
+// the baseline; the ceiling catches a stale or regenerated baseline
+// quietly absorbing that drift.
+const allocCeiling = 3.0
 
 // throughputTol is the relative tolerance for the events/sec gate. The
-// metric is wall-clock — shared CI runners routinely vary ±30% — so only a
-// collapse to a quarter of the baseline throughput trips the gate. The
-// gate exists to catch accidental algorithmic blowups (an O(n²) event
-// loop), not micro-regressions; those are the allocs/event gate's job.
-const throughputTol = 0.75
+// metric is wall-clock, but the gate harness warms the process up and
+// keeps the best of several repeats, so runner noise is bounded; losing
+// half the baseline throughput indicates a real algorithmic regression
+// (an O(n²) event loop, pooling accidentally disabled), not scheduling
+// jitter. Finer-grained regressions are the allocs/event gate's job.
+const throughputTol = 0.5
 
 // Compare gates cand against base with the given relative tolerance
 // (e.g. 0.05 = 5%). It errors if the two benches were produced by
@@ -170,6 +180,19 @@ func Compare(base, cand Bench, tol float64) (Comparison, error) {
 	perfBoth := base.AllocsPerEvent > 0 && cand.AllocsPerEvent > 0
 	c.addMetric("allocs_per_event", base.AllocsPerEvent, cand.AllocsPerEvent,
 		perfBoth, tol, allocAbsFloor, false)
+	// The absolute budget gates on the candidate alone (the baseline is
+	// shown for context), so it fires even when the baseline itself has
+	// drifted over the ceiling.
+	if cand.AllocsPerEvent > 0 {
+		c.Deltas = append(c.Deltas, Delta{
+			Metric:    "allocs_per_event_ceiling",
+			Base:      allocCeiling,
+			Candidate: cand.AllocsPerEvent,
+			DeltaFrac: round6((cand.AllocsPerEvent - allocCeiling) / allocCeiling),
+			Gated:     true,
+			Regressed: cand.AllocsPerEvent > allocCeiling,
+		})
+	}
 	tputBoth := base.EventsPerSec > 0 && cand.EventsPerSec > 0
 	c.addMetric("events_per_sec", base.EventsPerSec, cand.EventsPerSec,
 		tputBoth, throughputTol, absFloor, true)

@@ -241,9 +241,9 @@ func decisionAnalysis(m *model, tr *obs.Tracer, pidBase int64, log *obs.Decision
 		accs = append(accs, &phaseAcc{pd: PhaseDecisions{Name: phaseNames[pi]}})
 		windows = append(windows, w)
 	}
-	for _, ev := range tr.Events() {
+	tr.VisitEvents(func(ev obs.Event) {
 		if ev.Kind != obs.KindInstant || ev.Cat != "decision" {
-			continue
+			return
 		}
 		for i, w := range windows {
 			if !inWindow(ev.Start, w) {
@@ -263,7 +263,7 @@ func decisionAnalysis(m *model, tr *obs.Tracer, pidBase int64, log *obs.Decision
 			}
 			break
 		}
-	}
+	})
 	for _, acc := range accs {
 		da.Phases = append(da.Phases, acc.pd)
 	}

@@ -90,9 +90,9 @@ func parseModel(tr *obs.Tracer, pidBase int64) (*model, error) {
 	clusterPID := pidBase + 1
 	hostOf := func(pid int64) int { return int(pid - pidBase - 2) }
 	jobs := 0
-	for _, ev := range tr.Events() {
+	tr.VisitEvents(func(ev obs.Event) {
 		if ev.Kind == obs.KindMetadata {
-			continue
+			return
 		}
 		switch {
 		case ev.Cat == "mapred" && ev.PID == clusterPID:
@@ -112,11 +112,11 @@ func parseModel(tr *obs.Tracer, pidBase int64) (*model, error) {
 			}
 		case ev.Cat == "mapred":
 			if ev.Kind != obs.KindSpan {
-				continue
+				return
 			}
 			kind, id, ok := parseTaskName(ev.Name)
 			if !ok {
-				continue
+				return
 			}
 			m.tasks = append(m.tasks, taskSpan{
 				kind: kind, id: id,
@@ -126,7 +126,7 @@ func parseModel(tr *obs.Tracer, pidBase int64) (*model, error) {
 			})
 		case ev.Cat == "io.vm" || ev.Cat == "io.dom0":
 			if ev.Kind != obs.KindSpan {
-				continue // merge instants
+				return // merge instants
 			}
 			m.ioReqs = append(m.ioReqs, ioReq{
 				host:   hostOf(ev.PID),
@@ -158,7 +158,7 @@ func parseModel(tr *obs.Tracer, pidBase int64) (*model, error) {
 				backlog: ev.ArgInt("backlog"),
 			})
 		}
-	}
+	})
 	if jobs == 0 {
 		return nil, fmtErr("trace contains no completed job span")
 	}

@@ -17,18 +17,23 @@ import (
 // A merged child is counted as resolved at merge time (it leaves the
 // elevator by absorption, not by dispatch).
 type Sampler struct {
-	depth map[string][]tsDelta // waiting in elevator, per level
-	outst map[string][]tsDelta // issued but not completed, per level
-	bytes map[string][]tsval   // completed bytes, per level
-	busy  [][]ival             // disk service spans, per attached disk
-
-	// Running counters maintained alongside the raw delta logs, so Live()
-	// can report the instantaneous state between simulation events (the
-	// adaptd SSE stream) without replaying the logs.
-	curDepth  map[string]int32
-	curOutst  map[string]int32
-	cumBytes  map[string]int64
+	levels    map[string]*levelSeries // per level ("vm", "dom0")
+	busy      [][]ival                // disk service spans, per attached disk
 	completed int64
+}
+
+// levelSeries holds one level's raw delta logs plus the running counters
+// Live() reads between simulation events (the adaptd SSE stream) without
+// replaying the logs. Hooks hold the *levelSeries resolved once at attach
+// time, so the per-event path does no map lookups.
+type levelSeries struct {
+	depth deltaLog // waiting in elevator
+	outst deltaLog // issued but not completed
+	bytes valLog   // completed bytes
+
+	curDepth int32
+	curOutst int32
+	cumBytes int64
 }
 
 type tsDelta struct {
@@ -41,42 +46,100 @@ type tsval struct {
 	v int64
 }
 
+// tsChunk sizes the sampler's append-only chunk lists: recording during the
+// run never copies old entries (a growing contiguous slice memmoves its
+// whole history every doubling, inside the measured simulation window).
+const tsChunk = 4096
+
+// deltaLog is a chunked append-only list of tsDelta.
+type deltaLog struct {
+	chunks [][]tsDelta
+}
+
+func (l *deltaLog) add(t sim.Time, d int32) {
+	k := len(l.chunks) - 1
+	if k < 0 || len(l.chunks[k]) == tsChunk {
+		l.chunks = append(l.chunks, make([]tsDelta, 0, tsChunk))
+		k++
+	}
+	l.chunks[k] = append(l.chunks[k], tsDelta{t, d})
+}
+
+// flatten copies the log into one slice (finalize-time only).
+func (l *deltaLog) flatten() []tsDelta {
+	n := 0
+	for _, c := range l.chunks {
+		n += len(c)
+	}
+	out := make([]tsDelta, 0, n)
+	for _, c := range l.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// valLog is a chunked append-only list of tsval.
+type valLog struct {
+	chunks [][]tsval
+}
+
+func (l *valLog) add(t sim.Time, v int64) {
+	k := len(l.chunks) - 1
+	if k < 0 || len(l.chunks[k]) == tsChunk {
+		l.chunks = append(l.chunks, make([]tsval, 0, tsChunk))
+		k++
+	}
+	l.chunks[k] = append(l.chunks[k], tsval{t, v})
+}
+
+func (l *valLog) each(fn func(tsval)) {
+	for _, c := range l.chunks {
+		for _, v := range c {
+			fn(v)
+		}
+	}
+}
+
 // NewSampler returns an empty sampler.
 func NewSampler() *Sampler {
-	return &Sampler{
-		depth:    map[string][]tsDelta{},
-		outst:    map[string][]tsDelta{},
-		bytes:    map[string][]tsval{},
-		curDepth: map[string]int32{},
-		curOutst: map[string]int32{},
-		cumBytes: map[string]int64{},
+	return &Sampler{levels: map[string]*levelSeries{}}
+}
+
+// level resolves (creating on first use) the series for one level label.
+func (s *Sampler) level(name string) *levelSeries {
+	ls := s.levels[name]
+	if ls == nil {
+		ls = &levelSeries{}
+		s.levels[name] = ls
 	}
+	return ls
 }
 
 // AttachQueue subscribes to one queue's lifecycle hooks under the given
 // level label ("vm" queues aggregate together, as do "dom0").
 func (s *Sampler) AttachQueue(q *block.Queue, level string) {
+	ls := s.level(level)
 	q.OnEnqueue(func(r *block.Request) {
-		s.depth[level] = append(s.depth[level], tsDelta{r.Issued, +1})
-		s.outst[level] = append(s.outst[level], tsDelta{r.Issued, +1})
-		s.curDepth[level]++
-		s.curOutst[level]++
+		ls.depth.add(r.Issued, +1)
+		ls.outst.add(r.Issued, +1)
+		ls.curDepth++
+		ls.curOutst++
 	})
 	q.OnMerge(func(parent, child *block.Request) {
-		s.depth[level] = append(s.depth[level], tsDelta{child.Issued, -1})
-		s.outst[level] = append(s.outst[level], tsDelta{child.Issued, -1})
-		s.curDepth[level]--
-		s.curOutst[level]--
+		ls.depth.add(child.Issued, -1)
+		ls.outst.add(child.Issued, -1)
+		ls.curDepth--
+		ls.curOutst--
 	})
 	q.OnDispatch(func(r *block.Request) {
-		s.depth[level] = append(s.depth[level], tsDelta{r.Dispatched, -1})
-		s.curDepth[level]--
+		ls.depth.add(r.Dispatched, -1)
+		ls.curDepth--
 	})
 	q.OnComplete(func(r *block.Request) {
-		s.outst[level] = append(s.outst[level], tsDelta{r.Completed, -1})
-		s.bytes[level] = append(s.bytes[level], tsval{r.Completed, r.Bytes()})
-		s.curOutst[level]--
-		s.cumBytes[level] += r.Bytes()
+		ls.outst.add(r.Completed, -1)
+		ls.bytes.add(r.Completed, r.Bytes())
+		ls.curOutst--
+		ls.cumBytes += r.Bytes()
 		s.completed++
 	})
 }
@@ -115,19 +178,15 @@ type LiveSample struct {
 func (s *Sampler) Live(now sim.Time) LiveSample {
 	ls := LiveSample{
 		SimTimeS:    now.Seconds(),
-		Depth:       make(map[string]int32, len(s.curDepth)),
-		Outstanding: make(map[string]int32, len(s.curOutst)),
-		CumMB:       make(map[string]float64, len(s.cumBytes)),
+		Depth:       make(map[string]int32, len(s.levels)),
+		Outstanding: make(map[string]int32, len(s.levels)),
+		CumMB:       make(map[string]float64, len(s.levels)),
 		Requests:    s.completed,
 	}
-	for level, v := range s.curDepth {
-		ls.Depth[level] = v
-	}
-	for level, v := range s.curOutst {
-		ls.Outstanding[level] = v
-	}
-	for level, v := range s.cumBytes {
-		ls.CumMB[level] = round6(float64(v) / mb)
+	for level, v := range s.levels {
+		ls.Depth[level] = v.curDepth
+		ls.Outstanding[level] = v.curOutst
+		ls.CumMB[level] = round6(float64(v.cumBytes) / mb)
 	}
 	return ls
 }
@@ -188,18 +247,14 @@ func (s *Sampler) Finalize(start, end sim.Time, maxPoints int) Timeseries {
 		ThroughputMBps: map[string][]float64{},
 		DiskBusyFrac:   make([]float64, n),
 	}
-	for level, deltas := range s.depth {
-		ts.Depth[level] = boundarySamples(deltas, start, interval, n)
-	}
-	for level, deltas := range s.outst {
-		ts.Outstanding[level] = boundarySamples(deltas, start, interval, n)
-	}
-	for level, vals := range s.bytes {
+	for level, ser := range s.levels {
+		ts.Depth[level] = boundarySamples(ser.depth.flatten(), start, interval, n)
+		ts.Outstanding[level] = boundarySamples(ser.outst.flatten(), start, interval, n)
 		tput := make([]float64, n)
-		for _, v := range vals {
+		ser.bytes.each(func(v tsval) {
 			b := bucketOf(v.t, start, interval, n)
 			tput[b] += float64(v.v)
-		}
+		})
 		for i := range tput {
 			tput[i] = round6(tput[i] / mb / interval.Seconds())
 		}
@@ -228,9 +283,8 @@ func (s *Sampler) Finalize(start, end sim.Time, maxPoints int) Timeseries {
 }
 
 // boundarySamples integrates ±1 deltas and samples the running value at
-// the end boundary of each bucket.
-func boundarySamples(deltas []tsDelta, start sim.Time, interval sim.Duration, n int) []int32 {
-	ds := append([]tsDelta(nil), deltas...)
+// the end boundary of each bucket. It owns (and sorts) the passed slice.
+func boundarySamples(ds []tsDelta, start sim.Time, interval sim.Duration, n int) []int32 {
 	sort.SliceStable(ds, func(a, b int) bool { return ds[a].t < ds[b].t })
 	out := make([]int32, n)
 	var cur int32

@@ -1,0 +1,185 @@
+package block
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptmr/internal/sim"
+)
+
+// poolElv is a trivial FIFO elevator for pool lifecycle tests.
+type poolElv struct{ q []*Request }
+
+func (e *poolElv) Name() string                 { return "noop" }
+func (e *poolElv) Add(r *Request, _ sim.Time)   { e.q = append(e.q, r) }
+func (e *poolElv) Pending() int                 { return len(e.q) }
+func (e *poolElv) Completed(*Request, sim.Time) {}
+func (e *poolElv) Dispatch(_ sim.Time) (*Request, sim.Time) {
+	if len(e.q) == 0 {
+		return nil, 0
+	}
+	r := e.q[0]
+	e.q = e.q[1:]
+	return r, 0
+}
+
+// poolDev completes synchronously.
+type poolDev struct{}
+
+func (poolDev) Service(r *Request, done func(*Request)) { done(r) }
+
+func TestPoolRecyclesThroughQueue(t *testing.T) {
+	eng := sim.New(1)
+	p := NewPool(false, nil)
+	q := NewQueue(eng, &poolElv{}, poolDev{}, 1)
+
+	first := p.Get(Read, 0, 8, false, 1)
+	var completed int
+	first.OnComplete = func(*Request) { completed++ }
+	q.Submit(first)
+	eng.Run()
+	if completed != 1 {
+		t.Fatalf("completions = %d, want 1", completed)
+	}
+
+	second := p.Get(Read, 100, 8, false, 1)
+	if second != first {
+		t.Fatal("fast pool did not recycle the completed request")
+	}
+	if second.Sector != 100 || second.state != stateNew || second.OnComplete != nil {
+		t.Fatalf("recycled request not reset: %+v", second)
+	}
+	st := p.Stats()
+	if st.Gets != 2 || st.Reuses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want Gets=2 Reuses=1 Puts=1", st)
+	}
+}
+
+func TestPoolFreesMergedChildren(t *testing.T) {
+	eng := sim.New(1)
+	p := NewPool(false, nil)
+	elv := &mergingElv{max: 1024}
+	q := NewQueue(eng, elv, poolDev{}, 1)
+
+	// Two contiguous same-stream requests; the elevator back-merges the
+	// second into the first. Both must return to the pool at completion.
+	a := p.Get(Write, 0, 8, false, 1)
+	b := p.Get(Write, 8, 8, false, 1)
+	q.Submit(a)
+	q.Submit(b)
+	eng.Run()
+	if st := p.Stats(); st.Puts != 2 {
+		t.Fatalf("Puts = %d, want 2 (parent + merged child)", st.Puts)
+	}
+	if len(p.free) != 2 {
+		t.Fatalf("freelist len = %d, want 2", len(p.free))
+	}
+}
+
+// mergingElv back-merges contiguous requests while they wait.
+type mergingElv struct {
+	q   []*Request
+	max int64
+}
+
+func (e *mergingElv) Name() string { return "noop" }
+func (e *mergingElv) Add(r *Request, _ sim.Time) {
+	for _, cur := range e.q {
+		if cur.CanBackMerge(r, e.max) {
+			cur.BackMerge(r)
+			return
+		}
+	}
+	e.q = append(e.q, r)
+}
+func (e *mergingElv) Pending() int                 { return len(e.q) }
+func (e *mergingElv) Completed(*Request, sim.Time) {}
+func (e *mergingElv) Dispatch(_ sim.Time) (*Request, sim.Time) {
+	if len(e.q) == 0 {
+		return nil, 0
+	}
+	r := e.q[0]
+	e.q = e.q[1:]
+	return r, 0
+}
+
+func TestCheckedPoolDetectsDoubleFree(t *testing.T) {
+	var violations []string
+	p := NewPool(true, func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	})
+	r := p.Get(Read, 0, 8, false, 1)
+	r.state = stateDone
+	p.Put(r)
+	if len(violations) != 0 {
+		t.Fatalf("first Put reported violations: %v", violations)
+	}
+	p.Put(r)
+	if len(violations) != 1 {
+		t.Fatalf("double free not reported: %v", violations)
+	}
+	if st := p.Stats(); st.DoubleFrees != 1 {
+		t.Fatalf("DoubleFrees = %d, want 1", st.DoubleFrees)
+	}
+	// Checked mode never recycles: the next Get must be fresh memory.
+	if p.Get(Read, 0, 8, false, 1) == r {
+		t.Fatal("checked pool recycled a freed request")
+	}
+}
+
+func TestCheckedPoolPanicsWithoutReporter(t *testing.T) {
+	p := NewPool(true, nil)
+	r := p.Get(Read, 0, 8, false, 1)
+	r.state = stateDone
+	p.Put(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free without reporter did not panic")
+		}
+	}()
+	p.Put(r)
+}
+
+func TestFreedRequestResubmitPanics(t *testing.T) {
+	eng := sim.New(1)
+	p := NewPool(true, func(string, ...any) {})
+	q := NewQueue(eng, &poolElv{}, poolDev{}, 1)
+	r := p.Get(Read, 0, 8, false, 1)
+	q.Submit(r)
+	eng.Run() // completes and frees r (checked: quarantined, not recycled)
+	if r.state != stateFreed {
+		t.Fatalf("state = %d after completion, want stateFreed", r.state)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("submitting a freed request did not panic")
+		}
+	}()
+	q.Submit(r)
+}
+
+func TestPoolRejectsForeignRequest(t *testing.T) {
+	a := NewPool(false, nil)
+	var violations int
+	b := NewPool(true, func(string, ...any) { violations++ })
+	r := a.Get(Read, 0, 8, false, 1)
+	r.state = stateDone
+	b.Put(r)
+	if violations != 1 {
+		t.Fatalf("foreign-pool Put violations = %d, want 1", violations)
+	}
+	if len(b.free) != 0 {
+		t.Fatal("foreign request landed on freelist")
+	}
+}
+
+func TestUnpooledRequestsUnaffected(t *testing.T) {
+	eng := sim.New(1)
+	q := NewQueue(eng, &poolElv{}, poolDev{}, 1)
+	r := NewRequest(Read, 0, 8, false, 1)
+	q.Submit(r)
+	eng.Run()
+	if r.state != stateDone {
+		t.Fatalf("state = %d, want stateDone", r.state)
+	}
+}

@@ -85,7 +85,7 @@ type SwitchInfo struct {
 // OnSwitched register multi-subscriber observer hooks covering the full
 // request lifecycle. Subscribers fire in registration order; there is no
 // unsubscribe (discard the queue instead). With no subscribers each hook
-// point costs a nil-slice range — the disabled fast path.
+// point costs a single predictable nil check — the disabled fast path.
 type Queue struct {
 	eng   *sim.Engine
 	elv   Elevator
@@ -121,12 +121,23 @@ type Queue struct {
 	// per-request closure (the hooks-disabled hot path is allocation-free;
 	// BenchmarkHooksDisabled pins this at 0 allocs/op).
 	completeFn func(*Request)
+	// wakeFn is the elevator idle-wake callback, bound once for the same
+	// reason: CFQ/AS arm a wake timer per idle window.
+	wakeFn func()
 
-	onEnqueue  []func(*Request)
-	onMerge    []func(parent, child *Request)
-	onDispatch []func(*Request)
-	onComplete []func(*Request)
-	onSwitched []func(SwitchInfo)
+	// hooks is nil until the first subscriber registers, so every lifecycle
+	// site pays exactly one predictable nil check when observability is off.
+	hooks *queueHooks
+}
+
+// queueHooks groups the queue's observer subscriber lists behind a single
+// pointer (see Queue.hooks).
+type queueHooks struct {
+	enqueue  []func(*Request)
+	merge    []func(parent, child *Request)
+	dispatch []func(*Request)
+	complete []func(*Request)
+	switched []func(SwitchInfo)
 }
 
 // NewQueue creates a queue dispatching at most depth requests into dev.
@@ -136,6 +147,10 @@ func NewQueue(eng *sim.Engine, elv Elevator, dev Device, depth int) *Queue {
 	}
 	q := &Queue{eng: eng, elv: elv, dev: dev, depth: depth}
 	q.completeFn = q.complete
+	q.wakeFn = func() {
+		q.wake = nil
+		q.kick()
+	}
 	return q
 }
 
@@ -159,23 +174,46 @@ func (q *Queue) Depth() int { return q.depth }
 // Switching reports whether an elevator switch is draining.
 func (q *Queue) Switching() bool { return q.switching }
 
+// subscribers returns the hook set, allocating it on first use.
+func (q *Queue) subscribers() *queueHooks {
+	if q.hooks == nil {
+		q.hooks = &queueHooks{}
+	}
+	return q.hooks
+}
+
 // OnEnqueue subscribes fn to fire when a request enters the queue
 // (before elevator insertion and thus before any merge).
-func (q *Queue) OnEnqueue(fn func(*Request)) { q.onEnqueue = append(q.onEnqueue, fn) }
+func (q *Queue) OnEnqueue(fn func(*Request)) {
+	h := q.subscribers()
+	h.enqueue = append(h.enqueue, fn)
+}
 
 // OnMerge subscribes fn to fire when a request is coalesced into another;
 // parent absorbed child.
-func (q *Queue) OnMerge(fn func(parent, child *Request)) { q.onMerge = append(q.onMerge, fn) }
+func (q *Queue) OnMerge(fn func(parent, child *Request)) {
+	h := q.subscribers()
+	h.merge = append(h.merge, fn)
+}
 
 // OnDispatch subscribes fn to fire when a request is handed to the device.
-func (q *Queue) OnDispatch(fn func(*Request)) { q.onDispatch = append(q.onDispatch, fn) }
+func (q *Queue) OnDispatch(fn func(*Request)) {
+	h := q.subscribers()
+	h.dispatch = append(h.dispatch, fn)
+}
 
 // OnComplete subscribes fn to fire when a request completes at the device
 // (merged children complete through their parent's callbacks, not here).
-func (q *Queue) OnComplete(fn func(*Request)) { q.onComplete = append(q.onComplete, fn) }
+func (q *Queue) OnComplete(fn func(*Request)) {
+	h := q.subscribers()
+	h.complete = append(h.complete, fn)
+}
 
 // OnSwitched subscribes fn to fire when an elevator switch finishes.
-func (q *Queue) OnSwitched(fn func(SwitchInfo)) { q.onSwitched = append(q.onSwitched, fn) }
+func (q *Queue) OnSwitched(fn func(SwitchInfo)) {
+	h := q.subscribers()
+	h.switched = append(h.switched, fn)
+}
 
 // Submit hands a request to the queue. During an elevator switch new
 // requests are held back (the sysfs switch path blocks submitters while the
@@ -187,8 +225,10 @@ func (q *Queue) Submit(r *Request) {
 	}
 	r.state = stateQueued
 	r.Issued = q.eng.Now()
-	for _, fn := range q.onEnqueue {
-		fn(r)
+	if q.hooks != nil {
+		for _, fn := range q.hooks.enqueue {
+			fn(r)
+		}
 	}
 	if q.switching {
 		q.backlog = append(q.backlog, r)
@@ -202,8 +242,8 @@ func (q *Queue) Submit(r *Request) {
 // subscribers if the elevator coalesced it into an existing request.
 func (q *Queue) addToElevator(r *Request) {
 	q.elv.Add(r, q.eng.Now())
-	if r.state == stateMerged && r.mergedInto != nil {
-		for _, fn := range q.onMerge {
+	if q.hooks != nil && r.state == stateMerged && r.mergedInto != nil {
+		for _, fn := range q.hooks.merge {
 			fn(r.mergedInto, r)
 		}
 	}
@@ -296,8 +336,10 @@ func (q *Queue) scheduleFinish() {
 		done := q.switchDone
 		q.switchDone = nil
 		q.kick()
-		for _, fn := range q.onSwitched {
-			fn(info)
+		if q.hooks != nil {
+			for _, fn := range q.hooks.switched {
+				fn(info)
+			}
 		}
 		for _, fn := range done {
 			fn()
@@ -340,10 +382,7 @@ func (q *Queue) dispatchLoop() {
 				if q.wake != nil {
 					q.wake.Cancel()
 				}
-				q.wake = q.eng.At(wakeAt, func() {
-					q.wake = nil
-					q.kick()
-				})
+				q.wake = q.eng.At(wakeAt, q.wakeFn)
 			}
 			return
 		}
@@ -353,8 +392,10 @@ func (q *Queue) dispatchLoop() {
 		r.state = stateDispatched
 		r.Dispatched = q.eng.Now()
 		q.inflight++
-		for _, fn := range q.onDispatch {
-			fn(r)
+		if q.hooks != nil {
+			for _, fn := range q.hooks.dispatch {
+				fn(r)
+			}
 		}
 		q.dev.Service(r, q.completeFn)
 	}
@@ -371,9 +412,25 @@ func (q *Queue) complete(r *Request) {
 	q.account(r)
 	q.stats.MergedRequests += int64(len(r.merged))
 	q.elv.Completed(r, now)
+	// finish clears r.merged; capture it first so pool-owned merged
+	// children can be freed alongside their parent below.
+	merged := r.merged
 	r.finish(now)
-	for _, fn := range q.onComplete {
-		fn(r)
+	if q.hooks != nil {
+		for _, fn := range q.hooks.complete {
+			fn(r)
+		}
+	}
+	// Free-at-complete: once every completion callback and hook has run,
+	// nothing in the stack may touch the request again, so pool-owned
+	// requests (and the children merged into them) go back to their pool.
+	r.release()
+	for i, m := range merged {
+		m.release()
+		// merged shares its backing array with the recycled parent's
+		// (truncated) merged slice; nil the slots so the retained capacity
+		// does not root freed children.
+		merged[i] = nil
 	}
 	q.maybeFinishSwitch()
 	q.kick()

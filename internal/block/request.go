@@ -80,6 +80,10 @@ type Request struct {
 
 	// state guards against double-dispatch / double-complete bugs.
 	state reqState
+
+	// pool, when non-nil, owns this request's memory: the completing Queue
+	// returns the request there after its completion hooks run.
+	pool *Pool
 }
 
 type reqState uint8
@@ -90,6 +94,9 @@ const (
 	stateDispatched
 	stateDone
 	stateMerged
+	// stateFreed marks a pool-owned request returned to its pool; any
+	// further use is a lifecycle violation.
+	stateFreed
 )
 
 // NewRequest builds a request covering count sectors starting at sector.
@@ -176,5 +183,8 @@ func (r *Request) finish(now sim.Time) {
 			m.OnComplete(m)
 		}
 	}
-	r.merged = nil
+	// Truncate rather than nil so a pooled request keeps the backing array
+	// across recycling; the completing Queue nils the slots after freeing
+	// the children (it still holds the full-length view).
+	r.merged = r.merged[:0]
 }

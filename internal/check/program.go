@@ -188,6 +188,16 @@ func RunProgram(prog *Program, elvName string) (RunResult, *Set, error) {
 	set := NewSet()
 	inv := set.Attach(eng, q, elvName, params)
 
+	// Requests come from a checked (detect-only) pool, the same lifecycle
+	// mode the full simulator uses under invariant checking: every fuzzed
+	// program exercises free-at-complete — the Queue Puts each request
+	// (and its merged children) back after completion hooks — and a
+	// double free or a Submit of a freed request surfaces as a violation
+	// instead of silent memory reuse.
+	pool := block.NewPool(true, func(format string, args ...any) {
+		set.Report(elvName, "pool-lifecycle", eng.Now(), fmt.Sprintf(format, args...))
+	})
+
 	res := RunResult{Elevator: elvName}
 	for i := range prog.Ops {
 		op := prog.Ops[i] // copy: the closure must not alias the loop slot
@@ -198,7 +208,7 @@ func RunProgram(prog *Program, elvName string) (RunResult, *Set, error) {
 			// r.Bytes() at completion would double-count merged bytes.
 			bytes := op.count * block.SectorSize
 			eng.At(op.at, func() {
-				r := block.NewRequest(op.op, op.sector, op.count, op.sync, op.stream)
+				r := pool.Get(op.op, op.sector, op.count, op.sync, op.stream)
 				r.OnComplete = func(*block.Request) {
 					res.Completed++
 					res.BytesDone += bytes

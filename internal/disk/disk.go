@@ -75,6 +75,13 @@ type Disk struct {
 	head int64
 	busy bool
 
+	// pending is the in-service request and its completion callback;
+	// finishFn is bound once at construction so servicing a request
+	// schedules no per-request closure (depth-1 means one slot suffices).
+	pending     *block.Request
+	pendingDone func(*block.Request)
+	finishFn    func()
+
 	stats Stats
 
 	// OnService, if set, observes every request as it starts service,
@@ -92,7 +99,9 @@ func New(eng *sim.Engine, cfg Config) *Disk {
 	if cfg.Sectors <= 0 || cfg.TransferMBps <= 0 || cfg.RPM <= 0 {
 		panic("disk: invalid config")
 	}
-	return &Disk{eng: eng, cfg: cfg}
+	d := &Disk{eng: eng, cfg: cfg}
+	d.finishFn = d.finish
+	return d
 }
 
 // Config returns the disk's configuration.
@@ -164,9 +173,17 @@ func (d *Disk) Service(r *block.Request, done func(*block.Request)) {
 		d.OnServiceDetail(r, seek, rot, xfer)
 	}
 	d.head = r.End()
-	d.eng.Schedule(total, func() {
-		d.busy = false
-		d.stats.LastDoneAt = d.eng.Now()
-		done(r)
-	})
+	d.pending = r
+	d.pendingDone = done
+	d.eng.Schedule(total, d.finishFn)
+}
+
+// finish completes the in-service request. The slot is cleared before the
+// callback runs because done(r) may synchronously re-enter Service.
+func (d *Disk) finish() {
+	r, done := d.pending, d.pendingDone
+	d.pending, d.pendingDone = nil, nil
+	d.busy = false
+	d.stats.LastDoneAt = d.eng.Now()
+	done(r)
 }

@@ -99,6 +99,9 @@ type FS struct {
 
 	cache *pageCache
 
+	// extScratch backs sectorsFor results; see its contract there.
+	extScratch []extent
+
 	nextStream   block.StreamID
 	daemonStream block.StreamID
 
@@ -152,7 +155,11 @@ func (fs *FS) commitJournal(onDone func()) {
 	fs.journalTip += count
 	// kjournald writes commit records through the normal buffer path
 	// (async at the elevator level); waiters block on the completion.
-	fs.dom.Submit(block.Write, sector, count, false, fs.journalStream, onDone)
+	var oc func(*block.Request)
+	if onDone != nil {
+		oc = func(*block.Request) { onDone() }
+	}
+	fs.dom.Submit(block.Write, sector, count, false, fs.journalStream, oc)
 }
 
 // DaemonStream is the process identity of long-lived system daemons
@@ -299,9 +306,13 @@ func (f *File) pickGroup() int64 {
 	return best
 }
 
-// sectorsFor maps a file range to disk extents.
+// sectorsFor maps a file range to disk extents. The returned slice is the
+// FS-wide scratch buffer: it is valid only until the next sectorsFor call
+// on any file of this FS, which every caller satisfies by consuming it
+// before yielding control (submission paths complete asynchronously, so
+// nothing re-enters the FS while the result is live).
 func (f *File) sectorsFor(off, count int64) []extent {
-	var out []extent
+	out := f.fs.extScratch[:0]
 	for _, e := range f.extents {
 		if off >= e.fileOff+e.count || off+count <= e.fileOff {
 			continue
@@ -310,6 +321,7 @@ func (f *File) sectorsFor(off, count int64) []extent {
 		t := min64(off+count, e.fileOff+e.count)
 		out = append(out, extent{fileOff: s, sector: e.sector + (s - e.fileOff), count: t - s})
 	}
+	f.fs.extScratch = out
 	return out
 }
 

@@ -63,21 +63,24 @@ func (f *File) Read(stream block.StreamID, off, length int64, cb func()) {
 			}
 			slugsOut++
 			left := n
+			// One completion closure per slug, shared by its pieces — the
+			// per-piece state is just the shared countdown.
+			onDone := func(*block.Request) {
+				left--
+				remaining--
+				if remaining == 0 {
+					fs.cache.insert(f, offSec, cntSec)
+					cb()
+					return
+				}
+				if left == 0 {
+					slugsOut--
+					pump()
+				}
+			}
 			for i := 0; i < n; i++ {
 				p := pieces[next+i]
-				fs.dom.Submit(block.Read, p.sector, p.count, true, stream, func() {
-					left--
-					remaining--
-					if remaining == 0 {
-						fs.cache.insert(f, offSec, cntSec)
-						cb()
-						return
-					}
-					if left == 0 {
-						slugsOut--
-						pump()
-					}
-				})
+				fs.dom.Submit(block.Read, p.sector, p.count, true, stream, onDone)
 			}
 			next += n
 		}
@@ -120,16 +123,17 @@ func (f *File) Sync(stream block.StreamID, cb func()) {
 	// fsync forces a journal commit after the data lands (ext3 ordered
 	// mode: data first, then the commit record).
 	w := &syncWaiter{cb: func() { fs.commitJournal(cb) }}
+	onDone := func(*block.Request) {
+		w.pending--
+		if w.pending == 0 {
+			w.cb()
+		}
+	}
 	for _, e := range f.sectorsFor(from, to-from) {
 		for c := int64(0); c < e.count; c += fs.cfg.ChunkSectors {
 			n := min64(fs.cfg.ChunkSectors, e.count-c)
 			w.pending++
-			fs.dom.Submit(block.Write, e.sector+c, n, true, stream, func() {
-				w.pending--
-				if w.pending == 0 {
-					w.cb()
-				}
-			})
+			fs.dom.Submit(block.Write, e.sector+c, n, true, stream, onDone)
 		}
 	}
 	if w.pending == 0 {
@@ -168,9 +172,47 @@ type pageCache struct {
 
 	blocked []blockedWrite
 
+	// wbFree recycles writeback completion ops so steady-state flushing
+	// allocates nothing: each op carries its bound callback, created once.
+	wbFree []*wbOp
+
 	residentBytes int64
 	lru           []*File
 	residentSet   map[*File]int64 // accounted resident bytes per file
+}
+
+// wbOp is one in-flight writeback chunk's completion state.
+type wbOp struct {
+	pc    *pageCache
+	bytes int64
+	fn    func(*block.Request) // o.done, bound once at construction
+}
+
+func (pc *pageCache) getWbOp(bytes int64) *wbOp {
+	if n := len(pc.wbFree); n > 0 {
+		o := pc.wbFree[n-1]
+		pc.wbFree[n-1] = nil
+		pc.wbFree = pc.wbFree[:n-1]
+		o.bytes = bytes
+		return o
+	}
+	o := &wbOp{pc: pc, bytes: bytes}
+	o.fn = o.done
+	return o
+}
+
+// done accounts one finished writeback chunk. The op is recycled before
+// kickWriteback runs so a synchronous follow-up flush can reuse it.
+func (o *wbOp) done(*block.Request) {
+	pc, bytes := o.pc, o.bytes
+	pc.wbFree = append(pc.wbFree, o)
+	pc.inFlight--
+	pc.dirty -= bytes
+	if pc.dirty < 0 {
+		pc.dirty = 0
+	}
+	pc.unblockWriters()
+	pc.kickWriteback()
 }
 
 type blockedWrite struct {
@@ -282,15 +324,7 @@ func (pc *pageCache) flushOne() bool {
 			fs.writeMetadata(e.sector)
 		}
 		// Writeback runs in the flusher thread's context: stream 0.
-		fs.dom.Submit(block.Write, e.sector, e.count, false, 0, func() {
-			pc.inFlight--
-			pc.dirty -= bytes
-			if pc.dirty < 0 {
-				pc.dirty = 0
-			}
-			pc.unblockWriters()
-			pc.kickWriteback()
-		})
+		fs.dom.Submit(block.Write, e.sector, e.count, false, 0, pc.getWbOp(bytes).fn)
 		return true
 	}
 	return false

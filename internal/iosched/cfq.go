@@ -20,8 +20,13 @@ type CFQSched struct {
 	p Params
 
 	queues map[block.StreamID]*cfqQueue
-	rr     []*cfqQueue // round-robin order, nonempty or active queues
-	async  *cfqQueue   // shared async pseudo-queue
+	// rr[rrHead:] is the round-robin ring of nonempty or active queues: a
+	// head-indexed deque, so the pop in nextQueue never reslices away
+	// capacity (the append-after-reslice pattern reallocates every
+	// rotation). pushRR compacts dead head space before growing.
+	rr     []*cfqQueue
+	rrHead int
+	async  *cfqQueue // shared async pseudo-queue
 
 	merges *merger
 
@@ -87,7 +92,7 @@ func (s *CFQSched) Add(r *block.Request, now sim.Time) {
 	s.pending++
 	if !q.onRR {
 		q.onRR = true
-		s.rr = append(s.rr, q)
+		s.pushRR(q)
 	}
 	if s.idling && s.active == q {
 		if now < s.sliceEnd {
@@ -159,10 +164,9 @@ func (s *CFQSched) nextQueue() *cfqQueue {
 	}
 	var firstAsync *cfqQueue
 	scanned := 0
-	n := len(s.rr)
+	n := len(s.rr) - s.rrHead
 	for scanned < n {
-		q := s.rr[0]
-		s.rr = s.rr[1:]
+		q := s.popRR()
 		scanned++
 		if q.list.len() == 0 {
 			q.onRR = false
@@ -172,18 +176,18 @@ func (s *CFQSched) nextQueue() *cfqQueue {
 		}
 		if !q.sync {
 			if s.asyncStarved >= maxAsyncStarve {
-				s.rr = append(s.rr, q)
+				s.pushRR(q)
 				s.asyncStarved = 0
 				return q
 			}
 			if firstAsync == nil {
 				firstAsync = q
 			}
-			s.rr = append(s.rr, q)
+			s.pushRR(q)
 			continue
 		}
 		// Sync queue with work.
-		s.rr = append(s.rr, q)
+		s.pushRR(q)
 		if firstAsync != nil || s.asyncPending() {
 			s.asyncStarved++
 		}
@@ -194,6 +198,34 @@ func (s *CFQSched) nextQueue() *cfqQueue {
 		return firstAsync
 	}
 	return nil
+}
+
+// popRR removes and returns the ring's front queue; the caller guarantees
+// the ring is nonempty. The vacated slot is nil'd so the dead prefix does
+// not root departed queues.
+func (s *CFQSched) popRR() *cfqQueue {
+	q := s.rr[s.rrHead]
+	s.rr[s.rrHead] = nil
+	s.rrHead++
+	if s.rrHead == len(s.rr) {
+		s.rr = s.rr[:0]
+		s.rrHead = 0
+	}
+	return q
+}
+
+// pushRR appends to the ring, first reclaiming the dead head prefix when
+// the backing array is full so rotation never reallocates in steady state.
+func (s *CFQSched) pushRR(q *cfqQueue) {
+	if s.rrHead > 0 && len(s.rr) == cap(s.rr) {
+		n := copy(s.rr, s.rr[s.rrHead:])
+		for i := n; i < len(s.rr); i++ {
+			s.rr[i] = nil
+		}
+		s.rr = s.rr[:n]
+		s.rrHead = 0
+	}
+	s.rr = append(s.rr, q)
 }
 
 func (s *CFQSched) asyncPending() bool { return s.async.list.len() > 0 }

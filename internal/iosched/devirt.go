@@ -1,0 +1,133 @@
+package iosched
+
+import (
+	"adaptmr/internal/block"
+	"adaptmr/internal/sim"
+)
+
+// elvKind discriminates the closed set of elevators Devirt dispatches over.
+type elvKind uint8
+
+const (
+	kindNoop elvKind = iota
+	kindDeadline
+	kindAnticipatory
+	kindCFQ
+)
+
+// Devirt is the concrete dispatcher the block queue's hot loop runs
+// through. The four Linux elevators are a closed set, so New wraps each
+// scheduler in a Devirt that forwards every block.Elevator method through a
+// kind switch to a typed field instead of an interface call: the queue's
+// call site stays monomorphic (*Devirt is always the dynamic type), the
+// branch predictor sees one stable kind per queue, and the concrete method
+// bodies become visible to the inliner. block.Elevator remains the
+// extension seam — third-party elevators implement it directly and skip
+// Devirt entirely.
+type Devirt struct {
+	kind elvKind
+	noop *NoopSched
+	dl   *DeadlineSched
+	as   *AnticipatorySched
+	cfq  *CFQSched
+}
+
+var _ block.Elevator = (*Devirt)(nil)
+
+// DevirtNoop wraps a noop scheduler for devirtualized dispatch.
+func DevirtNoop(s *NoopSched) *Devirt { return &Devirt{kind: kindNoop, noop: s} }
+
+// DevirtDeadline wraps a deadline scheduler for devirtualized dispatch.
+func DevirtDeadline(s *DeadlineSched) *Devirt { return &Devirt{kind: kindDeadline, dl: s} }
+
+// DevirtAnticipatory wraps an anticipatory scheduler for devirtualized
+// dispatch.
+func DevirtAnticipatory(s *AnticipatorySched) *Devirt { return &Devirt{kind: kindAnticipatory, as: s} }
+
+// DevirtCFQ wraps a CFQ scheduler for devirtualized dispatch.
+func DevirtCFQ(s *CFQSched) *Devirt { return &Devirt{kind: kindCFQ, cfq: s} }
+
+// Unwrap returns the wrapped concrete scheduler (useful for tests and
+// stats accessors like AnticipatorySched.Stats).
+func (d *Devirt) Unwrap() block.Elevator {
+	switch d.kind {
+	case kindNoop:
+		return d.noop
+	case kindDeadline:
+		return d.dl
+	case kindAnticipatory:
+		return d.as
+	default:
+		return d.cfq
+	}
+}
+
+// Name returns the wrapped scheduler's registry name.
+func (d *Devirt) Name() string {
+	switch d.kind {
+	case kindNoop:
+		return Noop
+	case kindDeadline:
+		return Deadline
+	case kindAnticipatory:
+		return Anticipatory
+	default:
+		return CFQ
+	}
+}
+
+// Add inserts a request into the wrapped scheduler.
+func (d *Devirt) Add(r *block.Request, now sim.Time) {
+	switch d.kind {
+	case kindNoop:
+		d.noop.Add(r, now)
+	case kindDeadline:
+		d.dl.Add(r, now)
+	case kindAnticipatory:
+		d.as.Add(r, now)
+	default:
+		d.cfq.Add(r, now)
+	}
+}
+
+// Dispatch returns the wrapped scheduler's next request (or an idle wake).
+func (d *Devirt) Dispatch(now sim.Time) (*block.Request, sim.Time) {
+	switch d.kind {
+	case kindNoop:
+		return d.noop.Dispatch(now)
+	case kindDeadline:
+		return d.dl.Dispatch(now)
+	case kindAnticipatory:
+		return d.as.Dispatch(now)
+	default:
+		return d.cfq.Dispatch(now)
+	}
+}
+
+// Completed notifies the wrapped scheduler of a finished request.
+func (d *Devirt) Completed(r *block.Request, now sim.Time) {
+	switch d.kind {
+	case kindNoop:
+		d.noop.Completed(r, now)
+	case kindDeadline:
+		d.dl.Completed(r, now)
+	case kindAnticipatory:
+		d.as.Completed(r, now)
+	default:
+		d.cfq.Completed(r, now)
+	}
+}
+
+// Pending returns the wrapped scheduler's queued request count.
+func (d *Devirt) Pending() int {
+	switch d.kind {
+	case kindNoop:
+		return d.noop.Pending()
+	case kindDeadline:
+		return d.dl.Pending()
+	case kindAnticipatory:
+		return d.as.Pending()
+	default:
+		return d.cfq.Pending()
+	}
+}

@@ -1,0 +1,123 @@
+package iosched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"adaptmr/internal/block"
+	"adaptmr/internal/sim"
+)
+
+// devirtDev is a fixed-latency device for differential runs.
+type devirtDev struct{ eng *sim.Engine }
+
+func (d *devirtDev) Service(r *block.Request, done func(*block.Request)) {
+	lat := sim.Duration(200+r.Count*10) * sim.Microsecond
+	d.eng.Schedule(lat, func() { done(r) })
+}
+
+// runWorkload drives a reproducible mixed workload through elv and returns
+// the dispatch trace (time, sector, op) plus completion count.
+func runWorkload(t *testing.T, elv block.Elevator, seed int64) []string {
+	t.Helper()
+	eng := sim.New(seed)
+	q := block.NewQueue(eng, elv, &devirtDev{eng: eng}, 2)
+	var trace []string
+	q.OnDispatch(func(r *block.Request) {
+		trace = append(trace, fmt.Sprintf("%d:%s:%d+%d:s%d", eng.Now(), r.Op, r.Sector, r.Count, r.Stream))
+	})
+	completed := 0
+	q.OnComplete(func(*block.Request) { completed++ })
+
+	rng := rand.New(rand.NewSource(seed))
+	submitted := 0
+	var at sim.Time
+	for i := 0; i < 120; i++ {
+		at += sim.Time(rng.Intn(3000)) * sim.Time(sim.Microsecond)
+		stream := block.StreamID(rng.Intn(4) + 1)
+		op := block.Read
+		sync := true
+		if rng.Intn(3) == 0 {
+			op = block.Write
+			sync = rng.Intn(2) == 0
+		}
+		sector := int64(rng.Intn(64)) * 128
+		count := int64(8 * (rng.Intn(4) + 1))
+		eng.At(at, func() {
+			q.Submit(block.NewRequest(op, sector, count, sync, stream))
+		})
+		submitted++
+	}
+	eng.Run()
+	if q.Pending() != 0 {
+		t.Fatalf("queue did not drain: %d pending", q.Pending())
+	}
+	if completed == 0 || completed > submitted {
+		t.Fatalf("completed %d of %d submitted", completed, submitted)
+	}
+	return trace
+}
+
+// TestDevirtMatchesInterfaceDispatch runs an identical workload through the
+// Devirt wrapper and the raw concrete scheduler behind the plain interface,
+// for all four elevators, and requires byte-identical dispatch traces.
+func TestDevirtMatchesInterfaceDispatch(t *testing.T) {
+	p := DefaultParams()
+	for _, name := range Names {
+		for seed := int64(1); seed <= 3; seed++ {
+			wrapped, err := New(name, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := wrapped.(*Devirt); !ok {
+				t.Fatalf("New(%q) returned %T, want *Devirt", name, wrapped)
+			}
+			var raw block.Elevator
+			switch name {
+			case Noop:
+				raw = NewNoop(p)
+			case Deadline:
+				raw = NewDeadline(p)
+			case Anticipatory:
+				raw = NewAnticipatory(p)
+			case CFQ:
+				raw = NewCFQ(p)
+			}
+			got := runWorkload(t, wrapped, seed)
+			want := runWorkload(t, raw, seed)
+			if len(got) != len(want) {
+				t.Fatalf("%s seed %d: devirt dispatched %d, interface %d", name, seed, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s seed %d: dispatch %d differs:\ndevirt:    %s\ninterface: %s",
+						name, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDevirtUnwrapAndName checks the wrapper's identity accessors for every
+// elevator kind.
+func TestDevirtUnwrapAndName(t *testing.T) {
+	p := DefaultParams()
+	for _, name := range Names {
+		elv := MustNew(name, p)
+		d, ok := elv.(*Devirt)
+		if !ok {
+			t.Fatalf("MustNew(%q) returned %T, want *Devirt", name, elv)
+		}
+		if d.Name() != name {
+			t.Fatalf("Name() = %q, want %q", d.Name(), name)
+		}
+		inner := d.Unwrap()
+		if inner == nil || inner.Name() != name {
+			t.Fatalf("Unwrap().Name() = %v, want %q", inner, name)
+		}
+		if _, nested := inner.(*Devirt); nested {
+			t.Fatal("Unwrap returned another Devirt")
+		}
+	}
+}

@@ -121,17 +121,19 @@ func DefaultParams() Params {
 	}
 }
 
-// New constructs a scheduler by name.
+// New constructs a scheduler by name, wrapped for devirtualized dispatch
+// (see Devirt). Use the concrete constructors (NewCFQ etc.) directly to get
+// unwrapped schedulers.
 func New(name string, p Params) (block.Elevator, error) {
 	switch name {
 	case Noop:
-		return NewNoop(p), nil
+		return DevirtNoop(NewNoop(p)), nil
 	case Deadline:
-		return NewDeadline(p), nil
+		return DevirtDeadline(NewDeadline(p)), nil
 	case Anticipatory:
-		return NewAnticipatory(p), nil
+		return DevirtAnticipatory(NewAnticipatory(p)), nil
 	case CFQ:
-		return NewCFQ(p), nil
+		return DevirtCFQ(NewCFQ(p)), nil
 	}
 	return nil, fmt.Errorf("iosched: unknown scheduler %q", name)
 }
@@ -244,38 +246,110 @@ func (f *fifo) remove(r *block.Request) {
 // merger indexes queued requests by start and end sector, mirroring the
 // block layer's rq hash, so an incoming request can be coalesced with an
 // adjacent queued request in O(1).
+//
+// A bucket stores its first entry inline because almost every sector key
+// holds exactly one queued request at a time: the overflow slice only
+// allocates on a genuine collision, so steady-state indexing is
+// allocation-free. Bucket order evolves exactly like the plain
+// append/swap-remove slice it replaces (first is conceptual slot 0), so
+// candidate scan order — and therefore which request wins a merge — is
+// unchanged.
+type mergeBucket struct {
+	first *block.Request
+	rest  []*block.Request
+}
+
+func (b *mergeBucket) add(r *block.Request) {
+	if b.first == nil && len(b.rest) == 0 {
+		b.first = r
+		return
+	}
+	b.rest = append(b.rest, r)
+}
+
+// cut removes r, moving the last entry into its slot (the swap-remove the
+// slice version performed).
+func (b *mergeBucket) cut(r *block.Request) {
+	if b.first == r {
+		if n := len(b.rest); n > 0 {
+			b.first = b.rest[n-1]
+			b.rest[n-1] = nil
+			b.rest = b.rest[:n-1]
+		} else {
+			b.first = nil
+		}
+		return
+	}
+	for i, q := range b.rest {
+		if q == r {
+			n := len(b.rest)
+			b.rest[i] = b.rest[n-1]
+			b.rest[n-1] = nil
+			b.rest = b.rest[:n-1]
+			return
+		}
+	}
+}
+
+// Buckets are stored by pointer so the hot path mutates them in place: an
+// add touches the map only on a lookup (plus one insert when the key is
+// new), never re-assigning the bucket value. Emptied buckets go to a
+// freelist keeping their overflow capacity.
 type merger struct {
-	byStart    map[int64][]*block.Request
-	byEnd      map[int64][]*block.Request
+	byStart    map[int64]*mergeBucket
+	byEnd      map[int64]*mergeBucket
+	free       []*mergeBucket
 	maxSectors int64
 }
 
 func newMerger(maxSectors int64) *merger {
 	return &merger{
-		byStart:    make(map[int64][]*block.Request),
-		byEnd:      make(map[int64][]*block.Request),
+		byStart:    make(map[int64]*mergeBucket),
+		byEnd:      make(map[int64]*mergeBucket),
 		maxSectors: maxSectors,
 	}
 }
 
+// bucket resolves (creating if needed) the bucket under key in idx.
+func (m *merger) bucket(idx map[int64]*mergeBucket, key int64) *mergeBucket {
+	b := idx[key]
+	if b == nil {
+		if n := len(m.free); n > 0 {
+			b = m.free[n-1]
+			m.free[n-1] = nil
+			m.free = m.free[:n-1]
+		} else {
+			b = &mergeBucket{}
+		}
+		idx[key] = b
+	}
+	return b
+}
+
 func (m *merger) add(r *block.Request) {
-	m.byStart[r.Sector] = append(m.byStart[r.Sector], r)
-	m.byEnd[r.End()] = append(m.byEnd[r.End()], r)
+	m.bucket(m.byStart, r.Sector).add(r)
+	m.bucket(m.byEnd, r.End()).add(r)
 }
 
+// remove deletes r's index entries. Emptied buckets are deleted from the
+// map — a missing key and an empty bucket offer identical candidates, and
+// dropping dead keys keeps the maps sized to the queued population instead
+// of every sector the run ever touched.
 func (m *merger) remove(r *block.Request) {
-	m.byStart[r.Sector] = cut(m.byStart[r.Sector], r)
-	m.byEnd[r.End()] = cut(m.byEnd[r.End()], r)
-}
-
-func cut(s []*block.Request, r *block.Request) []*block.Request {
-	for i, q := range s {
-		if q == r {
-			s[i] = s[len(s)-1]
-			return s[:len(s)-1]
+	if b := m.byStart[r.Sector]; b != nil {
+		b.cut(r)
+		if b.first == nil {
+			delete(m.byStart, r.Sector)
+			m.free = append(m.free, b)
 		}
 	}
-	return s
+	if b := m.byEnd[r.End()]; b != nil {
+		b.cut(r)
+		if b.first == nil {
+			delete(m.byEnd, r.End())
+			m.free = append(m.free, b)
+		}
+	}
 }
 
 // tryMerge attempts to coalesce r into a queued request. On success it
@@ -283,20 +357,38 @@ func cut(s []*block.Request, r *block.Request) []*block.Request {
 // cascading merges of the third adjacent request are not attempted, like
 // most 2.6 elevators.
 func (m *merger) tryMerge(r *block.Request) *block.Request {
-	for _, q := range m.byEnd[r.Sector] {
-		if q.CanBackMerge(r, m.maxSectors) {
+	if b := m.byEnd[r.Sector]; b != nil {
+		if b.first.CanBackMerge(r, m.maxSectors) {
+			q := b.first
 			m.remove(q)
 			q.BackMerge(r)
 			m.add(q)
 			return q
 		}
+		for _, q := range b.rest {
+			if q.CanBackMerge(r, m.maxSectors) {
+				m.remove(q)
+				q.BackMerge(r)
+				m.add(q)
+				return q
+			}
+		}
 	}
-	for _, q := range m.byStart[r.End()] {
-		if q.CanFrontMerge(r, m.maxSectors) {
+	if b := m.byStart[r.End()]; b != nil {
+		if b.first.CanFrontMerge(r, m.maxSectors) {
+			q := b.first
 			m.remove(q)
 			q.FrontMerge(r)
 			m.add(q)
 			return q
+		}
+		for _, q := range b.rest {
+			if q.CanFrontMerge(r, m.maxSectors) {
+				m.remove(q)
+				q.FrontMerge(r)
+				m.add(q)
+				return q
+			}
 		}
 	}
 	return nil

@@ -336,8 +336,8 @@ func TestCFQNoDuplicateQueuesOnRing(t *testing.T) {
 	now := sim.Time(0)
 
 	noDup := func(step int) {
-		seen := make(map[*cfqQueue]bool, len(s.rr))
-		for _, q := range s.rr {
+		seen := make(map[*cfqQueue]bool, len(s.rr)-s.rrHead)
+		for _, q := range s.rr[s.rrHead:] {
 			if seen[q] {
 				t.Fatalf("step %d: queue for stream %d appears on ring twice", step, q.stream)
 			}

@@ -85,15 +85,27 @@ func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
+	out := make([]Event, 0, t.n)
+	t.VisitEvents(func(e Event) { out = append(out, e) })
+	return out
+}
+
+// VisitEvents calls fn with every normalized event in recording order —
+// the same stream Events returns, without materializing the slice. Large
+// trace consumers (internal/analyze) use this to keep the post-run pass
+// allocation-free.
+func (t *Tracer) VisitEvents(fn func(Event)) {
+	if t == nil {
+		return
+	}
 	// Index async ends by id for begin/end joining.
 	ends := make(map[int64]sim.Time)
-	for _, ev := range t.events {
+	t.forEach(func(ev *traceEvent) {
 		if ev.ph == phAsyncEnd {
 			ends[ev.id] = ev.ts
 		}
-	}
-	out := make([]Event, 0, len(t.events))
-	for _, ev := range t.events {
+	})
+	t.forEach(func(ev *traceEvent) {
 		e := Event{
 			Name: ev.name, Cat: ev.cat,
 			Start: ev.ts, End: ev.ts,
@@ -109,15 +121,14 @@ func (t *Tracer) Events() []Event {
 				e.End = end
 			}
 		case phAsyncEnd:
-			continue // folded into its begin
+			return // folded into its begin
 		case phInstant:
 			e.Kind = KindInstant
 		case phMetadata:
 			e.Kind = KindMetadata
 		default:
-			continue
+			return
 		}
-		out = append(out, e)
-	}
-	return out
+		fn(e)
+	})
 }

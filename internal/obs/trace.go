@@ -55,8 +55,80 @@ type traceEvent struct {
 // exports them as Chrome trace-event JSON. It is single-threaded, like the
 // simulation engine driving it. A nil *Tracer discards everything.
 type Tracer struct {
-	events []traceEvent
+	chunks [][]traceEvent
+	n      int
 	nextID int64
+
+	// argPool is the arena backing every event's args. Storing a copy —
+	// rather than the caller's variadic slice — keeps the `args ...Arg`
+	// parameter from escaping, so the per-call slice lives on the caller's
+	// stack and argument storage amortizes to one allocation per ~4k args.
+	argPool []Arg
+}
+
+// traceChunkShift sizes event storage chunks (4096 events, ~400 KB).
+// Chunked storage appends without ever copying recorded events — the
+// growslice/memmove churn of one contiguous slice dominated recording
+// cost on large traces.
+const (
+	traceChunkShift = 12
+	traceChunkSize  = 1 << traceChunkShift
+)
+
+// add appends one event. Every chunk except the last is exactly full,
+// which is what makes at()'s shift/mask indexing valid.
+func (t *Tracer) add(ev traceEvent) {
+	*t.slot() = ev
+}
+
+// slot extends the chunk list by one zeroed event and returns it, so
+// recorders fill fields in place instead of copying a ~100-byte struct
+// through a literal (chunks are append-only, so the extended element is
+// still in its make-time zero state).
+func (t *Tracer) slot() *traceEvent {
+	k := len(t.chunks) - 1
+	if k < 0 || len(t.chunks[k]) == traceChunkSize {
+		t.chunks = append(t.chunks, make([]traceEvent, 0, traceChunkSize))
+		k++
+	}
+	c := t.chunks[k]
+	c = c[:len(c)+1]
+	t.chunks[k] = c
+	t.n++
+	return &c[len(c)-1]
+}
+
+// at returns the i-th recorded event.
+func (t *Tracer) at(i int) *traceEvent {
+	return &t.chunks[i>>traceChunkShift][i&(traceChunkSize-1)]
+}
+
+// forEach visits every recorded event in recording order.
+func (t *Tracer) forEach(fn func(*traceEvent)) {
+	for _, c := range t.chunks {
+		for i := range c {
+			fn(&c[i])
+		}
+	}
+}
+
+// saveArgs copies args into the arena and returns the stable subslice.
+// The full-slice expression caps the result so later appends to the arena
+// can never overwrite a stored event's args.
+func (t *Tracer) saveArgs(args []Arg) []Arg {
+	if len(args) == 0 {
+		return nil
+	}
+	if len(t.argPool)+len(args) > cap(t.argPool) {
+		n := 4096
+		if len(args) > n {
+			n = len(args)
+		}
+		t.argPool = make([]Arg, 0, n)
+	}
+	start := len(t.argPool)
+	t.argPool = append(t.argPool, args...)
+	return t.argPool[start:len(t.argPool):len(t.argPool)]
 }
 
 // NewTracer returns an empty tracer.
@@ -70,7 +142,7 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.events)
+	return t.n
 }
 
 // NameProcess assigns a display name to a trace process.
@@ -78,10 +150,9 @@ func (t *Tracer) NameProcess(pid int64, name string) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, traceEvent{
-		name: "process_name", ph: phMetadata, pid: pid,
-		args: []Arg{S("name", name)},
-	})
+	ev := t.slot()
+	ev.name, ev.ph, ev.pid = "process_name", phMetadata, pid
+	ev.args = t.saveArgs([]Arg{S("name", name)})
 }
 
 // NameThread assigns a display name to a trace thread.
@@ -89,10 +160,9 @@ func (t *Tracer) NameThread(pid, tid int64, name string) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, traceEvent{
-		name: "thread_name", ph: phMetadata, pid: pid, tid: tid,
-		args: []Arg{S("name", name)},
-	})
+	ev := t.slot()
+	ev.name, ev.ph, ev.pid, ev.tid = "thread_name", phMetadata, pid, tid
+	ev.args = t.saveArgs([]Arg{S("name", name)})
 }
 
 // Span records a complete ('X') event from start to end. Spans on one
@@ -105,10 +175,10 @@ func (t *Tracer) Span(pid, tid int64, cat, name string, start, end sim.Time, arg
 	if d < 0 {
 		d = 0
 	}
-	t.events = append(t.events, traceEvent{
-		name: name, cat: cat, ph: phComplete, ts: start, dur: d,
-		pid: pid, tid: tid, args: args,
-	})
+	ev := t.slot()
+	ev.name, ev.cat, ev.ph = name, cat, phComplete
+	ev.ts, ev.dur, ev.pid, ev.tid = start, d, pid, tid
+	ev.args = t.saveArgs(args)
 }
 
 // AsyncSpan records an id-matched async span ('b'/'e' pair), which may
@@ -123,10 +193,19 @@ func (t *Tracer) AsyncSpan(pid, tid int64, cat, name string, start, end sim.Time
 	if end < start {
 		end = start
 	}
-	t.events = append(t.events,
-		traceEvent{name: name, cat: cat, ph: phAsyncBegin, ts: start, pid: pid, tid: tid, id: id, args: args},
-		traceEvent{name: name, cat: cat, ph: phAsyncEnd, ts: end, pid: pid, tid: tid, id: id},
-	)
+	t.asyncPair(id, pid, tid, cat, name, start, end, args)
+}
+
+// asyncPair writes the 'b'/'e' event pair shared by AsyncSpan and
+// AsyncSpanID.
+func (t *Tracer) asyncPair(id, pid, tid int64, cat, name string, start, end sim.Time, args []Arg) {
+	ev := t.slot()
+	ev.name, ev.cat, ev.ph = name, cat, phAsyncBegin
+	ev.ts, ev.pid, ev.tid, ev.id = start, pid, tid, id
+	ev.args = t.saveArgs(args)
+	ev = t.slot()
+	ev.name, ev.cat, ev.ph = name, cat, phAsyncEnd
+	ev.ts, ev.pid, ev.tid, ev.id = end, pid, tid, id
 }
 
 // NewFlowID allocates an async-span id from the same deterministic
@@ -154,10 +233,7 @@ func (t *Tracer) AsyncSpanID(id, pid, tid int64, cat, name string, start, end si
 	if end < start {
 		end = start
 	}
-	t.events = append(t.events,
-		traceEvent{name: name, cat: cat, ph: phAsyncBegin, ts: start, pid: pid, tid: tid, id: id, args: args},
-		traceEvent{name: name, cat: cat, ph: phAsyncEnd, ts: end, pid: pid, tid: tid, id: id},
-	)
+	t.asyncPair(id, pid, tid, cat, name, start, end, args)
 }
 
 // Absorb appends every event recorded by src to t, renumbering src's
@@ -167,17 +243,20 @@ func (t *Tracer) AsyncSpanID(id, pid, tid int64, cat, name string, start, end si
 // absorbs them into the shared tracer in submission order, which makes the
 // folded trace byte-identical to one recorded serially into a single
 // tracer (append order and async-id allocation both match). src must not
-// be used concurrently with the call; t keeps no reference to src.
+// be used concurrently with the call or record afterwards (absorbed args
+// alias src's arena).
 func (t *Tracer) Absorb(src *Tracer) {
 	if t == nil || src == nil {
 		return
 	}
 	off := t.nextID
-	for _, ev := range src.events {
-		if ev.ph == phAsyncBegin || ev.ph == phAsyncEnd {
-			ev.id += off
+	for _, c := range src.chunks {
+		for _, ev := range c {
+			if ev.ph == phAsyncBegin || ev.ph == phAsyncEnd {
+				ev.id += off
+			}
+			t.add(ev)
 		}
-		t.events = append(t.events, ev)
 	}
 	t.nextID += src.nextID
 }
@@ -187,9 +266,10 @@ func (t *Tracer) Instant(pid, tid int64, cat, name string, at sim.Time, args ...
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, traceEvent{
-		name: name, cat: cat, ph: phInstant, ts: at, pid: pid, tid: tid, args: args,
-	})
+	ev := t.slot()
+	ev.name, ev.cat, ev.ph = name, cat, phInstant
+	ev.ts, ev.pid, ev.tid = at, pid, tid
+	ev.args = t.saveArgs(args)
 }
 
 // WriteJSON writes the trace in Chrome trace-event JSON object form
@@ -201,12 +281,12 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
 		return err
 	}
-	order := make([]int, len(t.events))
+	order := make([]int, t.n)
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		ea, eb := &t.events[order[a]], &t.events[order[b]]
+		ea, eb := t.at(order[a]), t.at(order[b])
 		am, bm := ea.ph == phMetadata, eb.ph == phMetadata
 		if am != bm {
 			return am
@@ -221,7 +301,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			bw.WriteByte(',')
 		}
 		bw.WriteString("\n")
-		writeEvent(bw, &t.events[idx])
+		writeEvent(bw, t.at(idx))
 	}
 	bw.WriteString("\n]}\n")
 	return bw.Flush()

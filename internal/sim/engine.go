@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -48,14 +47,48 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 
+// PerfProfile tunes the engine-layer allocation strategy. It changes only
+// where memory comes from, never event order: results, traces and metrics
+// are byte-identical under every profile.
+//
+// A nil *PerfProfile everywhere means "default": event pooling on, request
+// pooling on. Construct an explicit profile to switch either off (e.g. when
+// embedding the simulator under a tool that retains request pointers past
+// completion).
+type PerfProfile struct {
+	// PoolEvents recycles fired and discarded calendar events through an
+	// engine-internal freelist instead of allocating one per Schedule/At.
+	// Safe because every in-tree event holder drops its handle when the
+	// event fires (or cancels it before replacing it).
+	PoolEvents bool
+	// PoolRequests recycles block-layer requests through per-host pools
+	// with a free-at-complete lifecycle. Automatically bypassed by layers
+	// that must read a request after its queue completed it (journey
+	// tracking), and downgraded to a detect-only mode under invariant
+	// checking so pointer-keyed check state stays valid.
+	PoolRequests bool
+}
+
+// DefaultPerfProfile returns the default allocation strategy: both pools
+// enabled.
+func DefaultPerfProfile() *PerfProfile {
+	return &PerfProfile{PoolEvents: true, PoolRequests: true}
+}
+
 // Event is a scheduled callback. It may be cancelled before it fires.
+//
+// With event pooling enabled the engine recycles an Event once it has fired
+// (or once a cancelled event is discarded from the calendar), so callers
+// must not retain a handle past the event's own callback: drop the handle
+// when the callback runs, and cancel-before-replace when rescheduling.
+// Every holder in this repository follows that discipline.
 type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
 	eng      *Engine
 	canceled bool
-	index    int // heap index, -1 once popped
+	index    int // calendar index, -1 once popped
 }
 
 // At returns the time the event is scheduled to fire.
@@ -68,7 +101,7 @@ func (ev *Event) Cancel() {
 		return
 	}
 	ev.canceled = true
-	// Track cancelled-but-undiscarded heap entries so Pending() reports
+	// Track cancelled-but-undiscarded calendar entries so Pending() reports
 	// only runnable events.
 	if ev.index >= 0 && ev.eng != nil {
 		ev.eng.cancelledPending++
@@ -78,33 +111,90 @@ func (ev *Event) Cancel() {
 // Canceled reports whether Cancel was called.
 func (ev *Event) Canceled() bool { return ev.canceled }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders the calendar: by firing time, then by insertion sequence
+// so same-timestamp events fire FIFO. seq is unique per engine, making this
+// a strict total order — any correct heap yields the same pop sequence.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// eventCalendar is an indexed 4-ary min-heap over events. Compared to the
+// previous container/heap binary heap it removes the heap.Interface
+// indirection and `any` boxing on every push/pop, performs the (at, seq)
+// comparison inline, and halves the tree depth — siblings share a cache
+// line of the backing slice, so sift-down touches fewer lines per level.
+// Each event carries its slot index so Cancel stays O(1).
+type eventCalendar struct {
+	a []*Event
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+
+func (h *eventCalendar) len() int { return len(h.a) }
+
+// push inserts ev, maintaining the heap order and slot indexes.
+func (h *eventCalendar) push(ev *Event) {
+	h.a = append(h.a, ev)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		par := h.a[p]
+		if !eventLess(ev, par) {
+			break
+		}
+		h.a[i] = par
+		par.index = i
+		i = p
+	}
+	h.a[i] = ev
+	ev.index = i
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// pop removes and returns the minimum event, marking it out-of-calendar.
+func (h *eventCalendar) pop() *Event {
+	top := h.a[0]
+	n := len(h.a) - 1
+	last := h.a[n]
+	h.a[n] = nil
+	h.a = h.a[:n]
+	if n > 0 {
+		h.siftDown(last)
+	}
+	top.index = -1
+	return top
+}
+
+// siftDown places ev starting from the root, walking toward the leaves.
+func (h *eventCalendar) siftDown(ev *Event) {
+	a := h.a
+	n := len(a)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		best := a[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(a[j], best) {
+				m, best = j, a[j]
+			}
+		}
+		if !eventLess(best, ev) {
+			break
+		}
+		a[i] = best
+		best.index = i
+		i = m
+	}
+	a[i] = ev
+	ev.index = i
 }
 
 // Observer receives a callback for every event the engine fires — the
@@ -123,21 +213,27 @@ type Observer interface {
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  eventCalendar
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
 
-	// cancelledPending counts cancelled events still sitting in the heap,
-	// so Pending() can exclude them without eager heap surgery.
+	// cancelledPending counts cancelled events still sitting in the
+	// calendar, so Pending() can exclude them without eager heap surgery.
 	cancelledPending int
+
+	// free is the event freelist; fired and discarded events return here
+	// when pooling is on and are reset on reuse by At.
+	free    []*Event
+	pooling bool
 
 	obs Observer
 }
 
-// New returns an engine whose random source is seeded with seed.
+// New returns an engine whose random source is seeded with seed. Event
+// pooling is on by default (see SetEventPooling).
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: rand.New(rand.NewSource(seed)), pooling: true}
 }
 
 // Now returns the current simulation time.
@@ -151,12 +247,29 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
 // Pending returns the number of runnable events currently scheduled.
-// Cancelled events still occupying heap slots are excluded.
-func (e *Engine) Pending() int { return len(e.events) - e.cancelledPending }
+// Cancelled events still occupying calendar slots are excluded.
+func (e *Engine) Pending() int { return e.events.len() - e.cancelledPending }
 
 // SetObserver installs (or, with nil, removes) the engine's execution
 // observer.
 func (e *Engine) SetObserver(o Observer) { e.obs = o }
+
+// SetEventPooling enables or disables event recycling. Pooling never
+// changes event order; disabling it only trades speed for fresh
+// allocations (useful when external code retains event handles past their
+// firing, which nothing in this repository does).
+func (e *Engine) SetEventPooling(on bool) { e.pooling = on }
+
+// release returns a finished (fired or discarded-cancelled) event to the
+// freelist. The callback reference is dropped so the freelist never roots
+// captured state.
+func (e *Engine) release(ev *Event) {
+	if !e.pooling {
+		return
+	}
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
 
 // Schedule runs fn after delay d. A negative delay is treated as zero.
 func (e *Engine) Schedule(d Duration, fn func()) *Event {
@@ -174,9 +287,21 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at = t
+		ev.seq = e.seq
+		ev.fn = fn
+		ev.eng = e
+		ev.canceled = false
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn, eng: e}
+	}
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 	return ev
 }
 
@@ -186,10 +311,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single next event. It reports false when no runnable
 // event remains.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+	for e.events.len() > 0 {
+		ev := e.events.pop()
 		if ev.canceled {
 			e.cancelledPending--
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
@@ -197,7 +323,12 @@ func (e *Engine) Step() bool {
 		if e.obs != nil {
 			e.obs.EventFired(ev.at)
 		}
-		ev.fn()
+		fn := ev.fn
+		// Recycle before firing is unsafe (the callback may reschedule
+		// into this slot while a holder still points here); recycle after
+		// is safe because holders drop their handles inside the callback.
+		fn()
+		e.release(ev)
 		return true
 	}
 	return false
@@ -215,14 +346,16 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.events) == 0 {
+		if e.events.len() == 0 {
 			break
 		}
-		// Peek cheapest event.
-		next := e.events[0]
+		// Peek cheapest event; lazily discard cancelled entries so the
+		// cutoff compares against a runnable event.
+		next := e.events.a[0]
 		if next.canceled {
-			heap.Pop(&e.events)
+			e.events.pop()
 			e.cancelledPending--
+			e.release(next)
 			continue
 		}
 		if next.at > t {

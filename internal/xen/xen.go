@@ -50,6 +50,13 @@ type HostConfig struct {
 	// queue built for this host (Dom0 and each guest). Violations
 	// accumulate in the set; nil disables checking at zero cost.
 	Check *check.Set
+	// Perf selects the allocation strategy (request/event pooling); nil
+	// means sim.DefaultPerfProfile(). Pooling never changes simulated
+	// results. Request pooling is automatically bypassed when journey
+	// tracing is attached (journeys read requests after queue completion)
+	// and runs in detect-only mode under Check (the checker's ledger is
+	// pointer-keyed).
+	Perf *sim.PerfProfile
 }
 
 // DefaultHostConfig mirrors the paper testbed: Xen 3.4.2, one SATA disk,
@@ -89,6 +96,11 @@ type Host struct {
 	// journeys, when non-nil, threads request-journey tracing through
 	// both queue levels (see journey.go).
 	journeys *journeyTracker
+
+	// pool, when non-nil, recycles every request the host's stack creates
+	// (guest submissions and the Dom0 requests the rings spawn) with a
+	// free-at-complete lifecycle. See HostConfig.Perf.
+	pool *block.Pool
 }
 
 // NewHost builds a host with the given number of guest domains, all
@@ -121,6 +133,23 @@ func NewHost(eng *sim.Engine, id int, numVMs int, cfg HostConfig) *Host {
 	}
 	if cfg.Obs.Journeys != nil {
 		h.journeys = newJourneyTracker(h)
+	}
+	perf := cfg.Perf
+	if perf == nil {
+		perf = sim.DefaultPerfProfile()
+	}
+	if perf.PoolRequests && h.journeys == nil {
+		if cfg.Check != nil {
+			// Detect-only pool: lifecycle violations land in the checker's
+			// report; memory is never recycled, so the checker's
+			// pointer-keyed request ledger stays valid.
+			poolName := fmt.Sprintf("host%d/pool", id)
+			h.pool = block.NewPool(true, func(format string, args ...any) {
+				cfg.Check.Report(poolName, "pool-lifecycle", eng.Now(), fmt.Sprintf(format, args...))
+			})
+		} else {
+			h.pool = block.NewPool(false, nil)
+		}
 	}
 	for i := 0; i < numVMs; i++ {
 		h.domains = append(h.domains, newDomain(h, i))
@@ -219,8 +248,75 @@ type Domain struct {
 
 // ring is the paravirtual disk backend: it forwards guest requests into the
 // Dom0 queue after the ring hop, retagged with the domain's stream id.
+//
+// Each in-flight request is tracked by a ringOp recycled through a per-ring
+// freelist; the op's callbacks are method values bound once at construction,
+// so a forwarded request costs no closure allocations in steady state.
 type ring struct {
-	d *Domain
+	d    *Domain
+	free []*ringOp
+}
+
+// ringOp is one guest request crossing the ring: guest→Dom0 forward hop,
+// Dom0 service, Dom0→guest completion hop.
+type ringOp struct {
+	rg    *ring
+	guest *block.Request
+	done  func(*block.Request)
+
+	fireFn     func()               // bound once: forward
+	hostDoneFn func(*block.Request) // bound once: hostDone
+	backFn     func()               // bound once: back
+}
+
+func (rg *ring) getOp(r *block.Request, done func(*block.Request)) *ringOp {
+	var o *ringOp
+	if n := len(rg.free); n > 0 {
+		o = rg.free[n-1]
+		rg.free[n-1] = nil
+		rg.free = rg.free[:n-1]
+	} else {
+		o = &ringOp{rg: rg}
+		o.fireFn = o.forward
+		o.hostDoneFn = o.hostDone
+		o.backFn = o.back
+	}
+	o.guest, o.done = r, done
+	return o
+}
+
+func (rg *ring) putOp(o *ringOp) {
+	o.guest, o.done = nil, nil
+	rg.free = append(rg.free, o)
+}
+
+// forward runs after the guest→Dom0 ring hop: the request is translated
+// into the host address space and tagged with the VM identity (the Dom0
+// elevator sees each VM as a single process), then queued at Dom0.
+func (o *ringOp) forward() {
+	d := o.rg.d
+	host := d.host.newRequest(o.guest.Op, d.extentStart+o.guest.Sector, o.guest.Count, o.guest.Sync, block.StreamID(d.Index))
+	// The Dom0 request inherits the guest request's journey id, which
+	// is what lets a physical disk service be attributed back to the
+	// guest submission it served.
+	host.Journey = o.guest.Journey
+	host.OnComplete = o.hostDoneFn
+	d.host.dom0.Submit(host)
+}
+
+// hostDone fires when Dom0 completes the host-side request; the completion
+// crosses the ring back to the guest.
+func (o *ringOp) hostDone(*block.Request) {
+	d := o.rg.d
+	d.host.Eng.Schedule(d.host.cfg.RingLatency, o.backFn)
+}
+
+// back completes the guest request. The op is recycled before the callback
+// runs because done may synchronously re-enter Service.
+func (o *ringOp) back() {
+	guest, done := o.guest, o.done
+	o.rg.putOp(o)
+	done(guest)
 }
 
 func newDomain(h *Host, index int) *Domain {
@@ -235,7 +331,7 @@ func newDomain(h *Host, index int) *Domain {
 	}
 	d.params = h.guestSched
 	d.params.Decisions = obs.NewDecisionRecorder(h.cfg.Obs, h.cfg.Obs.HostPID(h.ID), obs.VMTID(index), "vm")
-	d.q = block.NewQueue(h.Eng, iosched.MustNew(h.pair.VM, d.params), ring{d}, h.cfg.GuestDepth)
+	d.q = block.NewQueue(h.Eng, iosched.MustNew(h.pair.VM, d.params), &ring{d: d}, h.cfg.GuestDepth)
 	if h.cfg.Check != nil {
 		h.cfg.Check.Attach(h.Eng, d.q, fmt.Sprintf("host%d/vm%d", h.ID, index), d.params)
 	}
@@ -266,34 +362,32 @@ func (d *Domain) ExtentSectors() int64 { return d.extentLen }
 
 // Submit issues a guest block request. sector is in the VM's virtual disk
 // address space; stream identifies the guest process for the guest
-// elevator's fairness/anticipation decisions.
-func (d *Domain) Submit(op block.Op, sector, count int64, sync bool, stream block.StreamID, onComplete func()) {
+// elevator's fairness/anticipation decisions. onComplete (which may be nil)
+// is installed directly as the request's completion hook; the request it
+// receives must not be retained — it may be recycled once the hook returns.
+func (d *Domain) Submit(op block.Op, sector, count int64, sync bool, stream block.StreamID, onComplete func(*block.Request)) {
 	if sector < 0 || sector+count > d.extentLen {
 		panic(fmt.Sprintf("xen: guest request [%d+%d] outside VM extent of %d sectors", sector, count, d.extentLen))
 	}
-	r := block.NewRequest(op, sector, count, sync, stream)
-	if onComplete != nil {
-		r.OnComplete = func(*block.Request) { onComplete() }
-	}
+	r := d.host.newRequest(op, sector, count, sync, stream)
+	r.OnComplete = onComplete
 	d.q.Submit(r)
 }
 
+// newRequest allocates a request from the host pool when pooling is on.
+func (h *Host) newRequest(op block.Op, sector, count int64, sync bool, stream block.StreamID) *block.Request {
+	if h.pool != nil {
+		return h.pool.Get(op, sector, count, sync, stream)
+	}
+	return block.NewRequest(op, sector, count, sync, stream)
+}
+
+// RequestPool returns the host's request pool, or nil when pooling is off.
+func (h *Host) RequestPool() *block.Pool { return h.pool }
+
 // Service implements block.Device for the guest queue: the request crosses
-// the ring, is translated into the host address space and tagged with the
-// VM identity (the Dom0 elevator sees each VM as a single process), then
-// queued at Dom0. Completion crosses the ring back.
-func (rg ring) Service(r *block.Request, done func(*block.Request)) {
-	d := rg.d
-	eng := d.host.Eng
-	eng.Schedule(d.host.cfg.RingLatency, func() {
-		host := block.NewRequest(r.Op, d.extentStart+r.Sector, r.Count, r.Sync, block.StreamID(d.Index))
-		// The Dom0 request inherits the guest request's journey id, which
-		// is what lets a physical disk service be attributed back to the
-		// guest submission it served.
-		host.Journey = r.Journey
-		host.OnComplete = func(*block.Request) {
-			eng.Schedule(d.host.cfg.RingLatency, func() { done(r) })
-		}
-		d.host.dom0.Submit(host)
-	})
+// the ring (see ringOp for the forward/complete hops).
+func (rg *ring) Service(r *block.Request, done func(*block.Request)) {
+	o := rg.getOp(r, done)
+	rg.d.host.Eng.Schedule(rg.d.host.cfg.RingLatency, o.fireFn)
 }

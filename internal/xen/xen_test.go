@@ -60,7 +60,7 @@ func TestGuestRequestTranslation(t *testing.T) {
 	h := NewHost(eng, 0, 2, cfg)
 	d := h.Domain(1)
 	done := false
-	d.Submit(block.Read, 100, 8, true, 5, func() { done = true })
+	d.Submit(block.Read, 100, 8, true, 5, func(*block.Request) { done = true })
 	eng.Run()
 	if !done {
 		t.Fatal("guest request never completed")
@@ -135,7 +135,7 @@ func TestSetPairUnderLoadDrains(t *testing.T) {
 	h := NewHost(eng, 0, 2, smallHostConfig())
 	completed := 0
 	for i := 0; i < 20; i++ {
-		h.Domain(i%2).Submit(block.Write, int64(i)*1024, 64, false, 1, func() { completed++ })
+		h.Domain(i%2).Submit(block.Write, int64(i)*1024, 64, false, 1, func(*block.Request) { completed++ })
 	}
 	switched := false
 	h.SetPair(iosched.Pair{VMM: iosched.Deadline, VM: iosched.Noop}, func() { switched = true })
@@ -170,7 +170,7 @@ func TestRingLatencyAddsUp(t *testing.T) {
 	cfg := smallHostConfig()
 	h := NewHost(eng, 0, 1, cfg)
 	var completedAt sim.Time
-	h.Domain(0).Submit(block.Read, 0, 8, true, 1, func() { completedAt = eng.Now() })
+	h.Domain(0).Submit(block.Read, 0, 8, true, 1, func(*block.Request) { completedAt = eng.Now() })
 	eng.Run()
 	// At minimum: 2 ring hops + the disk service time.
 	pos, xfer := h.Disk().ServiceTime(block.NewRequest(block.Read, 0, 8, true, 1), 0)
