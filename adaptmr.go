@@ -329,6 +329,9 @@ func OpenEvalCache(dir string) (*EvalCache, error) { return core.OpenEvalCache(d
 // allocation strategy; WithParallelism and WithEvalCache are accepted but
 // have no effect on a single direct run.
 func Run(cfg ClusterConfig, job JobConfig, pair Pair, opts ...Option) (JobResult, error) {
+	if err := job.Validate(); err != nil {
+		return JobResult{}, fmt.Errorf("adaptmr: %w", err)
+	}
 	o := buildOptions(opts)
 	cfg = o.apply(cfg)
 	cl := cluster.New(cfg)
@@ -428,6 +431,10 @@ func NewTuner(cfg ClusterConfig, job JobConfig, opts ...Option) *Tuner {
 	r.Context = o.ctx
 	r.CollectPerf = o.perf
 	t := &Tuner{runner: r, scheme: core.TwoPhases, opts: o}
+	if err := job.Validate(); err != nil {
+		t.initErr = fmt.Errorf("adaptmr: %w", err)
+		return t
+	}
 	switch {
 	case o.evalCache != nil:
 		r.DiskCache = o.evalCache
@@ -538,6 +545,9 @@ func DefaultFineGrained() *FineGrained { return core.DefaultFineGrained() }
 // RunFineGrained executes a job under the reactive controller, returning
 // the job result and the number of switch commands issued.
 func RunFineGrained(cfg ClusterConfig, job JobConfig, fg *FineGrained, opts ...Option) (JobResult, int, error) {
+	if err := job.Validate(); err != nil {
+		return JobResult{}, 0, fmt.Errorf("adaptmr: %w", err)
+	}
 	o := buildOptions(opts)
 	res, switches, err := core.RunFineGrained(o.apply(cfg), job, fg)
 	if err := o.verify(err); err != nil {
@@ -556,6 +566,11 @@ type ChainTuning = core.ChainTuning
 // one phase plan per stage; later stages read the data volume the previous
 // stage produced.
 func RunChain(cfg ClusterConfig, stages []JobConfig, plans []Plan, opts ...Option) (ChainResult, error) {
+	for _, s := range stages {
+		if err := s.Validate(); err != nil {
+			return ChainResult{}, fmt.Errorf("adaptmr: %w", err)
+		}
+	}
 	o := buildOptions(opts)
 	res, err := core.RunChain(o.apply(cfg), stages, plans)
 	if err := o.verify(err); err != nil {
@@ -568,6 +583,11 @@ func RunChain(cfg ClusterConfig, stages []JobConfig, plans []Plan, opts ...Optio
 // composed chain against the all-default execution. WithParallelism sets
 // each stage's evaluation worker count.
 func TuneChain(cfg ClusterConfig, stages []JobConfig, opts ...Option) (ChainTuning, error) {
+	for _, s := range stages {
+		if err := s.Validate(); err != nil {
+			return ChainTuning{}, fmt.Errorf("adaptmr: %w", err)
+		}
+	}
 	o := buildOptions(opts)
 	res, err := core.TuneChain(o.apply(cfg), stages, o.parallelism)
 	if err := o.verify(err); err != nil {

@@ -179,3 +179,57 @@ func TestRunExperimentsFacade(t *testing.T) {
 		t.Fatalf("output:\n%s", sb.String())
 	}
 }
+
+// Degenerate job configs must surface as errors from every facade entry
+// point instead of panicking deep in the runtime or simulating nonsense.
+func TestValidationFacade(t *testing.T) {
+	bad := adaptmr.SortBenchmark(96 << 20).Job
+	bad.InputPerVM = 0
+
+	if _, err := adaptmr.Run(quickCluster(), bad, adaptmr.DefaultPair); err == nil {
+		t.Fatal("Run accepted a zero-input job")
+	} else if !strings.Contains(err.Error(), "adaptmr:") {
+		t.Fatalf("Run error not namespaced: %v", err)
+	}
+	if _, err := adaptmr.NewTuner(quickCluster(), bad).Tune(); err == nil {
+		t.Fatal("Tune accepted a zero-input job")
+	}
+	if _, err := adaptmr.NewTuner(quickCluster(), bad).RunPlan(
+		adaptmr.UniformPlan(adaptmr.TwoPhases, adaptmr.DefaultPair)); err == nil {
+		t.Fatal("RunPlan accepted a zero-input job")
+	}
+	if _, _, err := adaptmr.RunFineGrained(quickCluster(), bad, nil); err == nil {
+		t.Fatal("RunFineGrained accepted a zero-input job")
+	}
+	good := adaptmr.SortBenchmark(96 << 20).Job
+	if _, err := adaptmr.RunChain(quickCluster(),
+		[]adaptmr.JobConfig{good, bad},
+		[]adaptmr.Plan{adaptmr.UniformPlan(adaptmr.TwoPhases, adaptmr.DefaultPair),
+			adaptmr.UniformPlan(adaptmr.TwoPhases, adaptmr.DefaultPair)}); err == nil {
+		t.Fatal("RunChain accepted a zero-input stage")
+	}
+
+	noName := good
+	noName.Name = ""
+	if _, err := adaptmr.Run(quickCluster(), noName, adaptmr.DefaultPair); err == nil {
+		t.Fatal("Run accepted a nameless job")
+	}
+}
+
+// Fleet scenarios are validated the same way: schema typos and
+// degenerate topologies error out of the facade before any simulation.
+func TestFleetValidationFacade(t *testing.T) {
+	if _, err := adaptmr.ParseFleetScenario([]byte(`{"name":"x","celz":2}`)); err == nil {
+		t.Fatal("ParseFleetScenario accepted an unknown field")
+	}
+	bad := adaptmr.SmokeFleetScenario()
+	bad.Jobs = nil
+	if _, err := adaptmr.RunFleet(bad); err == nil {
+		t.Fatal("RunFleet accepted a scenario with no jobs")
+	}
+	bad = adaptmr.SmokeFleetScenario()
+	bad.Pair = "zz"
+	if _, err := adaptmr.RunFleet(bad); err == nil {
+		t.Fatal("RunFleet accepted an unknown scheduler pair")
+	}
+}

@@ -24,12 +24,16 @@
 //	adaptreport gate [sim flags] [-baseline BENCH_baseline.json] [-tol 0.05]
 //	                 [-candidate BENCH_candidate.json] [-html report.html] [-update]
 //	                 [-parallel N] [-sweep-out sweep.json] [-o compare.txt]
+//	                 [-fleet-baseline BENCH_fleet.json] [-fleet-candidate FLEET.json]
 //	    Run the same instrumented job, condense it to a bench summary and
 //	    compare against the committed baseline. Exits 1 when a gated
 //	    metric regressed beyond the tolerance. -update rewrites the
 //	    baseline instead of comparing. -sweep-out additionally times the
 //	    16-pair profile sweep serial vs -parallel workers, verifies the
 //	    outputs are identical, and writes the speedup record as JSON.
+//	    -fleet-baseline additionally runs the built-in multi-job fleet
+//	    smoke scenario (deterministic, no wall-clock dimensions) and
+//	    gates its bench against that committed baseline.
 //
 //	adaptreport compare [-tol 0.05] [-o compare.txt] base.json candidate.json
 //	    Compare two previously written bench summaries. -o additionally
@@ -325,6 +329,9 @@ func cmdGate(args []string) {
 	candidate := fs.String("candidate", "", "write the candidate bench JSON here (for CI artifacts)")
 	htmlOut := fs.String("html", "", "write the candidate's full HTML report here")
 	update := fs.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	fleetBaseline := fs.String("fleet-baseline", "",
+		"also gate the built-in fleet smoke scenario against this committed bench JSON (-update rewrites it)")
+	fleetCandidate := fs.String("fleet-candidate", "", "write the fleet candidate bench JSON here (for CI artifacts)")
 	parallel := cliutil.BindParallelFlag(fs)
 	sweepOut := fs.String("sweep-out", "",
 		"also run the 16-pair profile sweep serial and with -parallel workers, verify identical output, and write the timing JSON here")
@@ -366,6 +373,24 @@ func cmdGate(args []string) {
 			fail(err)
 		}
 	}
+
+	// The fleet workload: the built-in multi-job smoke scenario, run
+	// without perf collection so its bench is byte-deterministic
+	// (makespan, per-phase sums and event counts gate; no wall-clock
+	// dimensions).
+	var fleetBench adaptmr.Bench
+	if *fleetBaseline != "" {
+		res, err := adaptmr.RunFleet(adaptmr.SmokeFleetScenario(), adaptmr.WithParallelism(*parallel))
+		if err != nil {
+			fail(err)
+		}
+		fleetBench = adaptmr.FleetBench(res)
+		if *fleetCandidate != "" {
+			if err := writeJSONFile(*fleetCandidate, fleetBench); err != nil {
+				fail(err)
+			}
+		}
+	}
 	if *candidate != "" {
 		if err := writeJSONFile(*candidate, rep.Bench); err != nil {
 			fail(err)
@@ -389,6 +414,12 @@ func cmdGate(args []string) {
 			fail(err)
 		}
 		fmt.Printf("baseline updated: %s (makespan %.3fs)\n", *baseline, rep.Bench.MakespanS)
+		if *fleetBaseline != "" {
+			if err := writeJSONFile(*fleetBaseline, fleetBench); err != nil {
+				fail(err)
+			}
+			fmt.Printf("fleet baseline updated: %s (makespan %.3fs)\n", *fleetBaseline, fleetBench.MakespanS)
+		}
 		if err := prof.Stop(); err != nil {
 			fail(err)
 		}
@@ -411,10 +442,26 @@ func cmdGate(args []string) {
 			fail(err)
 		}
 	}
+	regressed := cmp.Regressed()
+	if *fleetBaseline != "" {
+		fleetBase, err := readBench(*fleetBaseline)
+		if err != nil {
+			fail(err)
+		}
+		fleetCmp, err := adaptmr.CompareBenches(fleetBase, fleetBench, *tol)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nfleet workload (%s):\n", fleetBench.Workload)
+		if err := fleetCmp.WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+		regressed = regressed || fleetCmp.Regressed()
+	}
 	if err := prof.Stop(); err != nil {
 		fail(err)
 	}
-	if cmp.Regressed() {
+	if regressed {
 		os.Exit(1)
 	}
 }

@@ -10,6 +10,15 @@
 //	adaptsim -bench sort -reactive               # the reactive controller
 //	adaptsim -bench sort -hosts 6 -vms 4 -input 1024 -adaptive
 //	adaptsim -bench sort -trace trace.json -metrics metrics.csv
+//	adaptsim -fleet scenario.json -check         # multi-job fleet scenario
+//	adaptsim -fleet smoke -fleet-report fleet.md # built-in smoke scenario
+//
+// -fleet runs a multi-job fleet scenario (JSON schema in API.md; the
+// literal "smoke" selects the built-in smoke scenario): per-cell
+// JobTracker admission and slot scheduling across concurrent jobs, cells
+// simulated in parallel (-parallel) with byte-identical output.
+// -fleet-report writes the markdown fleet report; -fleet-json the full
+// result JSON.
 //
 // -trace writes a Chrome trace-event JSON file (load it in Perfetto or
 // chrome://tracing); -metrics writes a metrics snapshot, with the format
@@ -23,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -44,6 +54,9 @@ func fail(err error) {
 
 func main() {
 	bench := flag.String("bench", "sort", "workload: sort, wordcount, wordcount-nc")
+	fleetArg := flag.String("fleet", "", "run a multi-job fleet scenario from this JSON file ('smoke' = built-in)")
+	fleetReport := flag.String("fleet-report", "", "write the markdown fleet report here (with -fleet)")
+	fleetJSON := flag.String("fleet-json", "", "write the full fleet result JSON here (with -fleet)")
 	pairArg := flag.String("pair", "cc", "scheduler pair for a single run (code or long form)")
 	planArg := flag.String("plan", "", "explicit phase plan, pair codes joined by '|' (e.g. ad|ca)")
 	adaptive := flag.Bool("adaptive", false, "run the adaptive meta-scheduler instead of one pair")
@@ -117,6 +130,59 @@ func main() {
 	}
 
 	switch {
+	case *fleetArg != "":
+		var scen adaptmr.FleetScenario
+		if *fleetArg == "smoke" {
+			scen = adaptmr.SmokeFleetScenario()
+		} else {
+			s, err := adaptmr.LoadFleetScenario(*fleetArg)
+			if err != nil {
+				fail(err)
+			}
+			scen = s
+		}
+		res, err := adaptmr.RunFleet(scen, opts...)
+		if err != nil {
+			fail(err)
+		}
+		a := res.Agg
+		fmt.Printf("fleet %s: %d jobs on %d cells (%d hosts, %d VMs), policy %s, pair %s\n",
+			res.Scenario, a.Jobs, res.Cells, res.Hosts, res.VMs, res.Policy, res.Pair)
+		fmt.Printf("  makespan %.1fs | %.1f jobs/hour | duration p50 %.1fs p95 %.1fs\n",
+			a.MakespanS, a.ThroughputJobsPerHour, a.P50DurationS, a.P95DurationS)
+		fmt.Printf("  wait mean %.1fs max %.1fs | peak concurrency %d | mean overlap %.0f%% | %d events\n",
+			a.MeanWaitS, a.MaxWaitS, a.PeakConcurrency, a.MeanOverlapPct, res.SimEvents)
+		if *fleetReport != "" {
+			f, err := os.Create(*fleetReport)
+			if err != nil {
+				fail(err)
+			}
+			if err := adaptmr.WriteFleetReport(f, res); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("fleet report written to %s\n", *fleetReport)
+		}
+		if *fleetJSON != "" {
+			f, err := os.Create(*fleetJSON)
+			if err != nil {
+				fail(err)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("fleet result written to %s\n", *fleetJSON)
+		}
+
 	case *reactive:
 		res, switches, err := adaptmr.RunFineGrained(cfg, wl.Job, nil, opts...)
 		if err != nil {

@@ -1,0 +1,109 @@
+package adaptmr
+
+import (
+	"fmt"
+	"io"
+
+	"adaptmr/internal/analyze"
+	"adaptmr/internal/fleet"
+	"adaptmr/internal/obs"
+)
+
+// ---------------------------------------------------------------------------
+// Fleet-scale multi-job simulation
+// ---------------------------------------------------------------------------
+
+// FleetScenario describes a fleet-scale run: cells of hosts, a multi-job
+// workload with arrival model, and the JobTracker scheduling policy. Load
+// one from JSON with LoadFleetScenario/ParseFleetScenario (the schema is
+// documented in API.md) or build it in code.
+type FleetScenario = fleet.Scenario
+
+// FleetJobSpec is one job template in a scenario (benchmark, size, count,
+// weight, priority, queue, optional pinned cell or trace arrivals).
+type FleetJobSpec = fleet.JobSpec
+
+// FleetArrivalSpec selects the scenario's arrival model: "immediate",
+// "poisson" (seeded, deterministic, invariant to adding other jobs) or
+// "trace" (explicit per-instance arrival times).
+type FleetArrivalSpec = fleet.ArrivalSpec
+
+// FleetQueueSpec names a capacity-scheduler queue and its share.
+type FleetQueueSpec = fleet.QueueSpec
+
+// FleetResult is a completed fleet run: per-job outcomes in (cell,
+// admission) order plus the aggregate summary.
+type FleetResult = fleet.Result
+
+// FleetJobOutcome is one job's fleet-level lifecycle record.
+type FleetJobOutcome = fleet.JobOutcome
+
+// FleetAggregate is the fleet-wide summary (makespan, throughput,
+// duration/wait quantiles, concurrency, phase mix).
+type FleetAggregate = fleet.Aggregate
+
+// JobTracker scheduling policies accepted in FleetScenario.Policy.
+const (
+	FleetFIFO     = fleet.PolicyFIFO
+	FleetFair     = fleet.PolicyFair
+	FleetCapacity = fleet.PolicyCapacity
+)
+
+// LoadFleetScenario reads and parses a scenario JSON file.
+func LoadFleetScenario(path string) (FleetScenario, error) { return fleet.Load(path) }
+
+// ParseFleetScenario parses scenario JSON (unknown fields rejected).
+func ParseFleetScenario(data []byte) (FleetScenario, error) { return fleet.Parse(data) }
+
+// SmokeFleetScenario returns the built-in small multi-job scenario used
+// by the CI fleet gate: 2 cells × 2 hosts × 2 VMs, fair-share policy,
+// Poisson arrivals over all three paper benchmarks.
+func SmokeFleetScenario() FleetScenario { return fleet.SmokeScenario() }
+
+// RunFleet executes a fleet scenario: per-cell JobTracker admission and
+// slot scheduling over concurrent jobs, with cells simulated in parallel
+// (WithParallelism; <= 1 runs serially) under a conservative time-window
+// barrier. Output — results, traces, metrics, journeys, decisions — is
+// byte-identical at every parallelism setting. WithInvariantChecks
+// attaches the runtime correctness harness to every block queue of every
+// cell; WithPerfStats fills FleetResult.WallS/EventsPerSec.
+func RunFleet(s FleetScenario, opts ...Option) (*FleetResult, error) {
+	o := buildOptions(opts)
+	var sink obs.Sink
+	if o.tracer != nil {
+		sink.Trace = o.tracer
+	}
+	if o.metrics != nil {
+		sink.Metrics = o.metrics
+	}
+	if o.journeys != nil {
+		sink.Journeys = o.journeys
+	}
+	if o.decisions != nil {
+		sink.Decisions = o.decisions
+	}
+	res, err := fleet.Run(s, fleet.Options{
+		Parallelism: o.parallelism,
+		Obs:         sink,
+		Check:       o.check,
+		Perf:        o.perf,
+		Context:     o.ctx,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adaptmr: %w", err)
+	}
+	if err := o.verify(nil); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// FleetBench condenses a fleet result into the gate summary compared by
+// CompareBenches (workload label "fleet:<scenario>").
+func FleetBench(res *FleetResult) Bench { return analyze.BenchFromFleet(res) }
+
+// WriteFleetReport renders a fleet result as a markdown report (per-job
+// table plus aggregates).
+func WriteFleetReport(w io.Writer, res *FleetResult) error {
+	return analyze.WriteFleetMarkdown(w, res)
+}

@@ -179,9 +179,10 @@ type reqInfo struct {
 	// overtakes counts dispatches that overtook this request after its
 	// deadline expired; -1 until the deadline passes (deadline elevator).
 	overtakes int
-	// asyncBaseSlice is the estimated-slice counter value when this async
-	// request entered the elevator (CFQ starvation bound).
-	asyncBaseSlice int
+	// fifoExpSlice is the estimated-slice counter value when this async
+	// request was first seen past its CFQ fifo deadline; -1 before then
+	// (CFQ per-request starvation bound).
+	fifoExpSlice int
 }
 
 // Invariants watches one queue. It must only be used from the simulation
@@ -208,11 +209,15 @@ type Invariants struct {
 	// Estimated CFQ sync-slice counter: a sync dispatch whose stream
 	// differs from the previous one, or that comes ≥ SliceSync after it,
 	// starts a new estimated slice. The estimate never exceeds the true
-	// slice count, so the starvation bound cannot false-positive.
-	sliceSeq      int
-	lastSyncAt    sim.Time
-	lastSyncStrm  block.StreamID
-	haveSyncDisp  bool
+	// slice count, so the starvation bounds cannot false-positive.
+	sliceSeq     int
+	lastSyncAt   sim.Time
+	lastSyncStrm block.StreamID
+	haveSyncDisp bool
+	// asyncGapBase is the slice counter at the most recent async dispatch
+	// (or at the moment async work appeared after a drained spell): the
+	// baseline for the class-level async starvation bound.
+	asyncGapBase  int
 	maxServiceLat sim.Duration
 }
 
@@ -248,11 +253,12 @@ func (c *Invariants) enqueue(r *block.Request) {
 		return
 	}
 	info := &reqInfo{
-		r:         r,
-		state:     rsQueued,
-		entered:   c.eng.Now(),
-		bytes:     r.Bytes(),
-		overtakes: -1,
+		r:            r,
+		state:        rsQueued,
+		entered:      c.eng.Now(),
+		bytes:        r.Bytes(),
+		overtakes:    -1,
+		fifoExpSlice: -1,
 	}
 	if c.q.Switching() {
 		info.backlogged = true
@@ -273,7 +279,11 @@ func (c *Invariants) enqueue(r *block.Request) {
 func (c *Invariants) track(info *reqInfo) {
 	c.fifo[info.r.Op] = append(c.fifo[info.r.Op], info)
 	if !info.r.IsSyncFull() {
-		info.asyncBaseSlice = c.sliceSeq
+		if c.asyncFront() == nil {
+			// Async work reappears after a drained spell: slices granted
+			// while nothing waited are not starvation.
+			c.asyncGapBase = c.sliceSeq
+		}
 		c.asyncFifo = append(c.asyncFifo, info)
 	}
 }
@@ -385,9 +395,15 @@ func (c *Invariants) checkDeadlineBound(dispatched *reqInfo, now sim.Time) {
 	}
 }
 
-// checkAsyncStarvation enforces CFQ's async-starvation cap using a
-// conservative estimate of how many sync slices elapsed while the oldest
-// async request waited.
+// checkAsyncStarvation enforces CFQ's two async-starvation guarantees
+// using a conservative estimate of elapsed sync slices. Class-level: CFQ
+// grants at most 16 consecutive sync slices (maxAsyncStarve) while async
+// work waits, so the estimated slices between consecutive async
+// dispatches are bounded. Per-request: once the oldest async request
+// outlives its fifo deadline (FifoExpireAsync, cfq_check_fifo), the next
+// async slice must serve it — so it too waits at most one cap's worth of
+// sync slices after expiry, no matter how deep the async backlog is or
+// where the C-SCAN head sits.
 func (c *Invariants) checkAsyncStarvation(r *block.Request, now sim.Time) {
 	c.unlinkAsync(r)
 	if c.q.Elevator().Name() != iosched.CFQ || c.p.SliceSync <= 0 {
@@ -400,19 +416,30 @@ func (c *Invariants) checkAsyncStarvation(r *block.Request, now sim.Time) {
 		c.haveSyncDisp = true
 		c.lastSyncAt = now
 		c.lastSyncStrm = r.Stream
+	} else {
+		c.asyncGapBase = c.sliceSeq
 	}
 	front := c.asyncFront()
 	if front == nil {
 		return
 	}
-	// CFQ grants at most 16 consecutive sync slices while async work
-	// waits (maxAsyncStarve); allow slack for the estimate's boundary
-	// cases and for slices straddling the async request's arrival.
+	// Slack over maxAsyncStarve covers the estimate's boundary cases and
+	// slices straddling the async work's arrival or expiry.
 	const starveCap = 16 + 8
-	if c.sliceSeq-front.asyncBaseSlice > starveCap {
-		front.asyncBaseSlice = 1 << 30 // report once
+	if c.sliceSeq-c.asyncGapBase > starveCap {
+		c.asyncGapBase = c.sliceSeq // re-arm: report each further cap's worth
 		c.violate("cfq-async-starvation",
-			"async request %v waited through more than %d sync slices", front.r, starveCap)
+			"async class starved: more than %d sync slices since the last async dispatch while %v waited", starveCap, front.r)
+	}
+	if c.p.FifoExpireAsync <= 0 || now < front.entered.Add(c.p.FifoExpireAsync) {
+		return
+	}
+	if front.fifoExpSlice < 0 {
+		front.fifoExpSlice = c.sliceSeq
+	} else if c.sliceSeq-front.fifoExpSlice > starveCap {
+		front.fifoExpSlice = 1 << 30 // report once
+		c.violate("cfq-async-starvation",
+			"async request %v outlived its fifo deadline and then waited through more than %d sync slices", front.r, starveCap)
 	}
 }
 

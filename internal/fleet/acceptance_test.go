@@ -1,0 +1,53 @@
+package fleet
+
+import (
+	"os"
+	"testing"
+
+	"adaptmr/internal/check"
+)
+
+// TestAcceptanceScale is the fleet-scale acceptance run: 32 cells ×
+// 8 hosts × 8 VMs (256 hosts, 2048 VMs) carrying 50 jobs under
+// fair-share admission with Poisson arrivals, sharded across all cores,
+// with the full invariant harness attached. It takes a few minutes of
+// wall clock, so it only runs when FLEET_ACCEPT is set (the CI
+// fleet-smoke job sets it); the regular suite exercises the same
+// machinery at small scale (byte-identity, 20-job fair-share under
+// check).
+func TestAcceptanceScale(t *testing.T) {
+	if os.Getenv("FLEET_ACCEPT") == "" {
+		t.Skip("multi-minute acceptance scenario; set FLEET_ACCEPT=1 to run")
+	}
+	s := Scenario{
+		Name:                 "accept",
+		Seed:                 1,
+		Cells:                32,
+		HostsPerCell:         8,
+		VMsPerHost:           8,
+		Pair:                 "cc",
+		Policy:               PolicyFair,
+		MaxConcurrentPerCell: 2,
+		Arrivals:             ArrivalSpec{Kind: "poisson", RatePerMin: 25, HorizonMS: 120_000},
+		Jobs: []JobSpec{
+			{ID: "sort", Benchmark: "sort", InputPerVMMB: 32, Count: 17},
+			{ID: "wc", Benchmark: "wordcount", InputPerVMMB: 32, Count: 17, Weight: 2},
+			{ID: "wcnc", Benchmark: "wordcount-nc", InputPerVMMB: 32, Count: 16},
+		},
+	}
+	s = s.withDefaults()
+	cs := check.NewSet()
+	res, err := Run(s, Options{Parallelism: 0, Check: cs, Perf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Finalize()
+	if err := cs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 256 || res.VMs != 2048 || len(res.Jobs) != 50 {
+		t.Fatalf("scale mismatch: hosts=%d vms=%d jobs=%d", res.Hosts, res.VMs, len(res.Jobs))
+	}
+	t.Logf("hosts=%d vms=%d jobs=%d makespan=%.1fs events=%d wall=%.1fs eps=%.0f",
+		res.Hosts, res.VMs, len(res.Jobs), res.Agg.MakespanS, res.SimEvents, res.WallS, res.EventsPerSec)
+}

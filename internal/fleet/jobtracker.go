@@ -1,0 +1,343 @@
+package fleet
+
+import (
+	"fmt"
+
+	"adaptmr/internal/cluster"
+	"adaptmr/internal/mapred"
+	"adaptmr/internal/sim"
+)
+
+// runningJob is the JobTracker's bookkeeping for one submitted instance.
+type runningJob struct {
+	inst  *instance
+	job   *mapred.Job
+	seq   int // admission order within the cell
+	held  int // map+reduce slots currently granted
+	admit sim.Time
+
+	res  mapred.Result
+	done bool
+}
+
+// jobTracker is the per-cell Hadoop JobTracker: it admits arriving jobs
+// (bounded by MaxConcurrentPerCell), owns the cell-wide per-VM slot
+// capacities, and — as the jobs' shared mapred.SlotGate — decides which
+// job's backlog each freed slot goes to, according to the scenario's
+// scheduling policy.
+//
+// Everything runs inside event callbacks on the cell engine's goroutine,
+// so no locking is needed (cells never share a jobTracker).
+type jobTracker struct {
+	cl  *cluster.Cluster
+	pol policy
+
+	capMap, capRed   int
+	busyMap, busyRed []int // per VM
+
+	maxConc int // 0 = unlimited
+
+	// queueShare/queueHeld drive the capacity policy.
+	queueShare map[string]float64
+	queueOrder []string
+	queueHeld  map[string]int
+
+	pending  []*runningJob // arrived, awaiting admission (priority, then arrival order)
+	running  []*runningJob // admitted, not yet done (admission order)
+	finished []*runningJob // completion order
+	admitSeq int
+	total    int
+
+	byJob map[*mapred.Job]*runningJob
+
+	// Dispatch-on-release state: while dispatching, only target may
+	// acquire, and only budget slots — so each freed slot goes to the
+	// policy's chosen job instead of whichever job pumps first.
+	dispatching bool
+	target      *runningJob
+	budget      int
+
+	peakConcurrent int
+}
+
+// newJobTracker builds the tracker and schedules every instance's
+// arrival on the cell engine.
+func newJobTracker(cl *cluster.Cluster, s Scenario, insts []*instance) *jobTracker {
+	jt := &jobTracker{
+		cl:         cl,
+		pol:        policyByName(s.Policy),
+		capMap:     s.MapSlotsPerVM,
+		capRed:     s.ReduceSlotsPerVM,
+		busyMap:    make([]int, cl.NumVMs()),
+		busyRed:    make([]int, cl.NumVMs()),
+		maxConc:    s.MaxConcurrentPerCell,
+		queueShare: map[string]float64{},
+		queueHeld:  map[string]int{},
+		total:      len(insts),
+		byJob:      map[*mapred.Job]*runningJob{},
+	}
+	for _, q := range s.Queues {
+		jt.queueShare[q.Name] = q.Share
+		jt.queueOrder = append(jt.queueOrder, q.Name)
+	}
+	for _, inst := range insts {
+		inst := inst
+		// Relative to the engine's current time: the cell clock is already
+		// past t=0 after the boot pair install, so t=0 arrivals mean "now".
+		cl.Eng.Schedule(sim.Duration(inst.arrive), func() { jt.arrive(inst) })
+	}
+	return jt
+}
+
+// allDone reports whether every submitted instance has completed.
+func (jt *jobTracker) allDone() bool { return len(jt.finished) == jt.total }
+
+// arrive admits the instance immediately if the concurrency cap allows,
+// otherwise parks it in the admission queue (higher priority first,
+// arrival order within a priority).
+func (jt *jobTracker) arrive(inst *instance) {
+	rj := &runningJob{inst: inst}
+	if jt.maxConc == 0 || len(jt.running) < jt.maxConc {
+		jt.admit(rj)
+		return
+	}
+	at := len(jt.pending)
+	for at > 0 && jt.pending[at-1].inst.prio < inst.prio {
+		at--
+	}
+	jt.pending = append(jt.pending, nil)
+	copy(jt.pending[at+1:], jt.pending[at:])
+	jt.pending[at] = rj
+}
+
+// admit lays the job out on the cell cluster and starts it under the
+// shared slot gate.
+func (jt *jobTracker) admit(rj *runningJob) {
+	rj.seq = jt.admitSeq
+	jt.admitSeq++
+	rj.admit = jt.cl.Eng.Now()
+	j := mapred.NewJob(jt.cl, rj.inst.cfg)
+	j.SetSlotGate(jt)
+	rj.job = j
+	jt.byJob[j] = rj
+	jt.running = append(jt.running, rj)
+	if len(jt.running) > jt.peakConcurrent {
+		jt.peakConcurrent = len(jt.running)
+	}
+	j.Start(func(*mapred.Job) { jt.jobDone(rj) })
+}
+
+// jobDone retires a finished job and admits the next pending one.
+func (jt *jobTracker) jobDone(rj *runningJob) {
+	rj.res = rj.job.Result()
+	rj.done = true
+	for i, r := range jt.running {
+		if r == rj {
+			jt.running = append(jt.running[:i], jt.running[i+1:]...)
+			break
+		}
+	}
+	jt.finished = append(jt.finished, rj)
+	if len(jt.pending) > 0 && (jt.maxConc == 0 || len(jt.running) < jt.maxConc) {
+		next := jt.pending[0]
+		jt.pending = jt.pending[1:]
+		jt.admit(next)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// mapred.SlotGate
+// ---------------------------------------------------------------------------
+
+// AcquireMap grants a map slot on vm when capacity remains — greedily
+// outside a dispatch (work-conserving: a newly started job soaks up idle
+// slots), and only to the policy's chosen target during one.
+func (jt *jobTracker) AcquireMap(j *mapred.Job, vm int) bool {
+	if jt.busyMap[vm] >= jt.capMap {
+		return false
+	}
+	rj := jt.byJob[j]
+	if jt.dispatching {
+		if rj != jt.target || jt.budget <= 0 {
+			return false
+		}
+		jt.budget--
+	}
+	jt.busyMap[vm]++
+	jt.grant(rj)
+	return true
+}
+
+// AcquireReduce is AcquireMap for reduce slots.
+func (jt *jobTracker) AcquireReduce(j *mapred.Job, vm int) bool {
+	if jt.busyRed[vm] >= jt.capRed {
+		return false
+	}
+	rj := jt.byJob[j]
+	if jt.dispatching {
+		if rj != jt.target || jt.budget <= 0 {
+			return false
+		}
+		jt.budget--
+	}
+	jt.busyRed[vm]++
+	jt.grant(rj)
+	return true
+}
+
+// ReleaseMap returns j's map slot on vm and redistributes it by policy.
+func (jt *jobTracker) ReleaseMap(j *mapred.Job, vm int) {
+	jt.busyMap[vm]--
+	jt.release(jt.byJob[j])
+	jt.dispatch(vm, true)
+}
+
+// ReleaseReduce is ReleaseMap for reduce slots.
+func (jt *jobTracker) ReleaseReduce(j *mapred.Job, vm int) {
+	jt.busyRed[vm]--
+	jt.release(jt.byJob[j])
+	jt.dispatch(vm, false)
+}
+
+func (jt *jobTracker) grant(rj *runningJob) {
+	rj.held++
+	jt.queueHeld[rj.inst.queue]++
+}
+
+func (jt *jobTracker) release(rj *runningJob) {
+	rj.held--
+	jt.queueHeld[rj.inst.queue]--
+}
+
+// dispatch hands freed capacity on vm to policy-chosen jobs, one slot per
+// pick, until the VM is full again or no job has a matching backlog. The
+// save/restore makes nested dispatches (a pump that synchronously frees
+// another slot) safe.
+func (jt *jobTracker) dispatch(vm int, maps bool) {
+	prevD, prevT, prevB := jt.dispatching, jt.target, jt.budget
+	defer func() { jt.dispatching, jt.target, jt.budget = prevD, prevT, prevB }()
+	for {
+		if maps && jt.busyMap[vm] >= jt.capMap {
+			return
+		}
+		if !maps && jt.busyRed[vm] >= jt.capRed {
+			return
+		}
+		var cands []*runningJob
+		for _, rj := range jt.running {
+			if backlog(rj, vm, maps) > 0 {
+				cands = append(cands, rj)
+			}
+		}
+		rj := jt.pol.pick(jt, cands)
+		if rj == nil {
+			return
+		}
+		jt.dispatching, jt.target, jt.budget = true, rj, 1
+		if maps {
+			rj.job.PumpMaps(vm)
+		} else {
+			rj.job.PumpReduces(vm)
+		}
+		if jt.budget != 0 {
+			// The chosen job declined the slot despite a backlog — bail
+			// out rather than spin (defensive; should not happen).
+			return
+		}
+	}
+}
+
+func backlog(rj *runningJob, vm int, maps bool) int {
+	if maps {
+		return rj.job.MapBacklog(vm)
+	}
+	return rj.job.ReduceBacklog(vm)
+}
+
+// ---------------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------------
+
+// policy picks which candidate job receives a freed slot. Candidates are
+// in admission order; every policy must be deterministic.
+type policy interface {
+	name() string
+	pick(jt *jobTracker, cands []*runningJob) *runningJob
+}
+
+func policyByName(n string) policy {
+	switch n {
+	case PolicyFIFO:
+		return fifoPolicy{}
+	case PolicyFair:
+		return fairPolicy{}
+	case PolicyCapacity:
+		return capacityPolicy{}
+	}
+	panic(fmt.Sprintf("fleet: unknown policy %q", n))
+}
+
+// fifoPolicy serves the highest-priority, earliest-admitted job first —
+// Hadoop's classic JobTracker default.
+type fifoPolicy struct{}
+
+func (fifoPolicy) name() string { return PolicyFIFO }
+func (fifoPolicy) pick(_ *jobTracker, cands []*runningJob) *runningJob {
+	var best *runningJob
+	for _, rj := range cands {
+		if best == nil || rj.inst.prio > best.inst.prio ||
+			(rj.inst.prio == best.inst.prio && rj.seq < best.seq) {
+			best = rj
+		}
+	}
+	return best
+}
+
+// fairPolicy gives the slot to the job with the smallest held/weight
+// ratio (the largest fair-share deficit), ties broken by priority then
+// admission order.
+type fairPolicy struct{}
+
+func (fairPolicy) name() string { return PolicyFair }
+func (fairPolicy) pick(_ *jobTracker, cands []*runningJob) *runningJob {
+	var best *runningJob
+	var bestLoad float64
+	for _, rj := range cands {
+		load := float64(rj.held) / rj.inst.weight
+		if best == nil || load < bestLoad ||
+			(load == bestLoad && (rj.inst.prio > best.inst.prio ||
+				(rj.inst.prio == best.inst.prio && rj.seq < best.seq))) {
+			best, bestLoad = rj, load
+		}
+	}
+	return best
+}
+
+// capacityPolicy serves the most underserved queue first — the one with
+// the smallest held/share ratio among queues that have a candidate — and
+// runs FIFO within the queue. Because only queues with candidates are
+// considered, idle guaranteed capacity is lent elastically.
+type capacityPolicy struct{}
+
+func (capacityPolicy) name() string { return PolicyCapacity }
+func (capacityPolicy) pick(jt *jobTracker, cands []*runningJob) *runningJob {
+	byQueue := map[string][]*runningJob{}
+	for _, rj := range cands {
+		byQueue[rj.inst.queue] = append(byQueue[rj.inst.queue], rj)
+	}
+	bestQ := ""
+	var bestRatio float64
+	for _, q := range jt.queueOrder {
+		if len(byQueue[q]) == 0 {
+			continue
+		}
+		ratio := float64(jt.queueHeld[q]) / jt.queueShare[q]
+		if bestQ == "" || ratio < bestRatio {
+			bestQ, bestRatio = q, ratio
+		}
+	}
+	if bestQ == "" {
+		return nil
+	}
+	return fifoPolicy{}.pick(jt, byQueue[bestQ])
+}

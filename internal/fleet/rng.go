@@ -1,0 +1,55 @@
+package fleet
+
+// Deterministic per-job random streams. Every job instance in a scenario
+// draws from its own splitmix64 stream, keyed by (scenario seed, stable
+// job key): editing one JobSpec — or appending new ones — never perturbs
+// the draws of any other job, which is what keeps fleet experiments
+// comparable as a scenario grows. The same construction dispenses the
+// per-cell cluster seeds.
+
+// splitmix64 is the finalising mix of the splitmix64 generator (Steele,
+// Lea & Flood, OOPSLA 2014) — a bijective avalanche over uint64.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// fnv64 is FNV-1a over s: the stable string → uint64 key hash.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// stream is one splitmix64 sequence.
+type stream struct{ state uint64 }
+
+// newStream derives an independent stream for key under seed. Distinct
+// keys give (with overwhelming probability) unrelated sequences.
+func newStream(seed int64, key string) *stream {
+	return &stream{state: splitmix64(uint64(seed)) ^ fnv64(key)}
+}
+
+func (s *stream) uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (s *stream) float64() float64 {
+	return float64(s.uint64()>>11) / (1 << 53)
+}
+
+// cellSeed dispenses the deterministic engine seed of cell idx.
+func cellSeed(seed int64, idx int) int64 {
+	return int64(newStream(seed, "cell").uint64() ^ splitmix64(uint64(idx)))
+}

@@ -40,6 +40,10 @@ type CFQSched struct {
 	// them forever.
 	asyncStarved int
 
+	// deadlines holds each queued request's fifo deadline (entry time +
+	// FifoExpireSync/Async); absent when the expiry knobs are zero.
+	deadlines map[*block.Request]sim.Time
+
 	nextPos int64
 	pending int
 }
@@ -48,15 +52,19 @@ type cfqQueue struct {
 	stream block.StreamID
 	sync   bool
 	list   sortedList
+	// expiry holds the queue's requests in arrival order for the
+	// cfq_check_fifo deadline (see take).
+	expiry fifo
 	onRR   bool
 }
 
 // NewCFQ returns a CFQ elevator with the given tunables.
 func NewCFQ(p Params) *CFQSched {
 	s := &CFQSched{
-		p:      p,
-		queues: make(map[block.StreamID]*cfqQueue),
-		merges: newMerger(p.MaxSectors),
+		p:         p,
+		queues:    make(map[block.StreamID]*cfqQueue),
+		merges:    newMerger(p.MaxSectors),
+		deadlines: make(map[*block.Request]sim.Time),
 	}
 	s.async = &cfqQueue{stream: -1, sync: false}
 	return s
@@ -88,6 +96,14 @@ func (s *CFQSched) Add(r *block.Request, now sim.Time) {
 	}
 	q := s.queueFor(r)
 	q.list.insert(r)
+	expire := s.p.FifoExpireSync
+	if !q.sync {
+		expire = s.p.FifoExpireAsync
+	}
+	if expire > 0 {
+		q.expiry.push(r)
+		s.deadlines[r] = now.Add(expire)
+	}
 	s.merges.add(r)
 	s.pending++
 	if !q.onRR {
@@ -123,7 +139,7 @@ func (s *CFQSched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 		case now >= s.sliceEnd:
 			s.expire(now)
 		case s.active.list.len() > 0:
-			return s.take(s.active), 0
+			return s.take(s.active, now), 0
 		case s.active.sync && s.idling:
 			if now < s.idleUntil {
 				return nil, s.idleUntil
@@ -147,7 +163,7 @@ func (s *CFQSched) Dispatch(now sim.Time) (*block.Request, sim.Time) {
 		slice = s.p.SliceAsync
 	}
 	s.sliceEnd = now.Add(slice)
-	return s.take(q), 0
+	return s.take(q, now), 0
 }
 
 // nextQueue picks the next queue with work from the round-robin ring.
@@ -161,6 +177,15 @@ func (s *CFQSched) nextQueue() *cfqQueue {
 		// void. Without this reset a later async burst would inherit stale
 		// debt and jump ahead of sync queues on arrival.
 		s.asyncStarved = 0
+	} else if s.asyncStarved >= maxAsyncStarve {
+		// The starvation cap is due: serve the async pseudo-queue now,
+		// wherever it sits on the ring. Deferring until the scan reaches
+		// it would let every busy sync stream overtake it once more per
+		// rotation — with more sync streams than the cap, the cap would
+		// never fire at all (exposed by multi-job fleet hosts, where a
+		// Dom0 queue carries dozens of sync streams).
+		s.asyncStarved = 0
+		return s.async
 	}
 	var firstAsync *cfqQueue
 	scanned := 0
@@ -175,11 +200,6 @@ func (s *CFQSched) nextQueue() *cfqQueue {
 			continue
 		}
 		if !q.sync {
-			if s.asyncStarved >= maxAsyncStarve {
-				s.pushRR(q)
-				s.asyncStarved = 0
-				return q
-			}
 			if firstAsync == nil {
 				firstAsync = q
 			}
@@ -243,9 +263,21 @@ func (s *CFQSched) expire(now sim.Time) {
 	s.idling = false
 }
 
-func (s *CFQSched) take(q *cfqQueue) *block.Request {
+// take picks q's next request: the sector-sorted scan candidate, unless
+// the queue's oldest request has outlived its fifo deadline
+// (cfq_check_fifo) — the aging bound that keeps a deep, continuously
+// refilled queue from bypassing one old request sweep after sweep.
+func (s *CFQSched) take(q *cfqQueue, now sim.Time) *block.Request {
 	r := q.list.next(s.nextPos)
+	if f := q.expiry.front(); f != nil && f != r && s.deadlines[f] <= now {
+		s.p.Decisions.RecordStream(now, obs.DecCFQFifoExpired, int64(q.stream))
+		r = f
+	}
 	q.list.remove(r)
+	if _, ok := s.deadlines[r]; ok {
+		q.expiry.remove(r)
+		delete(s.deadlines, r)
+	}
 	s.merges.remove(r)
 	s.pending--
 	s.nextPos = r.End()

@@ -87,6 +87,16 @@ type Params struct {
 	SliceSync  sim.Duration // sync per-stream slice (100ms)
 	SliceAsync sim.Duration // async pseudo-stream slice (40ms)
 	SliceIdle  sim.Duration // idle window at end of a sync slice (8ms)
+	// FifoExpireSync/FifoExpireAsync are CFQ's per-request fifo deadlines
+	// (cfq_fifo_expire: sync 125ms, async 250ms). When the queue holding
+	// the dispatch slice has an oldest request past its deadline, CFQ
+	// serves that request instead of the sector-sorted candidate — without
+	// this, a deep continuously-refilled async backlog can bypass one old
+	// write for many C-SCAN sweeps (exposed by multi-job fleet hosts,
+	// whose Dom0 async queues stay hundreds of requests deep). Zero
+	// disables the check.
+	FifoExpireSync  sim.Duration
+	FifoExpireAsync sim.Duration
 
 	// Counters, when non-nil, receives scheduler-internal decision counts
 	// (anticipation windows, CFQ slices/idles). Shared across elevator
@@ -118,6 +128,8 @@ func DefaultParams() Params {
 		SliceSync:          100 * sim.Millisecond,
 		SliceAsync:         40 * sim.Millisecond,
 		SliceIdle:          8 * sim.Millisecond,
+		FifoExpireSync:     125 * sim.Millisecond,
+		FifoExpireAsync:    250 * sim.Millisecond,
 	}
 }
 

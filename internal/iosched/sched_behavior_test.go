@@ -425,3 +425,92 @@ func TestQuickSchedulersLoseNothing(t *testing.T) {
 		})
 	}
 }
+
+// TestCFQAsyncStarvationBoundedManyStreams pins the cap against a ring
+// wider than maxAsyncStarve: with 40 busy sync streams, the async
+// pseudo-queue must still be served within the 16-sync-slice cap instead
+// of waiting a full ring rotation. (Before the fix, the cap only fired
+// when the scan happened to reach the async queue, so enough sync
+// streams starved async writes indefinitely.)
+func TestCFQAsyncStarvationBoundedManyStreams(t *testing.T) {
+	eng := sim.New(1)
+	p := DefaultParams()
+	p.SliceIdle = 0
+	s := NewCFQ(p)
+	const streams = 40
+	next := int64(0)
+	// Every sync stream has standing work before the async write arrives.
+	for i := 0; i < streams; i++ {
+		s.Add(req(block.Read, next, block.StreamID(i+1)), eng.Now())
+		next += 8
+	}
+	s.Add(block.NewRequest(block.Write, 1_000_000, 8, false, 99), eng.Now())
+	syncSlices := 0
+	for i := 0; i < 10_000; i++ {
+		r, _ := s.Dispatch(eng.Now())
+		if r == nil {
+			t.Fatal("stall")
+		}
+		if !r.IsSyncFull() {
+			if syncSlices > 17 {
+				t.Fatalf("async write served only after %d sync slices", syncSlices)
+			}
+			return
+		}
+		syncSlices++
+		// Refill the stream so every queue stays busy.
+		s.Add(req(block.Read, next, r.Stream), eng.Now())
+		next += 8
+		s.Completed(r, eng.Now())
+		// Advance past the slice so each dispatch grants a fresh slice.
+		eng.RunUntil(eng.Now().Add(p.SliceSync + sim.Millisecond))
+	}
+	t.Fatal("async write never served")
+}
+
+// TestCFQAsyncFifoExpiry pins cfq_check_fifo on the async pseudo-queue:
+// a write parked behind the C-SCAN head is bypassed by a continuously
+// refilled backlog ahead of the head until its fifo deadline
+// (FifoExpireAsync) passes, after which the next async dispatch must
+// serve it instead of the sector-sorted candidate.
+func TestCFQAsyncFifoExpiry(t *testing.T) {
+	eng := sim.New(1)
+	p := DefaultParams()
+	s := NewCFQ(p)
+
+	// Establish the scan head above the victim's sector.
+	s.Add(block.NewRequest(block.Write, 10_000, 8, false, 1), eng.Now())
+	if r, _ := s.Dispatch(eng.Now()); r == nil || r.Sector != 10_000 {
+		t.Fatalf("priming dispatch got %v", r)
+	}
+
+	victim := block.NewRequest(block.Write, 0, 8, false, 2)
+	s.Add(victim, eng.Now())
+	queued := eng.Now()
+
+	const perReq = 5 * sim.Millisecond
+	next := int64(10_008)
+	for i := 0; i < 1000; i++ {
+		// Feed the backlog ahead of the head faster than it drains, so the
+		// scan never wraps back to sector 0 on its own.
+		s.Add(block.NewRequest(block.Write, next, 8, false, 1), eng.Now())
+		next += 8
+		r, _ := s.Dispatch(eng.Now())
+		if r == nil {
+			t.Fatal("stall with pending work")
+		}
+		if r == victim {
+			waited := eng.Now().Sub(queued)
+			if waited < p.FifoExpireAsync {
+				t.Fatalf("victim served after %v, before its %v fifo deadline", waited, p.FifoExpireAsync)
+			}
+			if waited > p.FifoExpireAsync+p.SliceAsync+2*perReq {
+				t.Fatalf("victim served only %v after queueing (deadline %v)", waited, p.FifoExpireAsync)
+			}
+			return
+		}
+		s.Completed(r, eng.Now())
+		eng.RunUntil(eng.Now().Add(perReq))
+	}
+	t.Fatal("victim write never served: fifo deadline ignored")
+}

@@ -10,7 +10,11 @@
 // checkpoints for the Fig 4 analysis.
 package mapred
 
-import "adaptmr/internal/sim"
+import (
+	"fmt"
+
+	"adaptmr/internal/sim"
+)
 
 // Config describes one MapReduce job. Workload packages provide presets
 // for the paper's three benchmarks.
@@ -92,21 +96,47 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate() {
+// Validate reports the first degenerate setting as an error: zero or
+// negative slots, splits, buffers or copy windows would make the runtime
+// schedule nothing (or divide by zero) and then "run" a nonsense job to a
+// meaningless result. Facade entry points and the fleet admission path
+// call this and surface the error instead of simulating.
+func (c Config) Validate() error {
 	switch {
+	case c.Name == "":
+		return fmt.Errorf("mapred: job name must be non-empty")
 	case c.InputPerVM <= 0:
-		panic("mapred: InputPerVM must be positive")
+		return fmt.Errorf("mapred: job %q: InputPerVM must be positive, got %d", c.Name, c.InputPerVM)
 	case c.MapSlots <= 0 || c.ReduceSlots <= 0:
-		panic("mapred: slots must be positive")
+		return fmt.Errorf("mapred: job %q: slots must be positive, got map=%d reduce=%d", c.Name, c.MapSlots, c.ReduceSlots)
 	case c.ReducersPerVM <= 0:
-		panic("mapred: ReducersPerVM must be positive")
-	case c.SortBufferBytes <= 0 || c.SpillThreshold <= 0 || c.SpillThreshold > 1:
-		panic("mapred: invalid sort buffer settings")
-	case c.ParallelCopies <= 0 || c.IOUnitBytes <= 0:
-		panic("mapred: invalid copy/unit settings")
+		return fmt.Errorf("mapred: job %q: ReducersPerVM must be positive, got %d", c.Name, c.ReducersPerVM)
+	case c.SortBufferBytes <= 0:
+		return fmt.Errorf("mapred: job %q: SortBufferBytes must be positive, got %d", c.Name, c.SortBufferBytes)
+	case c.SpillThreshold <= 0 || c.SpillThreshold > 1:
+		return fmt.Errorf("mapred: job %q: SpillThreshold must be in (0, 1], got %g", c.Name, c.SpillThreshold)
+	case c.ParallelCopies <= 0:
+		return fmt.Errorf("mapred: job %q: ParallelCopies must be positive, got %d", c.Name, c.ParallelCopies)
+	case c.IOUnitBytes <= 0:
+		return fmt.Errorf("mapred: job %q: IOUnitBytes must be positive, got %d", c.Name, c.IOUnitBytes)
 	case c.MapOutputRatio < 0 || c.ReduceOutputRatio < 0:
-		panic("mapred: ratios must be non-negative")
+		return fmt.Errorf("mapred: job %q: output ratios must be non-negative, got map=%g reduce=%g", c.Name, c.MapOutputRatio, c.ReduceOutputRatio)
+	case c.MapCPUSecPerMB < 0 || c.SortCPUSecPerMB < 0 || c.ReduceCPUSecPerMB < 0 || c.CopyCPUSecPerMB < 0:
+		return fmt.Errorf("mapred: job %q: CPU costs must be non-negative", c.Name)
+	case c.FetchOverhead < 0:
+		return fmt.Errorf("mapred: job %q: FetchOverhead must be non-negative, got %v", c.Name, c.FetchOverhead)
+	case c.ShuffleBufferBytes <= 0:
+		return fmt.Errorf("mapred: job %q: ShuffleBufferBytes must be positive, got %d", c.Name, c.ShuffleBufferBytes)
 	case c.SortFactor < 2:
-		panic("mapred: SortFactor must be at least 2")
+		return fmt.Errorf("mapred: job %q: SortFactor must be at least 2, got %d", c.Name, c.SortFactor)
+	}
+	return nil
+}
+
+// validate is the legacy panic path for direct NewJob construction; the
+// error-returning facade validates (and rejects) before reaching it.
+func (c Config) validate() {
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
 	}
 }

@@ -102,11 +102,35 @@ func (r Result) PhaseDuration(p Phase) sim.Duration {
 	return 0
 }
 
+// SlotGate arbitrates task slots across jobs sharing one cluster. Without
+// a gate every job believes it owns Config.MapSlots/ReduceSlots per VM —
+// correct for the single-job runs the paper measures, nonsense once a
+// JobTracker admits several jobs onto the same tasktrackers. A gate owns
+// the cluster-wide per-VM slot capacity instead: Acquire is consulted
+// before each task launch (granting or refusing synchronously), Release is
+// told when a slot frees so the gate can pick — by scheduling policy —
+// which job's backlog on that VM gets it (via Job.PumpMaps/PumpReduces).
+//
+// All methods run inside simulation event callbacks on the engine
+// goroutine; implementations need no locking but must not re-enter the
+// engine.
+type SlotGate interface {
+	// AcquireMap asks for a map slot on vm; true grants it.
+	AcquireMap(j *Job, vm int) bool
+	// AcquireReduce asks for a reduce slot on vm; true grants it.
+	AcquireReduce(j *Job, vm int) bool
+	// ReleaseMap returns a map slot on vm previously granted to j.
+	ReleaseMap(j *Job, vm int)
+	// ReleaseReduce returns a reduce slot on vm previously granted to j.
+	ReleaseReduce(j *Job, vm int)
+}
+
 // Job is one executing MapReduce job.
 type Job struct {
-	eng *sim.Engine
-	cl  *cluster.Cluster
-	cfg Config
+	eng  *sim.Engine
+	cl   *cluster.Cluster
+	cfg  Config
+	gate SlotGate
 
 	tts     []*taskTracker
 	maps    []*mapTask
@@ -176,6 +200,37 @@ func NewJob(cl *cluster.Cluster, cfg Config) *Job {
 
 // Config returns the job configuration.
 func (j *Job) Config() Config { return j.cfg }
+
+// SetSlotGate installs the cross-job slot arbiter. It must be called
+// before Start; nil (the default) keeps the historical per-job slot
+// accounting, byte-identical to every existing single-job run.
+func (j *Job) SetSlotGate(g SlotGate) {
+	if j.started {
+		panic("mapred: SetSlotGate after Start")
+	}
+	j.gate = g
+}
+
+// PumpMaps offers VM vm's map backlog a chance to launch tasks; the
+// installed SlotGate is consulted for each launch. Gates call this when a
+// freed or newly available slot should go to this job.
+func (j *Job) PumpMaps(vm int) { j.tts[vm].pumpMaps() }
+
+// PumpReduces is PumpMaps for the reduce backlog.
+func (j *Job) PumpReduces(vm int) { j.tts[vm].pumpReduces() }
+
+// MapBacklog returns the number of map tasks queued (not yet launched) on
+// VM vm.
+func (j *Job) MapBacklog(vm int) int { return len(j.tts[vm].mapQueue) }
+
+// ReduceBacklog returns the number of reduce tasks queued on VM vm.
+func (j *Job) ReduceBacklog(vm int) int { return len(j.tts[vm].reduceQueue) }
+
+// Started reports whether Start has been called.
+func (j *Job) Started() bool { return j.started }
+
+// StartedAt returns the simulation time Start was called (zero before).
+func (j *Job) StartedAt() sim.Time { return j.start }
 
 // NumMaps returns the number of map tasks.
 func (j *Job) NumMaps() int { return len(j.maps) }

@@ -41,8 +41,24 @@ func (tt *taskTracker) launch() {
 	tt.pumpReduces()
 }
 
+// acquireMapSlot consults the job's slot gate (cross-job arbitration) or,
+// without one, the job-private slot count — the historical behaviour.
+func (tt *taskTracker) acquireMapSlot() bool {
+	if g := tt.job.gate; g != nil {
+		return g.AcquireMap(tt.job, tt.vm)
+	}
+	return tt.busyMapSlots < tt.job.cfg.MapSlots
+}
+
+func (tt *taskTracker) acquireReduceSlot() bool {
+	if g := tt.job.gate; g != nil {
+		return g.AcquireReduce(tt.job, tt.vm)
+	}
+	return tt.busyReduceSlots < tt.job.cfg.ReduceSlots
+}
+
 func (tt *taskTracker) pumpMaps() {
-	for tt.busyMapSlots < tt.job.cfg.MapSlots && len(tt.mapQueue) > 0 {
+	for len(tt.mapQueue) > 0 && tt.acquireMapSlot() {
 		m := tt.mapQueue[0]
 		tt.mapQueue = tt.mapQueue[1:]
 		tt.busyMapSlots++
@@ -51,7 +67,7 @@ func (tt *taskTracker) pumpMaps() {
 }
 
 func (tt *taskTracker) pumpReduces() {
-	for tt.busyReduceSlots < tt.job.cfg.ReduceSlots && len(tt.reduceQueue) > 0 {
+	for len(tt.reduceQueue) > 0 && tt.acquireReduceSlot() {
 		r := tt.reduceQueue[0]
 		tt.reduceQueue = tt.reduceQueue[1:]
 		tt.busyReduceSlots++
@@ -61,10 +77,20 @@ func (tt *taskTracker) pumpReduces() {
 
 func (tt *taskTracker) mapSlotFreed() {
 	tt.busyMapSlots--
+	if g := tt.job.gate; g != nil {
+		// The gate owns redistribution: it may hand the slot to any job's
+		// backlog on this VM (including this job's, via PumpMaps).
+		g.ReleaseMap(tt.job, tt.vm)
+		return
+	}
 	tt.pumpMaps()
 }
 
 func (tt *taskTracker) reduceSlotFreed() {
 	tt.busyReduceSlots--
+	if g := tt.job.gate; g != nil {
+		g.ReleaseReduce(tt.job, tt.vm)
+		return
+	}
 	tt.pumpReduces()
 }

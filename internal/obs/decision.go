@@ -31,6 +31,9 @@ const (
 	// DecCFQResume: a request from the active queue arrived during the
 	// idle window and the slice resumed.
 	DecCFQResume
+	// DecCFQFifoExpired: CFQ served a queue's oldest request past its
+	// fifo deadline instead of the sector-sorted candidate.
+	DecCFQFifoExpired
 	// DecMergeFront: the queue front-merged an incoming request.
 	DecMergeFront
 	// DecMergeBack: the queue back-merged an incoming request.
@@ -46,7 +49,7 @@ const (
 var decisionNames = [numDecisionKinds]string{
 	"deadline.batch", "deadline.expired",
 	"antic.arm", "antic.hit", "antic.timeout",
-	"cfq.slice", "cfq.expire", "cfq.idle", "cfq.resume",
+	"cfq.slice", "cfq.expire", "cfq.idle", "cfq.resume", "cfq.fifo_expired",
 	"merge.front", "merge.back",
 	"switch.begin", "switch.end",
 }

@@ -54,6 +54,9 @@ type ReportOptions struct {
 // is replaced; the run is deterministic for a fixed cfg/job/pair, so the
 // report is byte-identical across invocations.
 func RunReport(cfg ClusterConfig, job JobConfig, pair Pair, opts ReportOptions) (*Report, error) {
+	if err := job.Validate(); err != nil {
+		return nil, fmt.Errorf("adaptmr: %w", err)
+	}
 	tracer := NewTracer()
 	metrics := NewMetrics()
 	cfg.Obs.Trace = tracer
@@ -113,6 +116,9 @@ type ExplainReport = analyze.ExplainReport
 // decision is tallied per phase and queue level. Deterministic for a
 // fixed cfg/job/pair, byte-identical across invocations.
 func RunExplain(cfg ClusterConfig, job JobConfig, pair Pair, opts ReportOptions) (*ExplainReport, error) {
+	if err := job.Validate(); err != nil {
+		return nil, fmt.Errorf("adaptmr: %w", err)
+	}
 	tracer := NewTracer()
 	metrics := NewMetrics()
 	journeys := obs.NewJourneyLog()
