@@ -32,6 +32,7 @@ import (
 
 	"adaptmr/internal/check"
 	"adaptmr/internal/cluster"
+	"adaptmr/internal/control"
 	"adaptmr/internal/core"
 	"adaptmr/internal/experiments"
 	"adaptmr/internal/iosched"
@@ -128,6 +129,7 @@ type options struct {
 	perf         bool
 	profile      *sim.PerfProfile
 	poolReqs     *bool
+	online       *control.Policy
 }
 
 func buildOptions(opts []Option) options {

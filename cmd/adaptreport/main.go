@@ -332,6 +332,9 @@ func cmdGate(args []string) {
 	fleetBaseline := fs.String("fleet-baseline", "",
 		"also gate the built-in fleet smoke scenario against this committed bench JSON (-update rewrites it)")
 	fleetCandidate := fs.String("fleet-candidate", "", "write the fleet candidate bench JSON here (for CI artifacts)")
+	onlineBaseline := fs.String("online-baseline", "",
+		"also gate the online-controller run of this workload against this committed bench JSON (-update rewrites it)")
+	onlineCandidate := fs.String("online-candidate", "", "write the online candidate bench JSON here (for CI artifacts)")
 	parallel := cliutil.BindParallelFlag(fs)
 	sweepOut := fs.String("sweep-out", "",
 		"also run the 16-pair profile sweep serial and with -parallel workers, verify identical output, and write the timing JSON here")
@@ -391,6 +394,30 @@ func cmdGate(args []string) {
 			}
 		}
 	}
+	// The online workload: the same (cluster, job) as the main bench but
+	// executed under the online adaptive controller at smoke-scale policy,
+	// without perf collection so the bench is byte-deterministic. Switch
+	// count gates near-exactly: a controller behaviour change must come
+	// with an explicit baseline update.
+	var onlineBench adaptmr.Bench
+	if *onlineBaseline != "" {
+		cfg, wl, _, err := sf.setup()
+		if err != nil {
+			fail(err)
+		}
+		res, err := adaptmr.RunOnline(cfg, wl.Job,
+			adaptmr.WithOnlineControl(adaptmr.SmokeOnlinePolicy()),
+			adaptmr.WithParallelism(*parallel))
+		if err != nil {
+			fail(err)
+		}
+		onlineBench = adaptmr.OnlineBench(res, *sf.bench, cfg, *sf.inputMB)
+		if *onlineCandidate != "" {
+			if err := writeJSONFile(*onlineCandidate, onlineBench); err != nil {
+				fail(err)
+			}
+		}
+	}
 	if *candidate != "" {
 		if err := writeJSONFile(*candidate, rep.Bench); err != nil {
 			fail(err)
@@ -419,6 +446,13 @@ func cmdGate(args []string) {
 				fail(err)
 			}
 			fmt.Printf("fleet baseline updated: %s (makespan %.3fs)\n", *fleetBaseline, fleetBench.MakespanS)
+		}
+		if *onlineBaseline != "" {
+			if err := writeJSONFile(*onlineBaseline, onlineBench); err != nil {
+				fail(err)
+			}
+			fmt.Printf("online baseline updated: %s (makespan %.3fs, %d switches)\n",
+				*onlineBaseline, onlineBench.MakespanS, onlineBench.Switches)
 		}
 		if err := prof.Stop(); err != nil {
 			fail(err)
@@ -457,6 +491,21 @@ func cmdGate(args []string) {
 			fail(err)
 		}
 		regressed = regressed || fleetCmp.Regressed()
+	}
+	if *onlineBaseline != "" {
+		onlineBase, err := readBench(*onlineBaseline)
+		if err != nil {
+			fail(err)
+		}
+		onlineCmp, err := adaptmr.CompareBenches(onlineBase, onlineBench, *tol)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nonline workload (%s):\n", onlineBench.Workload)
+		if err := onlineCmp.WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+		regressed = regressed || onlineCmp.Regressed()
 	}
 	if err := prof.Stop(); err != nil {
 		fail(err)

@@ -41,6 +41,7 @@ import (
 
 	"adaptmr"
 	"adaptmr/internal/cliutil"
+	"adaptmr/internal/sim"
 )
 
 // logger carries diagnostics to stderr (configured by -log); results
@@ -61,6 +62,12 @@ func main() {
 	planArg := flag.String("plan", "", "explicit phase plan, pair codes joined by '|' (e.g. ad|ca)")
 	adaptive := flag.Bool("adaptive", false, "run the adaptive meta-scheduler instead of one pair")
 	reactive := flag.Bool("reactive", false, "run under the reactive per-host controller")
+	online := flag.Bool("online", false, "run under the online adaptive controller (live phase classification, in-run switching)")
+	onlineWindow := flag.Int64("online-window", 0, "online controller sampling window in ms (0 = policy default)")
+	onlineDwell := flag.Int64("online-dwell", 0, "online controller minimum dwell between switches in ms (0 = policy default)")
+	onlineStable := flag.Int("online-stable", 0, "online controller stable windows before a switch (0 = policy default)")
+	onlineBudget := flag.Float64("online-budget", 0, "online controller switch-cost budget as a fraction of dwell (0 = policy default)")
+	onlineJSON := flag.String("online-json", "", "write the full online result JSON here (with -online)")
 	hosts := flag.Int("hosts", 4, "physical nodes")
 	vms := flag.Int("vms", 4, "VMs per node")
 	inputMB := flag.Int64("input", 512, "input data per datanode VM, in MB")
@@ -181,6 +188,49 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("fleet result written to %s\n", *fleetJSON)
+		}
+
+	case *online:
+		pol := adaptmr.DefaultOnlinePolicy()
+		if *onlineWindow > 0 {
+			pol.Window = sim.Duration(*onlineWindow) * sim.Millisecond
+		}
+		if *onlineDwell > 0 {
+			pol.MinDwell = sim.Duration(*onlineDwell) * sim.Millisecond
+		}
+		if *onlineStable > 0 {
+			pol.StableWindows = *onlineStable
+		}
+		if *onlineBudget > 0 {
+			pol.CostBudget = *onlineBudget
+		}
+		res, err := adaptmr.RunOnline(cfg, wl.Job, append(opts, adaptmr.WithOnlineControl(pol))...)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("online controller on %s: %.1fs (%s -> %s, %d switches over %d windows, stall %.2fs)\n",
+			wl.Job.Name, res.Job.Duration.Seconds(), res.StartPairCode, res.FinalPairCode,
+			res.Switches, res.Windows, res.SwitchStall.Seconds())
+		for _, d := range res.Decisions {
+			fmt.Printf("  t=%6.2fs %-5s %s -> %s streak %d cost %.3fs %s\n",
+				d.AtS, d.Regime, d.From, d.To, d.Streak, d.CostS, d.Reason)
+		}
+		printPhases(res.Job)
+		if *onlineJSON != "" {
+			f, err := os.Create(*onlineJSON)
+			if err != nil {
+				fail(err)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("online result written to %s\n", *onlineJSON)
 		}
 
 	case *reactive:

@@ -38,6 +38,12 @@ type Bench struct {
 	Dom0MB       float64            `json:"dom0_mb"`
 	SimEvents    int64              `json:"sim_events"`
 
+	// Switches counts issued in-run elevator switches (online-controller
+	// benches only; omitted elsewhere). It gates near-exactly: a changed
+	// switch count is a behaviour change that needs an explicit baseline
+	// update, not tolerance slack.
+	Switches int `json:"switches,omitempty"`
+
 	// Engine self-telemetry (schema v2), present only when the run was
 	// executed with perf collection enabled. allocs_per_event is
 	// deterministic for a fixed toolchain and gates tightly;
@@ -165,6 +171,9 @@ func Compare(base, cand Bench, tol float64) (Comparison, error) {
 		c.add("phase."+name+"_s", base.PhaseS[name], cand.PhaseS[name], true, tol)
 	}
 	c.add("switch_stall_s", base.SwitchStallS, cand.SwitchStallS, true, tol)
+	if base.Switches > 0 || cand.Switches > 0 {
+		c.add("switches", float64(base.Switches), float64(cand.Switches), true, tol)
+	}
 
 	// Informational metrics: reported, never gated.
 	for _, name := range sortedKeys2(base.BlameS, cand.BlameS) {

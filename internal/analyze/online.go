@@ -1,0 +1,52 @@
+package analyze
+
+// OnlineRunSummary is the slice of an online-controlled run the gate
+// bench needs, condensed to primitives so this package does not depend
+// on the facade's result types.
+type OnlineRunSummary struct {
+	Workload string // benchmark name ("sort", "wordcount", ...)
+	Hosts    int
+	VMs      int
+	InputMB  int64
+	Seed     int64
+
+	StartPair string // boot pair code
+	FinalPair string // pair the last issued switch left installed
+	Switches  int    // issued switch commands
+
+	MakespanS    float64
+	MapS         float64
+	ShuffleS     float64
+	ReduceS      float64
+	SwitchStallS float64
+	SimEvents    int64
+}
+
+// BenchFromOnline condenses an online-controlled run into the committed
+// gate summary. The workload label is namespaced ("online:<bench>") so
+// an online bench can never be compared against a static-pair baseline
+// by accident; Pair records the boot pair (what the run bootstrapped
+// from — the controller's switching is gated separately through the
+// Switches count and the makespan itself).
+func BenchFromOnline(s OnlineRunSummary) Bench {
+	return Bench{
+		Schema:   benchSchema,
+		Workload: "online:" + s.Workload,
+		Hosts:    s.Hosts,
+		VMs:      s.VMs,
+		InputMB:  s.InputMB,
+		Seed:     s.Seed,
+		Pair:     s.StartPair,
+
+		MakespanS: round6(s.MakespanS),
+		PhaseS: map[string]float64{
+			"map":     round6(s.MapS),
+			"shuffle": round6(s.ShuffleS),
+			"reduce":  round6(s.ReduceS),
+		},
+		BlameS:       map[string]float64{},
+		SwitchStallS: round6(s.SwitchStallS),
+		SimEvents:    s.SimEvents,
+		Switches:     s.Switches,
+	}
+}

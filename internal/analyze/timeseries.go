@@ -34,6 +34,17 @@ type levelSeries struct {
 	curDepth int32
 	curOutst int32
 	cumBytes int64
+
+	// Controller feature counters, all cumulative (windowed by
+	// subtraction in LiveSample.Window): completed read/write volume,
+	// completed request counts by class, and dispatch seek distance.
+	cumReadBytes  int64
+	cumWriteBytes int64
+	completed     int64
+	readDone      int64
+	syncDone      int64
+	dispatched    int64
+	seekSectors   int64
 }
 
 type tsDelta struct {
@@ -131,15 +142,43 @@ func (s *Sampler) AttachQueue(q *block.Queue, level string) {
 		ls.curDepth--
 		ls.curOutst--
 	})
+	// lastEnd tracks this queue's previous dispatch end sector so the seek
+	// distance is per-queue (per spindle path), folded into the level sum;
+	// -1 means no dispatch yet (the first dispatch contributes no seek).
+	lastEnd := int64(-1)
 	q.OnDispatch(func(r *block.Request) {
 		ls.depth.add(r.Dispatched, -1)
 		ls.curDepth--
+		if lastEnd >= 0 {
+			d := r.Sector - lastEnd
+			if d < 0 {
+				d = -d
+			}
+			ls.seekSectors += d
+		}
+		lastEnd = r.End()
+		ls.dispatched++
 	})
 	q.OnComplete(func(r *block.Request) {
 		ls.outst.add(r.Completed, -1)
 		ls.bytes.add(r.Completed, r.Bytes())
 		ls.curOutst--
 		ls.cumBytes += r.Bytes()
+		if r.Op == block.Read {
+			ls.cumReadBytes += r.Bytes()
+			ls.readDone++
+		} else {
+			ls.cumWriteBytes += r.Bytes()
+		}
+		// Count the submitter's sync flag, not IsSyncFull: the elevators
+		// treat every read as sync (Linux semantics), so IsSyncFull would
+		// make a read window's sync share tautological. r.Sync separates
+		// blocking traffic (reads, fsync) from async writeback/readahead,
+		// which is the signal the online controller classifies on.
+		if r.Sync {
+			ls.syncDone++
+		}
+		ls.completed++
 		s.completed++
 	})
 }
@@ -162,33 +201,126 @@ func (s *Sampler) AttachDisk(d *disk.Disk) {
 
 // LiveSample is an instantaneous view of the sampler's running counters:
 // elevator depth and outstanding requests per level, cumulative completed
-// volume, and the completed request count. Reading one is O(levels) — cheap
-// enough to take between simulation events for live streaming.
+// volume (total and split by op), completed request counts by class, and
+// cumulative dispatch seek distance. Reading one is O(levels) — cheap
+// enough to take between simulation events for live streaming. Every
+// volume/count field is cumulative since attach; rates belong to Window,
+// which differences two samples.
+//
+// A sample taken before any attached queue saw traffic — or from a
+// sampler with no queues attached at all — is fully defined: empty
+// (never nil) maps, zero counters, no NaN anywhere.
 type LiveSample struct {
 	SimTimeS    float64            `json:"sim_time_s"`
 	Depth       map[string]int32   `json:"depth"`
 	Outstanding map[string]int32   `json:"outstanding"`
 	CumMB       map[string]float64 `json:"cum_mb"`
 	Requests    int64              `json:"requests"`
+
+	// CumReadMB/CumWriteMB split CumMB by op (completed volume).
+	CumReadMB  map[string]float64 `json:"cum_read_mb,omitempty"`
+	CumWriteMB map[string]float64 `json:"cum_write_mb,omitempty"`
+	// Completed counts finished requests per level; ReadDone and SyncDone
+	// are the read and sync-class subsets.
+	Completed map[string]int64 `json:"completed,omitempty"`
+	ReadDone  map[string]int64 `json:"read_done,omitempty"`
+	SyncDone  map[string]int64 `json:"sync_done,omitempty"`
+	// Dispatched counts elevator dispatches; SeekSectors is the summed
+	// absolute sector distance between consecutive dispatches per queue,
+	// folded per level — the controller's seekiness signal.
+	Dispatched  map[string]int64 `json:"dispatched,omitempty"`
+	SeekSectors map[string]int64 `json:"seek_sectors,omitempty"`
 }
 
 // Live returns the current running counters, stamped with the given
 // simulation time. It must be called from the simulation goroutine (the
 // sampler's hooks are not synchronised).
 func (s *Sampler) Live(now sim.Time) LiveSample {
+	n := len(s.levels)
 	ls := LiveSample{
 		SimTimeS:    now.Seconds(),
-		Depth:       make(map[string]int32, len(s.levels)),
-		Outstanding: make(map[string]int32, len(s.levels)),
-		CumMB:       make(map[string]float64, len(s.levels)),
+		Depth:       make(map[string]int32, n),
+		Outstanding: make(map[string]int32, n),
+		CumMB:       make(map[string]float64, n),
 		Requests:    s.completed,
+		CumReadMB:   make(map[string]float64, n),
+		CumWriteMB:  make(map[string]float64, n),
+		Completed:   make(map[string]int64, n),
+		ReadDone:    make(map[string]int64, n),
+		SyncDone:    make(map[string]int64, n),
+		Dispatched:  make(map[string]int64, n),
+		SeekSectors: make(map[string]int64, n),
 	}
 	for level, v := range s.levels {
 		ls.Depth[level] = v.curDepth
 		ls.Outstanding[level] = v.curOutst
 		ls.CumMB[level] = round6(float64(v.cumBytes) / mb)
+		ls.CumReadMB[level] = round6(float64(v.cumReadBytes) / mb)
+		ls.CumWriteMB[level] = round6(float64(v.cumWriteBytes) / mb)
+		ls.Completed[level] = v.completed
+		ls.ReadDone[level] = v.readDone
+		ls.SyncDone[level] = v.syncDone
+		ls.Dispatched[level] = v.dispatched
+		ls.SeekSectors[level] = v.seekSectors
 	}
 	return ls
+}
+
+// WindowStats is the change between two live samples at one level,
+// expressed as the classification features the online controller consumes.
+// Every field is well-defined on degenerate windows: a zero or negative
+// duration, an idle window, or identical samples produce zeros — never
+// NaN, Inf or stale carry-over from an earlier window.
+type WindowStats struct {
+	DurS     float64 `json:"dur_s"`
+	Requests int64   `json:"requests"` // completions in the window
+
+	ReadMB    float64 `json:"read_mb"`
+	WriteMB   float64 `json:"write_mb"`
+	ReadMBps  float64 `json:"read_mbps"`
+	WriteMBps float64 `json:"write_mbps"`
+
+	// ReadShare is read bytes over total bytes completed in the window;
+	// SyncShare is sync-class completions over all completions. Both are 0
+	// when the window completed nothing.
+	ReadShare float64 `json:"read_share"`
+	SyncShare float64 `json:"sync_share"`
+
+	// Depth is the elevator depth at the window's end boundary.
+	Depth int32 `json:"depth"`
+	// SeekPerDispatch is the mean absolute sector distance between
+	// consecutive dispatches in the window (0 when nothing dispatched).
+	SeekPerDispatch float64 `json:"seek_per_dispatch"`
+}
+
+// Window returns the stats for one level over the (prev, s] interval.
+// prev may be the zero LiveSample (treated as an empty start-of-run
+// sample); an unknown level yields all-zero stats.
+func (s LiveSample) Window(prev LiveSample, level string) WindowStats {
+	w := WindowStats{
+		DurS:     s.SimTimeS - prev.SimTimeS,
+		Requests: s.Completed[level] - prev.Completed[level],
+		ReadMB:   round6(s.CumReadMB[level] - prev.CumReadMB[level]),
+		WriteMB:  round6(s.CumWriteMB[level] - prev.CumWriteMB[level]),
+		Depth:    s.Depth[level],
+	}
+	if w.DurS < 0 {
+		w.DurS = 0
+	}
+	if w.DurS > 0 {
+		w.ReadMBps = round6(w.ReadMB / w.DurS)
+		w.WriteMBps = round6(w.WriteMB / w.DurS)
+	}
+	if total := w.ReadMB + w.WriteMB; total > 0 {
+		w.ReadShare = round6(w.ReadMB / total)
+	}
+	if w.Requests > 0 {
+		w.SyncShare = round6(float64(s.SyncDone[level]-prev.SyncDone[level]) / float64(w.Requests))
+	}
+	if disp := s.Dispatched[level] - prev.Dispatched[level]; disp > 0 {
+		w.SeekPerDispatch = round6(float64(s.SeekSectors[level]-prev.SeekSectors[level]) / float64(disp))
+	}
+	return w
 }
 
 // AttachCluster wires the sampler to every Dom0 queue, guest queue and

@@ -1,0 +1,154 @@
+package analyze
+
+import (
+	"math"
+	"testing"
+
+	"adaptmr/internal/block"
+	"adaptmr/internal/sim"
+)
+
+// liveDev completes requests after a fixed latency.
+type liveDev struct {
+	eng *sim.Engine
+	lat sim.Duration
+}
+
+func (d *liveDev) Service(r *block.Request, done func(*block.Request)) {
+	d.eng.Schedule(d.lat, func() { done(r) })
+}
+
+// liveFIFO is a minimal pass-through elevator.
+type liveFIFO struct{ q []*block.Request }
+
+func (f *liveFIFO) Name() string                       { return "fifo" }
+func (f *liveFIFO) Add(r *block.Request, _ sim.Time)   { f.q = append(f.q, r) }
+func (f *liveFIFO) Completed(*block.Request, sim.Time) {}
+func (f *liveFIFO) Pending() int                       { return len(f.q) }
+func (f *liveFIFO) Dispatch(_ sim.Time) (*block.Request, sim.Time) {
+	if len(f.q) == 0 {
+		return nil, 0
+	}
+	r := f.q[0]
+	f.q = f.q[1:]
+	return r, 0
+}
+
+// noNaN fails if any float field of the window is NaN or Inf.
+func noNaN(t *testing.T, w WindowStats) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"DurS": w.DurS, "ReadMB": w.ReadMB, "WriteMB": w.WriteMB,
+		"ReadMBps": w.ReadMBps, "WriteMBps": w.WriteMBps,
+		"ReadShare": w.ReadShare, "SyncShare": w.SyncShare,
+		"SeekPerDispatch": w.SeekPerDispatch,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s = %v, want finite", name, v)
+		}
+	}
+}
+
+// TestLiveBeforeFirstSample pins the satellite-2 contract: Live on a
+// sampler whose queues have produced nothing (and on one with no queues
+// at all) returns a fully defined empty sample, and windows over such
+// samples contain zeros, never NaN rates or stale values.
+func TestLiveBeforeFirstSample(t *testing.T) {
+	// No queues attached at all.
+	bare := NewSampler()
+	ls := bare.Live(sim.Time(0))
+	if ls.Depth == nil || ls.CumMB == nil || ls.Completed == nil || ls.SeekSectors == nil {
+		t.Fatal("empty sampler returned nil maps")
+	}
+	if ls.Requests != 0 || len(ls.Depth) != 0 {
+		t.Fatalf("empty sampler not empty: %+v", ls)
+	}
+	noNaN(t, ls.Window(LiveSample{}, "dom0"))
+
+	// A queue attached but idle: the level exists with zero counters.
+	eng := sim.New(1)
+	s := NewSampler()
+	q := block.NewQueue(eng, &liveFIFO{}, &liveDev{eng: eng, lat: sim.Millisecond}, 1)
+	s.AttachQueue(q, "dom0")
+	first := s.Live(eng.Now())
+	if first.Depth["dom0"] != 0 || first.CumMB["dom0"] != 0 || first.Completed["dom0"] != 0 {
+		t.Fatalf("pre-traffic sample not zero: %+v", first)
+	}
+	w := first.Window(LiveSample{}, "dom0")
+	noNaN(t, w)
+	if w != (WindowStats{}) {
+		t.Fatalf("pre-traffic window not zero: %+v", w)
+	}
+}
+
+// TestZeroDeltaWindow pins that a window between two identical samples
+// (no completions, no time) is all-zero — no stale previous-window rates.
+func TestZeroDeltaWindow(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSampler()
+	q := block.NewQueue(eng, &liveFIFO{}, &liveDev{eng: eng, lat: sim.Millisecond}, 1)
+	s.AttachQueue(q, "dom0")
+
+	q.Submit(block.NewRequest(block.Read, 0, 2048, true, 1)) // 1 MB
+	eng.Run()
+
+	busy := s.Live(eng.Now())
+	active := busy.Window(LiveSample{}, "dom0")
+	if active.ReadMB != 1 || active.Requests != 1 || active.ReadShare != 1 {
+		t.Fatalf("active window wrong: %+v", active)
+	}
+
+	// Identical samples: everything zero, nothing carried over.
+	idle := busy.Window(busy, "dom0")
+	noNaN(t, idle)
+	if idle != (WindowStats{}) {
+		t.Fatalf("zero-delta window not zero: %+v", idle)
+	}
+
+	// Zero-duration window with the clock stopped but samples re-taken.
+	again := s.Live(eng.Now()).Window(busy, "dom0")
+	noNaN(t, again)
+	if again.ReadMBps != 0 || again.Requests != 0 {
+		t.Fatalf("zero-duration window leaked rates: %+v", again)
+	}
+}
+
+// TestWindowFeatures pins the feature extraction the controller classifies
+// on: read/write split, sync share, and dispatch seek distance.
+func TestWindowFeatures(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSampler()
+	q := block.NewQueue(eng, &liveFIFO{}, &liveDev{eng: eng, lat: sim.Millisecond}, 1)
+	s.AttachQueue(q, "dom0")
+
+	prev := s.Live(eng.Now())
+
+	// 3 MB of sync reads, 1 MB of async write; sequential then a jump.
+	q.Submit(block.NewRequest(block.Read, 0, 2048, true, 1))
+	q.Submit(block.NewRequest(block.Read, 2048, 2048, true, 1))  // seq: seek 0
+	q.Submit(block.NewRequest(block.Read, 10240, 2048, true, 1)) // jump: 6144
+	q.Submit(block.NewRequest(block.Write, 0, 2048, false, 2))   // jump: 12288
+	eng.Run()
+
+	w := s.Live(eng.Now()).Window(prev, "dom0")
+	noNaN(t, w)
+	if w.ReadMB != 3 || w.WriteMB != 1 {
+		t.Fatalf("volumes: %+v", w)
+	}
+	if w.ReadShare != 0.75 {
+		t.Fatalf("ReadShare = %v, want 0.75", w.ReadShare)
+	}
+	if w.SyncShare != 0.75 {
+		t.Fatalf("SyncShare = %v, want 0.75 (3 sync of 4)", w.SyncShare)
+	}
+	if w.Requests != 4 {
+		t.Fatalf("Requests = %d, want 4", w.Requests)
+	}
+	// Seeks: 0 (first), 0 (sequential), 6144, 12288 over 4 dispatches.
+	if want := float64(6144+12288) / 4; w.SeekPerDispatch != want {
+		t.Fatalf("SeekPerDispatch = %v, want %v", w.SeekPerDispatch, want)
+	}
+	if w.DurS <= 0 || w.ReadMBps <= 0 {
+		t.Fatalf("rates not positive over active window: %+v", w)
+	}
+}

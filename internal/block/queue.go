@@ -373,6 +373,14 @@ func (q *Queue) dispatchLoop() {
 		q.wake.Cancel()
 		q.wake = nil
 	}
+	if q.finishEv != nil {
+		// The switch drain has completed and the re-init stall timer is
+		// running: the old elevator is logically retired. Polling it again
+		// would let an armed anticipation/idle window fire post-drain
+		// decisions (phantom timeout/expire records against an elevator
+		// that has already exited) and re-arm wake timers that outlive it.
+		return
+	}
 	for q.inflight < q.depth {
 		r, wakeAt := q.elv.Dispatch(q.eng.Now())
 		if r == nil {

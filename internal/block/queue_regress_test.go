@@ -171,6 +171,89 @@ func TestCoalescedSwitchRestartsStallTimer(t *testing.T) {
 	}
 }
 
+// TestNoOldElevatorPollAfterDrainCompletes pins the live-switch edge the
+// online controller hammers: SetElevator lands while a request is in
+// flight, and the drain completes the moment that request finishes. The
+// retired elevator (an idler, like AS mid-anticipation or CFQ in
+// slice_idle) must not be polled again once the post-drain re-init timer
+// is armed — pre-fix, the completion's kick polled it, the idle hint
+// armed a wake timer, and the wake fired phantom Dispatch calls (which in
+// the real elevators record timeout/expire decisions and mutate stats)
+// against an elevator that had logically exited.
+func TestNoOldElevatorPollAfterDrainCompletes(t *testing.T) {
+	eng := sim.New(1)
+	dev := &stubDevice{eng: eng, latency: sim.Millisecond}
+	old := &idleElv{idle: sim.Millisecond, idleLeft: 100}
+	q := NewQueue(eng, old, dev, 1)
+
+	q.Submit(NewRequest(Read, 0, 8, true, 1))
+	if old.dispatchCalls != 1 {
+		t.Fatalf("dispatchCalls = %d after submit, want 1", old.dispatchCalls)
+	}
+
+	// Switch mid-flight: the drain completes at 1ms when the in-flight
+	// read finishes; the 5ms re-init stall runs until 6ms.
+	var doneAt sim.Time
+	eng.Schedule(500*sim.Microsecond, func() {
+		q.SetElevator(&namedElv{name: "new"}, 5*sim.Millisecond, func() { doneAt = eng.Now() })
+	})
+	eng.Run()
+
+	if want := sim.Time(6 * sim.Millisecond); doneAt != want {
+		t.Fatalf("switch done at %v, want %v (1ms drain + 5ms reinit)", doneAt, want)
+	}
+	if old.dispatchCalls != 1 {
+		t.Fatalf("retired elevator polled %d times, want 1 (no post-drain polls)", old.dispatchCalls)
+	}
+	if old.idleLeft != 100 {
+		t.Fatalf("retired elevator consumed %d idle windows post-drain, want 0", 100-old.idleLeft)
+	}
+	if q.Elevator().Name() != "new" {
+		t.Fatalf("installed elevator %q, want new", q.Elevator().Name())
+	}
+}
+
+// TestSwitchDuringArmedIdleWindowCancelsWake covers the other half of the
+// same edge: the old elevator is already idling (wake timer armed) when
+// SetElevator arrives on an otherwise idle queue. The instant drain must
+// cancel the armed wake and never poll the old elevator again; pre-fix
+// the trailing kick both polled it (consuming an idle window) and left a
+// fresh wake to fire mid-stall.
+func TestSwitchDuringArmedIdleWindowCancelsWake(t *testing.T) {
+	eng := sim.New(1)
+	dev := &stubDevice{eng: eng, latency: sim.Millisecond}
+	old := &idleElv{idle: 10 * sim.Millisecond, idleLeft: 100}
+	q := NewQueue(eng, old, dev, 1)
+
+	// One request; its completion at 1ms polls the empty elevator, which
+	// idles: wake armed for 11ms.
+	q.Submit(NewRequest(Read, 0, 8, true, 1))
+
+	var doneAt sim.Time
+	eng.Schedule(1500*sim.Microsecond, func() {
+		if q.InFlight() != 0 || q.Pending() != 0 {
+			t.Fatal("queue not idle at switch time")
+		}
+		q.SetElevator(&namedElv{name: "new"}, 2*sim.Millisecond, func() { doneAt = eng.Now() })
+	})
+	eng.Run()
+
+	// Poll 1: submit at t=0. Poll 2: completion kick at 1ms (arms the
+	// idle). The switch at 1.5ms must add none.
+	if old.dispatchCalls != 2 {
+		t.Fatalf("retired elevator polled %d times, want 2", old.dispatchCalls)
+	}
+	if old.idleLeft != 99 {
+		t.Fatalf("idleLeft = %d, want 99 (exactly the pre-switch idle window)", old.idleLeft)
+	}
+	if want := sim.Time(3500 * sim.Microsecond); doneAt != want {
+		t.Fatalf("switch done at %v, want %v (instant drain + 2ms reinit)", doneAt, want)
+	}
+	if got := eng.Pending(); got != 0 {
+		t.Fatalf("%d leaked events after run (stale wake timers)", got)
+	}
+}
+
 // TestSwitchSameNameStillDrains pins the paper-observed behaviour that
 // re-assigning the same scheduler name still pays the full switch cost.
 func TestSwitchSameNameStillDrains(t *testing.T) {

@@ -39,6 +39,13 @@ type Options struct {
 	// Context, when non-nil, is polled at every barrier round so a long
 	// fleet run can be abandoned.
 	Context context.Context
+
+	// OnCell, when non-nil, is called once per cell after its cluster and
+	// job tracker are built but before any window runs. Cells are
+	// constructed serially, so the hook needs no locking; anything it
+	// attaches (samplers, online controllers) runs inside that cell's
+	// engine thereafter and must not be shared across cells.
+	OnCell func(cell int, cl *cluster.Cluster)
 }
 
 // cellState is one shard: a full cluster with its own engine, the cell's
@@ -123,6 +130,9 @@ func Run(s Scenario, opt Options) (*Result, error) {
 		// reported times subtract this epoch.
 		st.epoch = st.cl.Eng.Now()
 		st.jt = newJobTracker(st.cl, s, perCell[c])
+		if opt.OnCell != nil {
+			opt.OnCell(c, st.cl)
+		}
 		cells[c] = st
 	}
 

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// smokePolicySpec mirrors adaptmr.SmokeOnlinePolicy for the test
+// cluster's seconds-long jobs: at the default ten-second dwell the
+// paper-scale policy never switches inside a smoke run.
+func smokePolicySpec() *AutotunePolicySpec {
+	return &AutotunePolicySpec{
+		WindowMS:      250,
+		MinDwellMS:    1000,
+		StableWindows: 2,
+		CostBudget:    0.1,
+	}
+}
+
+// TestAutotuneEndpoint is the /v1/autotune contract on the smoke sort
+// job: CFQ boot, two issued switches (read regime into the anticipatory
+// Dom0 pair, write regime back), a full decision log, and a finished
+// job — byte-deterministic, so the assertions pin exact values.
+func TestAutotuneEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations")
+	}
+	_, ts := newTestServer(t, Config{Workers: 1}, nil)
+
+	req := AutotuneRequest{
+		Cluster: testCluster,
+		Job:     JobSpec{Bench: "sort", InputMB: 64},
+		Policy:  smokePolicySpec(),
+	}
+	st, _, body := postJSON(t, ts.URL+"/v1/autotune", req)
+	if st != http.StatusOK {
+		t.Fatalf("/v1/autotune = %d: %s", st, body)
+	}
+	var resp AutotuneResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, body)
+	}
+	if resp.StartPair != "cc" || resp.FinalPair != "cc" {
+		t.Errorf("pair trajectory %s -> %s, want cc -> cc", resp.StartPair, resp.FinalPair)
+	}
+	if resp.Switches != 2 {
+		t.Errorf("switches = %d, want 2 (decisions: %+v)", resp.Switches, resp.Decisions)
+	}
+	if resp.Windows == 0 || len(resp.Decisions) == 0 {
+		t.Errorf("controller idle: %d windows, %d decisions", resp.Windows, len(resp.Decisions))
+	}
+	if resp.DurationS <= 0 || resp.Job.DurationS <= 0 {
+		t.Errorf("job did not run: duration %.3f, job duration %.3f", resp.DurationS, resp.Job.DurationS)
+	}
+	issued := 0
+	for _, d := range resp.Decisions {
+		if d.Issued {
+			issued++
+		}
+	}
+	if issued != resp.Switches {
+		t.Errorf("decision log carries %d issued switches, response says %d", issued, resp.Switches)
+	}
+}
+
+// TestAutotuneStreamOrdersDecisionFrames is the satellite-6 frame
+// contract: a streamed autotune run interleaves "decision" frames with
+// the periodic "sample" frames in simulated-time order, every decision
+// frame precedes the terminal result, sequence numbers ascend without
+// gaps, and the result frame's payload equals the POST body byte for
+// byte.
+func TestAutotuneStreamOrdersDecisionFrames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations")
+	}
+	_, ts := newTestServer(t, Config{Workers: 1}, nil)
+
+	req := AutotuneRequest{
+		Cluster: testCluster,
+		Job:     JobSpec{Bench: "sort", InputMB: 64},
+		Policy:  smokePolicySpec(),
+		RunID:   "tune-1",
+	}
+	st, _, postBody := postJSON(t, ts.URL+"/v1/autotune", req)
+	if st != http.StatusOK {
+		t.Fatalf("/v1/autotune = %d: %s", st, postBody)
+	}
+	stS, body := getBody(t, ts.URL+"/v1/stream?id=tune-1")
+	if stS != http.StatusOK {
+		t.Fatalf("/v1/stream = %d: %s", stS, body)
+	}
+	events := readSSE(t, body)
+	var decisions, samples int
+	var result *sseEvent
+	nextSeq := 0
+	for i := range events {
+		e := events[i]
+		switch e.event {
+		case "decision":
+			if result != nil {
+				t.Error("decision frame after the terminal result frame")
+			}
+			var d streamDecision
+			if err := json.Unmarshal([]byte(e.data), &d); err != nil {
+				t.Fatalf("decision frame is not JSON: %v\n%s", err, e.data)
+			}
+			if d.RunID != "tune-1" {
+				t.Errorf("decision run_id = %q, want tune-1", d.RunID)
+			}
+			if d.Seq != nextSeq {
+				t.Errorf("decision seq = %d, want %d (frames reordered or dropped)", d.Seq, nextSeq)
+			}
+			nextSeq++
+			decisions++
+		case "sample":
+			if result != nil {
+				t.Error("sample frame after the terminal result frame")
+			}
+			samples++
+		case "result":
+			result = &events[i]
+		}
+	}
+	if decisions == 0 {
+		t.Error("stream carried no decision frames")
+	}
+	if samples == 0 {
+		t.Error("stream carried no sample frames")
+	}
+	if result == nil {
+		t.Fatal("stream carried no terminal result frame")
+	}
+	if result != &events[len(events)-1] {
+		t.Error("result frame is not the stream's final event")
+	}
+	if got := result.data + "\n"; got != string(postBody) {
+		t.Errorf("result frame differs from POST body:\n frame: %s\n  post: %s", result.data, postBody)
+	}
+}
+
+// TestAutotuneValidation: malformed policies answer 400 before anything
+// simulates.
+func TestAutotuneValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1}, nil)
+	cases := []struct {
+		name string
+		req  AutotuneRequest
+	}{
+		{"bad start pair", AutotuneRequest{Cluster: testCluster,
+			Job:    JobSpec{Bench: "sort", InputMB: 64},
+			Policy: &AutotunePolicySpec{StartPair: "zz"}}},
+		{"bad read pair", AutotuneRequest{Cluster: testCluster,
+			Job:    JobSpec{Bench: "sort", InputMB: 64},
+			Policy: &AutotunePolicySpec{ReadPair: "a"}}},
+		{"negative window", AutotuneRequest{Cluster: testCluster,
+			Job:    JobSpec{Bench: "sort", InputMB: 64},
+			Policy: &AutotunePolicySpec{WindowMS: -1}}},
+		{"bad run id", AutotuneRequest{Cluster: testCluster,
+			Job:   JobSpec{Bench: "sort", InputMB: 64},
+			RunID: "has spaces"}},
+		{"unknown bench", AutotuneRequest{Cluster: testCluster,
+			Job: JobSpec{Bench: "nope", InputMB: 64}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, _, body := postJSON(t, ts.URL+"/v1/autotune", tc.req)
+			if st != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400: %s", st, body)
+			}
+			if !bytes.Contains(body, []byte("error")) {
+				t.Errorf("error body missing error field: %s", body)
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ const (
 	mReqRun         = "server.requests.run"
 	mReqTune        = "server.requests.tune"
 	mReqBruteforce  = "server.requests.bruteforce"
+	mReqAutotune    = "server.requests.autotune"
 	mStreamRequests = "server.requests.stream"
 	mRespOK         = "server.responses.ok"
 	mRespError      = "server.responses.error"

@@ -157,6 +157,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/tune", s.handleTune)
 	mux.HandleFunc("/v1/bruteforce", s.handleBruteforce)
+	mux.HandleFunc("/v1/autotune", s.handleAutotune)
 	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/v1/explain", s.handleExplain)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -629,6 +630,7 @@ type statuszPayload struct {
 		Run        int64 `json:"run"`
 		Tune       int64 `json:"tune"`
 		Bruteforce int64 `json:"bruteforce"`
+		Autotune   int64 `json:"autotune"`
 	} `json:"requests"`
 	Responses struct {
 		OK    int64 `json:"ok"`
@@ -667,6 +669,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	p.Requests.Run = s.met.counterValue(mReqRun)
 	p.Requests.Tune = s.met.counterValue(mReqTune)
 	p.Requests.Bruteforce = s.met.counterValue(mReqBruteforce)
+	p.Requests.Autotune = s.met.counterValue(mReqAutotune)
 	p.Responses.OK = s.met.counterValue(mRespOK)
 	p.Responses.Error = s.met.counterValue(mRespError)
 	p.Rejected = s.met.counterValue(mRejected)
